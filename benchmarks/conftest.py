@@ -1,0 +1,1 @@
+"""pytest conftest for the benchmark directory (helpers live in helpers.py)."""

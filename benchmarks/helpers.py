@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper: it runs
+the experiment through the simulator (timed via pytest-benchmark),
+prints the same rows/series the paper reports, and asserts the shape —
+who wins, by roughly what factor, where crossovers fall.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def print_rows(title: str, rows: list[dict], order: list[str] | None = None) -> None:
+    """Print a list of dict rows as an aligned table."""
+    if not rows:
+        raise ValueError("no rows to print")
+    columns = order or list(rows[0])
+    widths = {col: max(len(col), *(len(_fmt(row[col])) for row in rows))
+              for col in columns}
+    print(f"\n=== {title} ===")
+    print("  ".join(col.ljust(widths[col]) for col in columns))
+    for row in rows:
+        print("  ".join(_fmt(row[col]).ljust(widths[col]) for col in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if 0 < abs(value) < 0.01:
+            return f"{value:.6f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def run_once(benchmark, func: Callable):
+    """Execute a figure-regeneration function once under the benchmark
+    timer (figure regeneration is deterministic; repeated rounds would
+    only re-measure the same simulation)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

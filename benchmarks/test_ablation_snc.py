@@ -1,0 +1,49 @@
+"""§IV-A ablation — sub-NUMA clustering.
+
+SNC splits a socket into NUMA sub-domains to help NUMA-aware ML
+workloads, but TEE drivers do not understand the sub-domains and place
+memory in the wrong cluster.  Paper: enabling SNC raised TDX overhead
+more than eight times, from ~5% to ~42%; the paper therefore disables
+SNC for all other experiments.
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment
+from repro.core.overhead import throughput_overhead
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+
+def regenerate() -> list[dict]:
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6, input_tokens=1024,
+                        output_tokens=64, beam_size=4)
+    rows = []
+    for clusters in (1, 2):
+        base = simulate_generation(workload, cpu_deployment(
+            "baremetal", sockets_used=1, snc_clusters=clusters))
+        tdx = simulate_generation(workload, cpu_deployment(
+            "tdx", sockets_used=1, snc_clusters=clusters))
+        rows.append({
+            "snc_clusters": clusters,
+            "baremetal_tput_tok_s": base.decode_throughput_tok_s,
+            "tdx_tput_tok_s": tdx.decode_throughput_tok_s,
+            "tdx_overhead_pct": 100 * throughput_overhead(tdx, base),
+        })
+    return rows
+
+
+def test_ablation_snc(benchmark):
+    rows = run_once(benchmark, regenerate)
+    print_rows("SNC ablation (TDX, single socket)", rows)
+    overhead = {row["snc_clusters"]: row["tdx_overhead_pct"] for row in rows}
+    # SNC off: the normal single-digit band.
+    assert overhead[1] < 12.0
+    # SNC on: a multiple of the baseline overhead, tens of percent.
+    assert overhead[2] > 3 * overhead[1]
+    assert overhead[2] > 30.0
+    # SNC does not hurt the NUMA-aware bare-metal baseline.
+    tputs = {row["snc_clusters"]: row["baremetal_tput_tok_s"] for row in rows}
+    assert tputs[2] >= tputs[1]

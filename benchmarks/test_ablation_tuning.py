@@ -1,0 +1,77 @@
+"""§IV-A/§IV-D ablations — the paper's tuning knobs.
+
+Three configuration findings the paper reports while tuning the TEEs:
+
+* exposing hyperthreads to the TDX guest only adds noise and scheduling
+  tax (PyTorch pins to the first logical thread of each core),
+* TCMalloc reduces memory pressure vs glibc malloc,
+* using the largest possible EPC "significantly influences overheads" —
+  an undersized EPC pages, and paging verification is ruinous.
+"""
+
+import dataclasses
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment
+from repro.core.overhead import throughput_overhead
+from repro.engine.placement import Deployment, Workload
+from repro.engine.simulator import simulate_generation
+from repro.hardware.cpu import EMR2
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+
+def regenerate() -> dict:
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=16,
+                        input_tokens=1024, output_tokens=64)
+    base = simulate_generation(workload, cpu_deployment(
+        "tdx", sockets_used=1))
+
+    hyperthreads = simulate_generation(workload, cpu_deployment(
+        "tdx", sockets_used=1, expose_hyperthreads=True))
+    glibc = simulate_generation(workload, cpu_deployment(
+        "tdx", sockets_used=1, tcmalloc=False))
+
+    # Undersized EPC: shrink the spec's enclave page cache below the
+    # model's working set and watch SGX start paging.
+    small_epc_cpu = dataclasses.replace(EMR2, sgx_epc_per_socket=8 * 2**30)
+    sgx_ok = simulate_generation(workload, cpu_deployment(
+        "sgx", sockets_used=1))
+    sgx_small = simulate_generation(workload, cpu_deployment(
+        "sgx", cpu=small_epc_cpu, sockets_used=1))
+
+    rows = [
+        {"knob": "tdx tuned (baseline)", "tput_tok_s":
+            base.decode_throughput_tok_s, "slowdown_pct": 0.0},
+        {"knob": "tdx + hyperthreads exposed", "tput_tok_s":
+            hyperthreads.decode_throughput_tok_s,
+         "slowdown_pct": 100 * throughput_overhead(hyperthreads, base)},
+        {"knob": "tdx + glibc malloc", "tput_tok_s":
+            glibc.decode_throughput_tok_s,
+         "slowdown_pct": 100 * throughput_overhead(glibc, base)},
+        {"knob": "sgx, full EPC", "tput_tok_s":
+            sgx_ok.decode_throughput_tok_s, "slowdown_pct": 0.0},
+        {"knob": "sgx, 8 GiB EPC (pages)", "tput_tok_s":
+            sgx_small.decode_throughput_tok_s,
+         "slowdown_pct": 100 * throughput_overhead(sgx_small, sgx_ok)},
+    ]
+    return {"rows": rows, "base": base, "hyperthreads": hyperthreads,
+            "glibc": glibc, "sgx_ok": sgx_ok, "sgx_small": sgx_small}
+
+
+def test_ablation_tuning(benchmark):
+    data = run_once(benchmark, regenerate)
+    print_rows("Tuning-knob ablations (EMR2, single socket)", data["rows"])
+
+    # Hyperthreads: a measurable scheduling tax, single-digit percent.
+    ht = throughput_overhead(data["hyperthreads"], data["base"])
+    assert 0.01 < ht < 0.08
+
+    # glibc vs TCMalloc: small but real memory-pressure cost.
+    alloc = throughput_overhead(data["glibc"], data["base"])
+    assert 0.0 < alloc < 0.06
+
+    # Undersized EPC: paging verification dwarfs everything else.
+    epc = throughput_overhead(data["sgx_small"], data["sgx_ok"])
+    assert epc > 1.0

@@ -1,0 +1,57 @@
+"""§V-D1 extension — hybrid host-offloaded GPUs vs CPU TEEs.
+
+The paper notes that when a model spills to host memory, AMX CPUs
+already outperform GPUs, and confidential compute widens the gap
+because every offloaded byte crosses the encrypted PCIe bounce buffer.
+This bench runs Llama2-70B (which does not fit one H100) offloaded vs a
+two-socket TDX deployment.
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_70B
+from repro.llm.datatypes import BFLOAT16
+from repro.scaleout.offload import required_host_fraction, simulate_offloaded
+
+
+def regenerate() -> dict:
+    workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                        input_tokens=512, output_tokens=64)
+    fraction = required_host_fraction(workload)
+    plain = simulate_offloaded(workload, fraction, confidential=False)
+    secure = simulate_offloaded(workload, fraction, confidential=True)
+    tdx = simulate_generation(workload, cpu_deployment("tdx",
+                                                       sockets_used=2))
+    rows = [
+        {"config": "gpu+offload", "tput_tok_s": plain.throughput_tok_s,
+         "transfer_bound": plain.transfer_bound},
+        {"config": "cgpu+offload", "tput_tok_s": secure.throughput_tok_s,
+         "transfer_bound": secure.transfer_bound},
+        {"config": "tdx 2-socket", "tput_tok_s": tdx.decode_throughput_tok_s,
+         "transfer_bound": False},
+    ]
+    return {"rows": rows, "fraction": fraction, "plain": plain,
+            "secure": secure, "tdx": tdx}
+
+
+def test_ext_offload_hybrid(benchmark):
+    data = run_once(benchmark, regenerate)
+    print(f"\nhost-offloaded weight fraction: {data['fraction']:.1%}")
+    print_rows("Hybrid offload vs CPU TEE (Llama2-70B, bs=1)", data["rows"])
+
+    # Offloading is transfer-bound in both postures.
+    assert data["plain"].transfer_bound
+    assert data["secure"].transfer_bound
+
+    # Confidential offload pays the bounce buffer (several-fold).
+    assert (data["plain"].throughput_tok_s
+            > 3 * data["secure"].throughput_tok_s)
+
+    # The CPU TEE beats both offloaded configurations.
+    assert (data["tdx"].decode_throughput_tok_s
+            > data["plain"].throughput_tok_s)
+    assert (data["tdx"].decode_throughput_tok_s
+            > 5 * data["secure"].throughput_tok_s)

@@ -1,0 +1,66 @@
+"""§V-D4 extension — confidential multi-GPU scaling.
+
+The paper argues (without a testbed to measure it) that scaling
+confidential H100s is inefficient: NVLink is unprotected, so CC-mode
+traffic routes through the host at ~3 GB/s vs ~40 GB/s, which is costly
+for throughput-hungry tensor parallelism; IPsec costs up to 90% across
+hosts.  This bench quantifies the projection with the scale-out model,
+including the B100 case where protected NVLink restores scaling.
+"""
+
+from helpers import print_rows, run_once
+
+from repro.engine.placement import Workload
+from repro.hardware.gpu import B100, H100_NVL
+from repro.llm.config import LLAMA2_70B
+from repro.llm.datatypes import BFLOAT16
+from repro.scaleout.multigpu import simulate_multi_gpu
+
+BATCHES = (1, 8, 32)
+
+
+def regenerate() -> dict:
+    rows = []
+    results = {}
+    for batch in BATCHES:
+        workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=batch,
+                            input_tokens=512, output_tokens=128)
+        for label, confidential, gpu in (
+                ("h100", False, H100_NVL),
+                ("c-h100", True, H100_NVL),
+                ("c-b100", True, B100)):
+            result = simulate_multi_gpu(workload, 2, confidential, gpu=gpu)
+            results[(batch, label)] = result
+            rows.append({
+                "batch": batch,
+                "config": f"2x {label}",
+                "link": result.link.kind.value,
+                "tput_tok_s": result.throughput_tok_s,
+                "comm_fraction_pct": 100 * result.comm_fraction,
+            })
+    return {"rows": rows, "results": results}
+
+
+def test_ext_scaleout(benchmark):
+    data = run_once(benchmark, regenerate)
+    print_rows("Confidential multi-GPU scaling (Llama2-70B, TP=2)",
+               data["rows"])
+    results = data["results"]
+
+    for batch in BATCHES:
+        plain = results[(batch, "h100")]
+        secure = results[(batch, "c-h100")]
+        b100 = results[(batch, "c-b100")]
+        # Confidential H100 pairs lose throughput to CPU routing...
+        assert secure.throughput_tok_s < plain.throughput_tok_s
+        # ...and the loss grows with batch (more all-reduce payload).
+        if batch >= 8:
+            assert secure.comm_fraction > 0.2
+        # B100's protected NVLink keeps communication negligible.
+        assert b100.comm_fraction < 0.05
+
+    # At batch 32 the confidential H100 pair loses a large share of its
+    # scaling; B100 does not.
+    loss = 1 - (results[(32, "c-h100")].throughput_tok_s
+                / results[(32, "h100")].throughput_tok_s)
+    assert loss > 0.3

@@ -1,0 +1,57 @@
+"""Fig. 1 — headline overview: Llama2-7B inference overheads in a VM TEE
+(TDX), an application TEE (SGX), and a GPU TEE (cGPU).
+
+Paper: TEEs for LLMs incur only 4-7% throughput reduction.
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import Experiment, cpu_deployment, gpu_deployment
+from repro.core.overhead import throughput_overhead
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.hardware.cpu import EMR1
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+
+def regenerate() -> list[dict]:
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6, input_tokens=1024,
+                        output_tokens=128, beam_size=4)
+    cpu_outcome = Experiment(
+        name="fig1-cpu", workload=workload,
+        deployments={
+            "baremetal": cpu_deployment("baremetal", cpu=EMR1, sockets_used=1),
+            "sgx": cpu_deployment("sgx", cpu=EMR1, sockets_used=1),
+            "tdx": cpu_deployment("tdx", cpu=EMR1, sockets_used=1),
+        }).run()
+    gpu_workload = workload.with_(beam_size=1)
+    gpu = simulate_generation(gpu_workload, gpu_deployment(confidential=False))
+    cgpu = simulate_generation(gpu_workload, gpu_deployment(confidential=True))
+
+    rows = []
+    for label in ("sgx", "tdx"):
+        report = cpu_outcome.overhead(label)
+        rows.append({
+            "system": f"{label} (CPU TEE)",
+            "baseline": "baremetal",
+            "throughput_overhead_pct": 100 * report.throughput_overhead,
+        })
+    rows.append({
+        "system": "cgpu (GPU TEE)",
+        "baseline": "gpu",
+        "throughput_overhead_pct": 100 * throughput_overhead(
+            cgpu, gpu, include_prefill=True),
+    })
+    return rows
+
+
+def test_fig01_overview(benchmark):
+    rows = run_once(benchmark, regenerate)
+    print_rows("Fig. 1: TEE overheads for Llama2-7B", rows)
+    by_system = {row["system"].split()[0]: row["throughput_overhead_pct"]
+                 for row in rows}
+    # Paper headline: single-resource TEE overheads are single-digit.
+    assert 3.5 <= by_system["sgx"] <= 7.5
+    assert 5.0 <= by_system["tdx"] <= 11.0
+    assert 4.0 <= by_system["cgpu"] <= 9.0

@@ -1,0 +1,52 @@
+"""Fig. 3 — CPU framework microbenchmark on EMR1.
+
+Llama2-7B, 1024 input / 128 output tokens, batch and beam 1.  Paper:
+IPEX is the fastest (AMX + oneCCL); vLLM is ~50% slower; Hugging Face
+~100% slower; fp32 variants slower than bf16; llama.cpp in between but
+behind IPEX.
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.hardware.cpu import EMR1
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16, FLOAT32
+
+CASES = (
+    ("hf-f32", "hf", FLOAT32),
+    ("hf-bf16", "hf", BFLOAT16),
+    ("vllm-f32", "vllm-cpu", FLOAT32),
+    ("vllm-bf16", "vllm-cpu", BFLOAT16),
+    ("llamacpp-mixed", "llamacpp", BFLOAT16),
+    ("ipex-bf16", "ipex", BFLOAT16),
+)
+
+
+def regenerate() -> list[dict]:
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1, input_tokens=1024,
+                        output_tokens=128)
+    rows = []
+    for label, framework, dtype in CASES:
+        result = simulate_generation(
+            workload.with_(dtype=dtype),
+            cpu_deployment("baremetal", cpu=EMR1, framework=framework,
+                           sockets_used=1))
+        rows.append({"backend": label,
+                     "wall_runtime_s": result.total_time_s})
+    return rows
+
+
+def test_fig03_frameworks(benchmark):
+    rows = run_once(benchmark, regenerate)
+    print_rows("Fig. 3: framework microbenchmark (1024/128, bs=1, EMR1)",
+               rows)
+    runtime = {row["backend"]: row["wall_runtime_s"] for row in rows}
+    assert runtime["ipex-bf16"] == min(runtime.values())
+    assert 1.3 < runtime["vllm-bf16"] / runtime["ipex-bf16"] < 2.5
+    assert 1.8 < runtime["hf-bf16"] / runtime["ipex-bf16"] < 3.5
+    assert runtime["hf-f32"] > runtime["hf-bf16"]
+    assert runtime["vllm-f32"] > runtime["vllm-bf16"]
+    assert runtime["ipex-bf16"] < runtime["llamacpp-mixed"]

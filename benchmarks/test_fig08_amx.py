@@ -1,0 +1,96 @@
+"""Fig. 8 — AMX vs no-AMX across batch sizes on EMR2.
+
+Llama2-7B, 128 in/out tokens, beam 1.  Overheads follow the paper's
+convention: relative to a *VM running AMX*.  Paper: bf16 AMX advantage
+is 1-4% when memory-bound and grows to hundreds of percent with batch
+size (more compute); AMX also lowers TDX's apparent overhead; int8
+without AMX collapses (+96% throughput overhead reported, +1700%
+latency on two sockets — our mechanistic model reproduces the latency
+collapse and overshoots the throughput one; see EXPERIMENTS.md).
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment
+from repro.core.overhead import latency_overhead, throughput_overhead
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16, INT8
+
+BATCHES = (1, 4, 16, 64, 256)
+
+
+def regenerate() -> dict:
+    rows = []
+    advantage = {}
+    tdx_overheads = {}
+    for batch in BATCHES:
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                            input_tokens=128, output_tokens=128)
+        vm_amx = simulate_generation(workload, cpu_deployment(
+            "vm", sockets_used=1))
+        vm_noamx = simulate_generation(workload, cpu_deployment(
+            "vm", sockets_used=1, amx_enabled=False))
+        tdx_amx = simulate_generation(workload, cpu_deployment(
+            "tdx", sockets_used=1))
+        tdx_noamx = simulate_generation(workload, cpu_deployment(
+            "tdx", sockets_used=1, amx_enabled=False))
+        advantage[batch] = (vm_amx.decode_throughput_tok_s
+                            / vm_noamx.decode_throughput_tok_s)
+        tdx_overheads[batch] = (
+            throughput_overhead(tdx_amx, vm_amx),
+            throughput_overhead(tdx_noamx, vm_amx),
+        )
+        rows.append({
+            "batch": batch,
+            "amx_speedup_x": advantage[batch],
+            "tdx_ovh_amx_pct": 100 * tdx_overheads[batch][0],
+            "tdx_ovh_noamx_pct": 100 * tdx_overheads[batch][1],
+        })
+
+    # int8 fallback anchors.
+    int8_tput = Workload(LLAMA2_7B, INT8, batch_size=64, input_tokens=128,
+                         output_tokens=64)
+    amx_t = simulate_generation(int8_tput, cpu_deployment("vm",
+                                                          sockets_used=1))
+    no_t = simulate_generation(int8_tput, cpu_deployment(
+        "vm", sockets_used=1, amx_enabled=False))
+    int8_lat = Workload(LLAMA2_7B, INT8, batch_size=1, input_tokens=128,
+                        output_tokens=64)
+    amx_l = simulate_generation(int8_lat, cpu_deployment("vm",
+                                                         sockets_used=2))
+    no_l = simulate_generation(int8_lat, cpu_deployment(
+        "vm", sockets_used=2, amx_enabled=False))
+    int8 = {
+        "tput_overhead": throughput_overhead(no_t, amx_t),
+        "lat_overhead": latency_overhead(no_l, amx_l, filtered=False),
+    }
+    return {"rows": rows, "advantage": advantage,
+            "tdx_overheads": tdx_overheads, "int8": int8}
+
+
+def test_fig08_amx(benchmark):
+    data = run_once(benchmark, regenerate)
+    print_rows("Fig. 8: AMX vs no-AMX (bf16, EMR2)", data["rows"])
+    print(f"int8 no-AMX: throughput overhead "
+          f"{100 * data['int8']['tput_overhead']:.0f}%, "
+          f"two-socket latency overhead "
+          f"{100 * data['int8']['lat_overhead']:.0f}%")
+
+    advantage = data["advantage"]
+    # Memory-bound small batches: near parity (paper: 1-4%).
+    assert 1.0 <= advantage[1] <= 1.06
+    # Compute-bound large batches: hundreds of percent.
+    assert advantage[256] > 1.8
+    assert advantage[256] > advantage[1]
+
+    # AMX lowers the apparent TDX overhead at every batch size.
+    for batch in BATCHES:
+        with_amx, without_amx = data["tdx_overheads"][batch]
+        assert with_amx <= without_amx + 1e-9
+
+    # int8 fallback: latency collapse ~17x (paper: +1700%).
+    assert data["int8"]["lat_overhead"] > 9.0
+    # Throughput collapse at least the paper's +96%.
+    assert data["int8"]["tput_overhead"] > 0.9

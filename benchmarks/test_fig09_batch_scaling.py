@@ -1,0 +1,72 @@
+"""Fig. 9 — next-token latency and throughput vs batch size on EMR2.
+
+128 in/out tokens, beam 1; throughput on one socket, latency on two.
+Paper: as batch grows the workload becomes compute-bound and TDX's
+overhead (memory encryption) shrinks — int8 from 9-11% to <=6% by batch
+64, bf16 from 7-10% to 4-7% at saturation; latency shows no such strong
+correlation (socket-interconnect traffic grows too).
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment
+from repro.core.overhead import latency_overhead, throughput_overhead
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16, INT8
+
+BATCHES = (1, 4, 16, 64, 128, 256, 512)
+
+
+def regenerate() -> dict:
+    rows = []
+    series = {}
+    for dtype in (BFLOAT16, INT8):
+        for batch in BATCHES:
+            workload = Workload(LLAMA2_7B, dtype, batch_size=batch,
+                                input_tokens=128, output_tokens=128)
+            base_1s = simulate_generation(workload, cpu_deployment(
+                "baremetal", sockets_used=1))
+            tdx_1s = simulate_generation(workload, cpu_deployment(
+                "tdx", sockets_used=1))
+            base_2s = simulate_generation(workload, cpu_deployment(
+                "baremetal", sockets_used=2))
+            tdx_2s = simulate_generation(workload, cpu_deployment(
+                "tdx", sockets_used=2))
+            tput_overhead = throughput_overhead(tdx_1s, base_1s)
+            series[(dtype.name, batch)] = tput_overhead
+            rows.append({
+                "dtype": dtype.name,
+                "batch": batch,
+                "baremetal_tput_tok_s": base_1s.decode_throughput_tok_s,
+                "tdx_tput_overhead_pct": 100 * tput_overhead,
+                "tdx_2s_latency_ms": tdx_2s.next_token_latency_s * 1e3,
+                "tdx_2s_lat_overhead_pct": 100 * latency_overhead(
+                    tdx_2s, base_2s, filtered=False),
+            })
+    return {"rows": rows, "series": series}
+
+
+def test_fig09_batch_scaling(benchmark):
+    data = run_once(benchmark, regenerate)
+    print_rows("Fig. 9: batch-size scaling (EMR2)", data["rows"])
+    series = data["series"]
+
+    for dtype in ("bf16", "int8"):
+        small = series[(dtype, 1)]
+        large = series[(dtype, 512)]
+        assert small > large, dtype
+        assert 0.07 <= small <= 0.115, (dtype, small)
+
+    # int8: overheads drop to <=6.5% by batch 64 (paper: <=6%).
+    assert series[("int8", 64)] <= 0.065
+    # bf16 at saturation inside the paper's 4-7% band.
+    assert 0.04 <= series[("bf16", 512)] <= 0.07
+
+    # Throughput saturates: going 256 -> 512 gains almost nothing.
+    rows = {(row["dtype"], row["batch"]): row for row in data["rows"]}
+    for dtype in ("bf16", "int8"):
+        gain = (rows[(dtype, 512)]["baremetal_tput_tok_s"]
+                / rows[(dtype, 256)]["baremetal_tput_tok_s"])
+        assert gain < 1.10

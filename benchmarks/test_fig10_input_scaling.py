@@ -1,0 +1,74 @@
+"""Fig. 10 — generation throughput vs input size on EMR2.
+
+Single socket, 128 output tokens, batch 64, bf16/int8.  Paper: TDX's
+overhead decreases as the input grows (the workload saturates the AMX
+units and the low-overhead prefill grows in share) until ~2048 tokens,
+after which the per-token KV-cache reads spill the LLC and TLB misses
+rise, pushing the decode phase back toward memory-bound overheads.
+
+Our reproduction captures both regimes across two series: the
+first-token-inclusive throughput overhead falls with input size, and the
+decode-only overhead rises at large inputs (the terminal-regime signal).
+EXPERIMENTS.md discusses the blend difference with the paper's plot.
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment
+from repro.core.overhead import throughput_overhead
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16, INT8
+
+INPUTS = (32, 128, 256, 512, 1024, 2048, 3584)
+
+
+def regenerate() -> dict:
+    rows = []
+    series = {}
+    for dtype in (BFLOAT16, INT8):
+        for input_len in INPUTS:
+            workload = Workload(LLAMA2_7B, dtype, batch_size=64,
+                                input_tokens=input_len, output_tokens=128)
+            base = simulate_generation(workload, cpu_deployment(
+                "baremetal", sockets_used=1))
+            tdx = simulate_generation(workload, cpu_deployment(
+                "tdx", sockets_used=1))
+            overall = throughput_overhead(tdx, base, include_prefill=True)
+            decode_only = throughput_overhead(tdx, base)
+            series[(dtype.name, input_len)] = (overall, decode_only)
+            rows.append({
+                "dtype": dtype.name,
+                "input_tokens": input_len,
+                "baremetal_tput_tok_s": base.throughput_tok_s,
+                "tdx_overhead_pct": 100 * overall,
+                "tdx_decode_overhead_pct": 100 * decode_only,
+            })
+    return {"rows": rows, "series": series}
+
+
+def test_fig10_input_scaling(benchmark):
+    data = run_once(benchmark, regenerate)
+    print_rows("Fig. 10: input-size scaling (bs=64, EMR2)", data["rows"])
+    series = data["series"]
+
+    for dtype in ("bf16", "int8"):
+        # Overall overhead decreases with input size up to 2048.
+        # int8 saturates at a ~4.4% floor almost immediately, so allow
+        # sub-0.1-point wiggle around the floor.
+        overall = [series[(dtype, n)][0] for n in INPUTS if n <= 2048]
+        assert all(later <= earlier + 1e-3
+                   for earlier, later in zip(overall, overall[1:])), dtype
+        # Decode-only overhead rises in the KV-spill regime.
+        decode_small = series[(dtype, 128)][1]
+        decode_large = series[(dtype, 3584)][1]
+        assert decode_large > decode_small, dtype
+        # The terminal decode regime returns to small-batch-like
+        # overheads (paper: "similar to smaller batch sizes").
+        assert decode_large > 0.07, dtype
+
+    # Raw throughput decreases with input size (more prefill + KV work).
+    rows = {(row["dtype"], row["input_tokens"]): row for row in data["rows"]}
+    assert (rows[("bf16", 32)]["baremetal_tput_tok_s"]
+            > rows[("bf16", 3584)]["baremetal_tput_tok_s"])

@@ -1,0 +1,104 @@
+"""Fig. 12 — vCPU scaling and cost of generating 1M tokens on EMR2.
+
+128 in/out tokens, bf16, single socket; GCP spot prices with 128 GB of
+memory fixed; one physical core = one billed vCPU.  Paper: the workload
+is compute-bound until ~32 cores; memory cost dominates small instances;
+larger batches make bigger machines economical; the cGPU is up to ~100%
+more expensive at batch 1 and the CPU advantage fades as batch grows
+(the paper's crossover lands at batch ~128; our simulator crosses
+earlier — see EXPERIMENTS.md).
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment, gpu_deployment
+from repro.core.overhead import throughput_overhead
+from repro.cost.efficiency import best_cpu_point, cpu_cost_point, gpu_cost_point
+from repro.cost.pricing import GCP_SPOT_US_EAST1
+from repro.engine.placement import Workload
+from repro.engine.roofline import cost_model_for
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+from repro.llm.graph import decode_step_ops
+
+BATCHES = (1, 16, 64, 128)
+CORES = (8, 16, 24, 32, 40, 48, 56)
+
+
+def regenerate() -> dict:
+    rows = []
+    best_points = {}
+    gpu_points = {}
+    compute_bound_knee = {}
+    for batch in BATCHES:
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                            input_tokens=128, output_tokens=128)
+        points = []
+        for cores in CORES:
+            deployment = cpu_deployment("tdx", sockets_used=1,
+                                        cores_per_socket_used=cores)
+            base = cpu_deployment("baremetal", sockets_used=1,
+                                  cores_per_socket_used=cores)
+            tdx = simulate_generation(workload, deployment)
+            baseline = simulate_generation(workload, base)
+            point = cpu_cost_point(tdx, vcpus=cores,
+                                   catalog=GCP_SPOT_US_EAST1)
+            points.append(point)
+            rows.append({
+                "batch": batch,
+                "vcpus": cores,
+                "tput_tok_s": tdx.throughput_tok_s,
+                "tdx_overhead_pct": 100 * throughput_overhead(
+                    tdx, baseline, include_prefill=True),
+                "usd_per_mtok": point.usd_per_mtok,
+            })
+        best_points[batch] = best_cpu_point(points)
+        cgpu = simulate_generation(workload, gpu_deployment())
+        gpu_points[batch] = gpu_cost_point(cgpu, GCP_SPOT_US_EAST1)
+
+        # Locate the compute/memory-bound knee for this batch.
+        model = cost_model_for(cpu_deployment("baremetal", sockets_used=1))
+        from repro.engine.simulator import _working_sets
+        ops = decode_step_ops(LLAMA2_7B, BFLOAT16, batch, 192)
+        knee = None
+        for cores in CORES:
+            deployment = cpu_deployment("baremetal", sockets_used=1,
+                                        cores_per_socket_used=cores)
+            step = cost_model_for(deployment).step_cost(
+                ops, _working_sets(workload, deployment, 192, ops), BFLOAT16)
+            if not step.is_compute_bound():
+                knee = cores
+                break
+        compute_bound_knee[batch] = knee
+    return {"rows": rows, "best": best_points, "gpu": gpu_points,
+            "knee": compute_bound_knee}
+
+
+def test_fig12_vcpu_cost(benchmark):
+    data = run_once(benchmark, regenerate)
+    print_rows("Fig. 12: vCPU scaling and $/Mtok (TDX, EMR2)", data["rows"])
+    for batch in BATCHES:
+        best = data["best"][batch]
+        gpu = data["gpu"][batch]
+        print(f"batch {batch}: best CPU {best.vcpus}c "
+              f"${best.usd_per_mtok:.3f}/Mtok vs cGPU "
+              f"${gpu.usd_per_mtok:.3f}/Mtok "
+              f"(cGPU {100 * (gpu.usd_per_mtok / best.usd_per_mtok - 1):+.0f}%)")
+
+    # Batch 64 stays compute-bound until ~32 cores (paper's knee).
+    assert data["knee"][64] is not None and 24 <= data["knee"][64] <= 48
+
+    # Batch 1: cGPU substantially more expensive (paper: up to ~100%).
+    ratio_1 = (data["gpu"][1].usd_per_mtok
+               / data["best"][1].usd_per_mtok)
+    assert ratio_1 > 1.7
+
+    # The CPU advantage fades monotonically with batch size and flips.
+    ratios = [data["gpu"][batch].usd_per_mtok
+              / data["best"][batch].usd_per_mtok for batch in BATCHES]
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[-1] < 1.0  # crossover reached by batch 128
+
+    # Larger batches favour more cores (optimal core count rises).
+    assert data["best"][128].vcpus >= data["best"][1].vcpus

@@ -1,0 +1,72 @@
+"""Fig. 13 — cost of generation vs input size at batch 4 on EMR2.
+
+128 output tokens, bf16, single socket, best core count per point;
+throughput includes the first token.  Paper: CPU TEEs are considerably
+more sensitive to input size than cGPUs — the attention cost grows
+quadratically with input — so the CPU cost advantage collapses from a
+large positive margin to negative within a few doublings of the input.
+"""
+
+from helpers import print_rows, run_once
+
+from repro.core.experiment import cpu_deployment, gpu_deployment
+from repro.cost.efficiency import best_cpu_point, cpu_cost_point, gpu_cost_point
+from repro.cost.pricing import GCP_SPOT_US_EAST1
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+INPUTS = (32, 64, 128, 256, 512, 1024, 2048)
+CORES = (8, 16, 24, 32, 48)
+
+
+def regenerate() -> dict:
+    rows = []
+    advantage = {}
+    for input_len in INPUTS:
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=4,
+                            input_tokens=input_len, output_tokens=128)
+        points = []
+        for cores in CORES:
+            tdx = simulate_generation(workload, cpu_deployment(
+                "tdx", sockets_used=1, cores_per_socket_used=cores))
+            points.append(cpu_cost_point(tdx, vcpus=cores,
+                                         catalog=GCP_SPOT_US_EAST1))
+        best = best_cpu_point(points)
+        cgpu = simulate_generation(workload, gpu_deployment())
+        gpu_point = gpu_cost_point(cgpu, GCP_SPOT_US_EAST1)
+        advantage[input_len] = gpu_point.usd_per_mtok / best.usd_per_mtok - 1
+        rows.append({
+            "input_tokens": input_len,
+            "best_cpu_cores": best.vcpus,
+            "cpu_usd_per_mtok": best.usd_per_mtok,
+            "cgpu_usd_per_mtok": gpu_point.usd_per_mtok,
+            "cpu_advantage_pct": 100 * advantage[input_len],
+        })
+    return {"rows": rows, "advantage": advantage}
+
+
+def test_fig13_input_cost(benchmark):
+    data = run_once(benchmark, regenerate)
+    print_rows("Fig. 13: input-size cost scaling (bs=4, EMR2)", data["rows"])
+    advantage = data["advantage"]
+
+    # Strong CPU advantage at small inputs (paper reports +86%).
+    assert advantage[32] > 0.6
+
+    # Monotone decline with input size...
+    ordered = [advantage[n] for n in INPUTS]
+    assert ordered == sorted(ordered, reverse=True)
+
+    # ...crossing to negative within the sweep (paper: a doubling of the
+    # input flips the margin from +86% to -10%).
+    assert advantage[2048] < 0.0
+
+    # CPU cost is more input-sensitive than cGPU cost.
+    rows = {row["input_tokens"]: row for row in data["rows"]}
+    cpu_growth = (rows[2048]["cpu_usd_per_mtok"]
+                  / rows[32]["cpu_usd_per_mtok"])
+    gpu_growth = (rows[2048]["cgpu_usd_per_mtok"]
+                  / rows[32]["cgpu_usd_per_mtok"])
+    assert cpu_growth > 1.5 * gpu_growth

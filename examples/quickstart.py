@@ -1,0 +1,58 @@
+"""Quickstart: measure TEE overheads for Llama2-7B inference.
+
+Reproduces the paper's headline result (Fig. 1): running a full LLM
+inference pipeline inside a CPU TEE costs single-digit percent
+throughput, far from the orders of magnitude of cryptographic
+alternatives.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Workload, cpu_deployment, gpu_deployment, simulate_generation
+from repro.core.metrics import latency_stats
+from repro.core.overhead import compare, throughput_overhead
+from repro.llm import BFLOAT16, LLAMA2_7B
+
+
+def main() -> None:
+    # The paper's throughput workload: 1024 input tokens, 128 output,
+    # batch 6 with beam 4, bfloat16.
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6,
+                        input_tokens=1024, output_tokens=128, beam_size=4)
+
+    print(f"Workload: {workload.model.name}, {workload.dtype.name}, "
+          f"batch {workload.batch_size} x beam {workload.beam_size}, "
+          f"{workload.input_tokens}/{workload.output_tokens} tokens\n")
+
+    print("CPU TEEs (single-socket Emerald Rapids, IPEX + AMX):")
+    results = {}
+    for backend in ("baremetal", "vm", "sgx", "tdx"):
+        deployment = cpu_deployment(backend, sockets_used=1)
+        results[backend] = simulate_generation(workload, deployment)
+        result = results[backend]
+        stats = latency_stats(result.latency_samples_s)
+        print(f"  {backend:10s} {result.decode_throughput_tok_s:7.1f} tok/s"
+              f"   {stats.mean_s * 1e3:6.1f} ms/token"
+              f"   (outliers filtered: {stats.outliers_removed:.2%})")
+
+    print("\nOverheads vs bare metal:")
+    for backend in ("vm", "sgx", "tdx"):
+        report = compare(results[backend], results["baremetal"])
+        tput, lat = report.as_percent()
+        print(f"  {backend:10s} throughput +{tput:4.1f}%   latency +{lat:4.1f}%")
+
+    print("\nGPU TEE (H100 NVL, confidential compute):")
+    gpu_workload = workload.with_(beam_size=1)
+    gpu = simulate_generation(gpu_workload, gpu_deployment(confidential=False))
+    cgpu = simulate_generation(gpu_workload, gpu_deployment(confidential=True))
+    overhead = throughput_overhead(cgpu, gpu, include_prefill=True)
+    print(f"  raw GPU  {gpu.throughput_tok_s:8.1f} tok/s")
+    print(f"  cGPU     {cgpu.throughput_tok_s:8.1f} tok/s  "
+          f"(CC overhead +{100 * overhead:.1f}%)")
+
+    print("\nConclusion: every TEE stays within single-digit-percent "
+          "throughput overhead\n(the paper's Insight 4 and Insight 10).")
+
+
+if __name__ == "__main__":
+    main()

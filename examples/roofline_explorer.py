@@ -1,0 +1,59 @@
+"""Roofline explorer: the physics behind the paper's figures.
+
+Prints, for every registered decoder model, the static quantities the
+analysis keeps returning to — weight footprint, KV growth, decode
+arithmetic intensity, the hard memory-bandwidth throughput ceiling on
+CPU and GPU, and the batch size at which decode turns compute-bound.
+
+Run:  python examples/roofline_explorer.py
+"""
+
+from repro.engine import calibration as cal
+from repro.hardware import EMR2, H100_NVL
+from repro.hardware.engines import AMX_RATES
+from repro.llm import BFLOAT16, INT8, all_models
+from repro.llm.analysis import (
+    compute_bound_batch,
+    memory_floor_tok_s,
+    summarize,
+)
+
+
+def main() -> None:
+    cpu_bw = EMR2.mem_bw_per_socket * cal.FRAMEWORK_MEM_EFF["ipex"]
+    cpu_flops = (AMX_RATES.rate_for(BFLOAT16) * EMR2.clock_hz
+                 * EMR2.cores_per_socket * cal.FRAMEWORK_MFU[("ipex", "amx")])
+    gpu_bw = H100_NVL.hbm_bw * cal.FRAMEWORK_MEM_EFF["vllm-gpu"]
+
+    print(f"{'model':14s} {'dtype':5s} {'weights':>8s} {'KV/tok':>8s} "
+          f"{'AI(bs1)':>8s} {'CPU ceil':>9s} {'GPU ceil':>9s} "
+          f"{'CB batch':>9s}")
+    for model in all_models():
+        if model.encoder_only:
+            continue
+        for dtype in (BFLOAT16, INT8):
+            summary = summarize(model, dtype)
+            cpu_floor = memory_floor_tok_s(model, dtype, cpu_bw)
+            gpu_floor = memory_floor_tok_s(model, dtype, gpu_bw)
+            crossover = compute_bound_batch(model, dtype, cpu_flops, cpu_bw,
+                                            context_len=192)
+            print(f"{summary.model:14s} {summary.dtype:5s} "
+                  f"{summary.weight_gb:6.1f}GB "
+                  f"{summary.kv_bytes_per_token / 1024:6.0f}KB "
+                  f"{summary.decode_intensity:8.2f} "
+                  f"{cpu_floor:7.1f}/s {gpu_floor:7.1f}/s "
+                  f"{str(crossover or '-'):>9s}")
+
+    print("\nReading the table:")
+    print("  - AI(bs1) ~ 1 flop/byte: batch-1 decode is memory-bound "
+          "everywhere, so TEE\n    memory-encryption derates land almost "
+          "fully on the latency (Figs. 4, 9).")
+    print("  - 'CPU ceil'/'GPU ceil' are weight-streaming ceilings: no "
+          "software exceeds\n    bandwidth/weights tokens/s at batch 1.")
+    print("  - 'CB batch' is where decode turns compute-bound on EMR2 — "
+          "past it, TDX\n    overheads shrink toward the virtualization "
+          "tax (Insight 9).")
+
+
+if __name__ == "__main__":
+    main()

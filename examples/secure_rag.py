@@ -1,0 +1,59 @@
+"""Secure RAG: a full retrieval pipeline inside TDX (paper §VI).
+
+Builds a BEIR-like corpus, indexes it in the Elasticsearch-style
+inverted index, runs the three retrieval models (BM25, reranked BM25,
+SBERT dense) end to end — real rankings with nDCG quality — and compares
+per-query time on bare metal vs inside TDX.
+
+Run:  python examples/secure_rag.py
+"""
+
+from repro import cpu_deployment
+from repro.rag import (
+    RAG_METHODS,
+    build_retrievers,
+    evaluate_pipeline,
+    generate_corpus,
+)
+
+
+def main() -> None:
+    print("Building a 1000-document BEIR-like corpus...")
+    corpus = generate_corpus(num_docs=1000, num_topics=12, num_queries=30,
+                             seed=7)
+    retrievers = build_retrievers(corpus)
+    index = retrievers["_index"]
+    print(f"  {corpus.num_documents} docs, vocabulary "
+          f"{index.vocabulary_size}, avg doc length "
+          f"{index.average_doc_length:.0f} tokens, "
+          f"{len(corpus.queries)} queries\n")
+
+    baseline = cpu_deployment("baremetal", sockets_used=1)
+    tdx = cpu_deployment("tdx", sockets_used=1)
+
+    print(f"{'method':16s} {'nDCG@10':>8s} {'bare ms/q':>10s} "
+          f"{'TDX ms/q':>10s} {'overhead':>9s}")
+    for method in RAG_METHODS:
+        base = evaluate_pipeline(corpus, method, baseline,
+                                 retrievers=retrievers, seed=1)
+        secure = evaluate_pipeline(corpus, method, tdx,
+                                   retrievers=retrievers, seed=1001)
+        overhead = secure.mean_query_time_s / base.mean_query_time_s - 1
+        print(f"{method:16s} {base.mean_ndcg_at_10:8.3f} "
+              f"{base.mean_query_time_s * 1e3:10.2f} "
+              f"{secure.mean_query_time_s * 1e3:10.2f} "
+              f"{overhead:+9.1%}")
+
+    example_query = next(iter(corpus.queries.values()))
+    hits = retrievers["bm25"].retrieve(example_query, k=3)
+    print(f"\nExample query: '{example_query[:50]}...'")
+    for hit in hits:
+        print(f"  {hit.doc_id}: score {hit.score:.2f}")
+
+    print("\nInsight 12: the entire RAG pipeline — database included — "
+          "pays LLM-like\nsingle-digit TEE overheads, so confidential "
+          "retrieval is practical today.")
+
+
+if __name__ == "__main__":
+    main()

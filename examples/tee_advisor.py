@@ -1,0 +1,78 @@
+"""TEE advisor: pick the right TEE for a confidential LLM workload.
+
+Combines the paper's three comparison axes — security (Table I),
+performance (Figs. 4/11), and cost (Figs. 12-13) — into a per-workload
+recommendation, including the strict-security case where H100's
+unencrypted HBM disqualifies the cGPU (Insight 11).
+
+Run:  python examples/tee_advisor.py
+"""
+
+from dataclasses import dataclass
+
+from repro import Workload, cpu_deployment, gpu_deployment, simulate_generation
+from repro.core import render_summary_table
+from repro.core.overhead import throughput_overhead
+from repro.cost import GCP_SPOT_US_EAST1, cpu_cost_point, gpu_cost_point
+from repro.llm import BFLOAT16, LLAMA2_7B
+from repro.tee import backend_by_name
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    batch_size: int
+    input_tokens: int
+    requires_encrypted_accelerator_memory: bool
+
+
+SCENARIOS = (
+    Scenario("clinical notes, interactive", 1, 256, True),
+    Scenario("fraud screening, micro-batches", 8, 128, False),
+    Scenario("document pipeline, bulk", 64, 1024, False),
+)
+
+
+def advise(scenario: Scenario) -> str:
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=scenario.batch_size,
+                        input_tokens=scenario.input_tokens, output_tokens=128)
+    tdx = simulate_generation(workload, cpu_deployment(
+        "tdx", sockets_used=1, cores_per_socket_used=32))
+    base = simulate_generation(workload, cpu_deployment(
+        "baremetal", sockets_used=1, cores_per_socket_used=32))
+    cpu_point = cpu_cost_point(tdx, vcpus=32, catalog=GCP_SPOT_US_EAST1)
+    cgpu = simulate_generation(workload, gpu_deployment())
+    gpu_point = gpu_cost_point(cgpu, GCP_SPOT_US_EAST1)
+    overhead = throughput_overhead(tdx, base, include_prefill=True)
+
+    print(f"\n{scenario.name}")
+    print(f"  batch {scenario.batch_size}, input {scenario.input_tokens}; "
+          f"TDX overhead {overhead:.1%}; "
+          f"TDX ${cpu_point.usd_per_mtok:.2f}/Mtok vs "
+          f"cGPU ${gpu_point.usd_per_mtok:.2f}/Mtok")
+
+    if scenario.requires_encrypted_accelerator_memory:
+        tdx_profile = backend_by_name("tdx").security_profile()
+        cgpu_profile = backend_by_name("cgpu").security_profile()
+        assert tdx_profile.stricter_than(cgpu_profile)
+        return ("TDX — the H100's HBM is unencrypted, so strict-security "
+                "workloads must stay on CPU TEEs (Insight 11).")
+    if cpu_point.usd_per_mtok <= gpu_point.usd_per_mtok:
+        return (f"TDX — {gpu_point.usd_per_mtok / cpu_point.usd_per_mtok - 1:.0%} "
+                "cheaper at this intensity, with the stricter security "
+                "model as a bonus.")
+    return (f"cGPU — compute intensity is high enough that the H100 wins "
+            f"on cost ({cpu_point.usd_per_mtok / gpu_point.usd_per_mtok - 1:.0%} "
+            "cheaper than TDX); accept the HBM/NVLink caveats or wait "
+            "for B100-class parts.")
+
+
+def main() -> None:
+    print("Systems summary (Table I):\n")
+    print(render_summary_table())
+    for scenario in SCENARIOS:
+        print(f"  -> {advise(scenario)}")
+
+
+if __name__ == "__main__":
+    main()

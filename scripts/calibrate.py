@@ -1,0 +1,156 @@
+"""Calibration sweep: print every paper anchor vs the simulator."""
+
+from repro import Workload, cpu_deployment, gpu_deployment, simulate_generation
+from repro.core.overhead import compare, latency_overhead, throughput_overhead
+from repro.cost import GCP_SPOT_US_EAST1, cost_per_million_tokens, cpu_cost_point, gpu_cost_point
+from repro.frameworks import cpu_frameworks, framework_by_name
+from repro.hardware import EMR1, EMR2
+from repro.llm import BFLOAT16, FLOAT32, INT8, LLAMA2_7B, LLAMA2_70B, VALIDATION_MODELS
+from repro.memsim import HugepagePolicy, NumaPolicy
+
+
+def sim(w, d, **kw):
+    return simulate_generation(w, d, **kw)
+
+
+print("=== Fig 3: frameworks (EMR1, 1024/128, bs=1) ===")
+w = Workload(LLAMA2_7B, BFLOAT16, 1, 1024, 128)
+for fw_name, dt in [("hf", FLOAT32), ("hf", BFLOAT16), ("vllm-cpu", FLOAT32),
+                    ("vllm-cpu", BFLOAT16), ("ipex", BFLOAT16), ("llamacpp", BFLOAT16)]:
+    d = cpu_deployment("baremetal", cpu=EMR1, framework=fw_name, sockets_used=1)
+    r = sim(w.with_(dtype=dt), d)
+    print(f"  {fw_name:10s} {dt.name:5s} total={r.total_time_s:6.1f}s")
+
+print("=== Fig 4: single socket EMR1 ===")
+wt = Workload(LLAMA2_7B, BFLOAT16, 6, 1024, 128, beam_size=4)
+wl = Workload(LLAMA2_7B, BFLOAT16, 1, 1024, 128)
+for dt in (BFLOAT16, INT8):
+    res = {}
+    for b in ("baremetal", "vm", "sgx", "tdx"):
+        res[b] = (sim(wt.with_(dtype=dt), cpu_deployment(b, cpu=EMR1, sockets_used=1)),
+                  sim(wl.with_(dtype=dt), cpu_deployment(b, cpu=EMR1, sockets_used=1)))
+    for b in ("vm", "sgx", "tdx"):
+        to = throughput_overhead(res[b][0], res["baremetal"][0])
+        lo = latency_overhead(res[b][1], res["baremetal"][1], filtered=False)
+        print(f"  {dt.name:5s} {b:4s}: tput_ovh={to:6.2%} lat_ovh={lo:6.2%} "
+              f"(lat={res[b][1].next_token_latency_s*1e3:.0f}ms tput={res[b][0].decode_throughput_tok_s:.1f})")
+    tdx_over_vm = throughput_overhead(res["tdx"][0], res["vm"][0])
+    print(f"  {dt.name:5s} tdx-over-vm tput: {tdx_over_vm:.2%}")
+
+print("=== Fig 5: 70B two-socket NUMA (EMR1) ===")
+w70 = Workload(LLAMA2_70B, BFLOAT16, 1, 1024, 64)
+vm_b = cpu_deployment("vm", cpu=EMR1, sockets_used=2, hugepages=HugepagePolicy.TRANSPARENT_2M)
+vm_nb = cpu_deployment("vm-unbound", cpu=EMR1, sockets_used=2, hugepages=HugepagePolicy.TRANSPARENT_2M)
+tdx2 = cpu_deployment("tdx", cpu=EMR1, sockets_used=2)
+r_b, r_nb, r_t = sim(w70, vm_b), sim(w70, vm_nb), sim(w70, tdx2)
+print(f"  VM B lat={r_b.next_token_latency_s*1e3:.0f}ms  VM NB={r_nb.next_token_latency_s*1e3:.0f}ms  TDX={r_t.next_token_latency_s*1e3:.0f}ms")
+print(f"  TDX over VM B: lat {latency_overhead(r_t, r_b, filtered=False):.1%}, between? {r_b.next_token_latency_s < r_t.next_token_latency_s < r_nb.next_token_latency_s}")
+
+print("=== Fig 6: two-socket hugepages (7B, EMR1) ===")
+base2 = cpu_deployment("baremetal", cpu=EMR1, sockets_used=2, hugepages=HugepagePolicy.RESERVED_1G)
+vm_fh = cpu_deployment("vm", cpu=EMR1, sockets_used=2, hugepages=HugepagePolicy.RESERVED_1G)
+vm_th = cpu_deployment("vm", cpu=EMR1, sockets_used=2, hugepages=HugepagePolicy.TRANSPARENT_2M)
+tdx2 = cpu_deployment("tdx", cpu=EMR1, sockets_used=2, hugepages=HugepagePolicy.RESERVED_1G)
+for label, d in [("vm_fh", vm_fh), ("vm_th", vm_th), ("tdx", tdx2)]:
+    rt = sim(wt, d); rl = sim(wl, d)
+    bt = sim(wt, base2); bl = sim(wl, base2)
+    print(f"  {label}: tput_ovh={throughput_overhead(rt, bt):.2%} lat_ovh={latency_overhead(rl, bl, filtered=False):.2%}")
+r_th_t, r_fh_t = sim(wt, vm_th), sim(wt, vm_fh)
+print(f"  VM TH over VM FH tput: {throughput_overhead(r_th_t, r_fh_t):.2%}")
+r_tdx_t = sim(wt, tdx2)
+print(f"  TDX over VM TH tput: {throughput_overhead(r_tdx_t, r_th_t):.2%}")
+
+print("=== SGX two-socket (should blow up ~230%) ===")
+sgx2 = cpu_deployment("sgx", cpu=EMR1, sockets_used=2)
+r_sgx2 = sim(wt, sgx2)
+print(f"  SGX 2S tput_ovh vs baremetal 2S: {throughput_overhead(r_sgx2, sim(wt, base2)):.1%}")
+
+print("=== Fig 8: AMX (EMR2, 128/128) ===")
+for bs in (1, 16, 64, 256):
+    wb = Workload(LLAMA2_7B, BFLOAT16, bs, 128, 128)
+    amx = sim(wb, cpu_deployment("vm", sockets_used=1))
+    noamx = sim(wb, cpu_deployment("vm", sockets_used=1, amx_enabled=False))
+    adv = noamx.decode_throughput_tok_s and amx.decode_throughput_tok_s / noamx.decode_throughput_tok_s
+    t_amx = throughput_overhead(sim(wb, cpu_deployment("tdx", sockets_used=1)), amx)
+    t_no = throughput_overhead(sim(wb, cpu_deployment("tdx", sockets_used=1, amx_enabled=False)), noamx)
+    print(f"  bf16 bs={bs:4d}: AMX adv={adv:5.2f}x  tdx_ovh amx={t_amx:.2%} noamx={t_no:.2%}")
+# int8 fallback
+wi = Workload(LLAMA2_7B, INT8, 64, 128, 128)
+amx_t = sim(wi, cpu_deployment("vm", sockets_used=1))
+no_t = sim(wi, cpu_deployment("vm", sockets_used=1, amx_enabled=False))
+print(f"  int8 bs=64 1S no-AMX tput overhead vs AMX: {throughput_overhead(no_t, amx_t):.1%}")
+wi1 = Workload(LLAMA2_7B, INT8, 1, 128, 128)
+amx_l = sim(wi1, cpu_deployment("vm", sockets_used=2))
+no_l = sim(wi1, cpu_deployment("vm", sockets_used=2, amx_enabled=False))
+print(f"  int8 bs=1 2S no-AMX latency overhead vs AMX: {latency_overhead(no_l, amx_l, filtered=False):.0%}")
+
+print("=== Fig 9: batch scaling (EMR2, 128/128, 1 socket tput) ===")
+for dt in (BFLOAT16, INT8):
+    prev = None
+    for bs in (1, 4, 16, 64, 128, 256, 512):
+        wb = Workload(LLAMA2_7B, dt, bs, 128, 128)
+        base = sim(wb, cpu_deployment("baremetal", sockets_used=1))
+        tdx = sim(wb, cpu_deployment("tdx", sockets_used=1))
+        ovh = throughput_overhead(tdx, base)
+        print(f"  {dt.name} bs={bs:4d}: base_tput={base.decode_throughput_tok_s:8.1f} tdx_ovh={ovh:6.2%}")
+
+print("=== Fig 10: input scaling (EMR2, bs=64, 128 out) ===")
+for inp in (32, 128, 256, 512, 1024, 2048, 3584):
+    wb = Workload(LLAMA2_7B, BFLOAT16, 64, inp, 128)
+    base = sim(wb, cpu_deployment("baremetal", sockets_used=1))
+    tdx = sim(wb, cpu_deployment("tdx", sockets_used=1))
+    print(f"  input={inp:5d}: tdx tput_ovh={throughput_overhead(tdx, base, include_prefill=True):6.2%} "
+          f"(decode-only {throughput_overhead(tdx, base):6.2%}) base_tput={base.throughput_tok_s:8.1f}")
+
+print("=== Fig 11: cGPU (H100, vLLM) ===")
+for bs in (1, 4, 16, 64):
+    for inp in (128, 512, 2048):
+        wb = Workload(LLAMA2_7B, BFLOAT16, bs, inp, 128)
+        gpu = sim(wb, gpu_deployment(confidential=False))
+        cgpu = sim(wb, gpu_deployment(confidential=True))
+        print(f"  bs={bs:3d} in={inp:5d}: cgpu_ovh={throughput_overhead(cgpu, gpu, include_prefill=True):6.2%} gpu_tput={gpu.throughput_tok_s:9.1f}")
+
+print("=== Fig 12: vCPU scaling + cost (EMR2, 128/128 bf16) ===")
+for bs in (1, 16, 64, 128):
+    wb = Workload(LLAMA2_7B, BFLOAT16, bs, 128, 128)
+    best = None
+    for cores in (8, 16, 24, 32, 40, 48, 56):
+        tdx = sim(wb, cpu_deployment("tdx", sockets_used=1, cores_per_socket_used=cores))
+        pt = cpu_cost_point(tdx, vcpus=cores, catalog=GCP_SPOT_US_EAST1)
+        if best is None or pt.usd_per_mtok < best.usd_per_mtok:
+            best = pt
+    cgpu = sim(wb, gpu_deployment(confidential=True))
+    gp = gpu_cost_point(cgpu, catalog=GCP_SPOT_US_EAST1)
+    print(f"  bs={bs:4d}: best CPU {best.vcpus}c ${best.usd_per_mtok:7.3f}/Mtok  cGPU ${gp.usd_per_mtok:7.3f}/Mtok  cgpu_extra={gp.usd_per_mtok/best.usd_per_mtok-1:.0%}")
+
+print("=== Fig 13: input scaling cost (bs=4) ===")
+for inp in (32, 64, 128, 256, 512, 1024, 2048):
+    wb = Workload(LLAMA2_7B, BFLOAT16, 4, inp, 128)
+    pt = None
+    for cores in (8, 16, 24, 32, 48):
+        tdx = sim(wb, cpu_deployment("tdx", sockets_used=1, cores_per_socket_used=cores))
+        c = cpu_cost_point(tdx, vcpus=cores, catalog=GCP_SPOT_US_EAST1)
+        if pt is None or c.usd_per_mtok < pt.usd_per_mtok:
+            pt = c
+    cgpu = sim(wb, gpu_deployment(confidential=True))
+    gp = gpu_cost_point(cgpu, catalog=GCP_SPOT_US_EAST1)
+    print(f"  in={inp:5d}: CPU ${pt.usd_per_mtok:7.3f} cGPU ${gp.usd_per_mtok:7.3f} cgpu_extra={gp.usd_per_mtok/pt.usd_per_mtok-1:+.0%}")
+
+print("=== multi-model validation (TDX 1S, 3.1-13.1%) ===")
+for m in VALIDATION_MODELS:
+    wm = Workload(m, BFLOAT16, 1, 1024, 64)
+    base = sim(wm, cpu_deployment("baremetal", sockets_used=1))
+    tdx = sim(wm, cpu_deployment("tdx", sockets_used=1))
+    print(f"  {m.name:14s}: tdx tput_ovh={throughput_overhead(tdx, base):.2%}")
+
+print("=== SNC ablation ===")
+wb = Workload(LLAMA2_7B, BFLOAT16, 6, 1024, 64, beam_size=4)
+base_snc = sim(wb, cpu_deployment("baremetal", sockets_used=1, snc_clusters=2))
+tdx_snc = sim(wb, cpu_deployment("tdx", sockets_used=1, snc_clusters=2))
+base_no = sim(wb, cpu_deployment("baremetal", sockets_used=1))
+tdx_no = sim(wb, cpu_deployment("tdx", sockets_used=1))
+print(f"  no SNC: {throughput_overhead(tdx_no, base_no):.1%}  SNC: {throughput_overhead(tdx_snc, base_snc):.1%}")
+
+print("=== RAG (Fig 14) ===")
+from repro.rag import rag_tdx_overheads
+print(" ", rag_tdx_overheads(num_docs=300, num_queries=10, seed=1))

@@ -1,0 +1,23 @@
+"""Generate the live reproduction report (markdown) to stdout or a file.
+
+Usage:
+    python scripts/make_report.py [output.md]
+"""
+
+import sys
+
+from repro.core.report import headline_report
+
+
+def main() -> None:
+    report = headline_report()
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as handle:
+            handle.write(report)
+        print(f"wrote {sys.argv[1]}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

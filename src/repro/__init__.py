@@ -1,0 +1,50 @@
+"""repro — reproduction of "Confidential LLM Inference: Performance and
+Cost Across CPU and GPU TEEs" (IISWC 2025).
+
+The package simulates end-to-end LLM inference inside CPU TEEs (Intel
+TDX and SGX) and GPU TEEs (NVIDIA H100 confidential compute) from
+mechanism-level models — memory encryption, nested page walks, TLB and
+hugepage behaviour, NUMA placement, EPC paging, PCIe bounce buffers —
+plus functional substrates: a numpy reference transformer, Gramine/QEMU
+configuration tooling, an attestation flow, and a working RAG stack.
+
+Quick start::
+
+    from repro import Workload, cpu_deployment, simulate_generation
+    from repro.llm import LLAMA2_7B, BFLOAT16
+
+    w = Workload(LLAMA2_7B, BFLOAT16, batch_size=6, beam_size=4)
+    result = simulate_generation(w, cpu_deployment("tdx", sockets_used=1))
+    print(result.decode_throughput_tok_s)
+"""
+
+from .core import (
+    ConfidentialPipeline,
+    Experiment,
+    ExperimentResult,
+    cpu_deployment,
+    gpu_deployment,
+    latency_stats,
+    render_summary_table,
+    verify_all_insights,
+)
+from .engine import (
+    CpuPlacement,
+    Deployment,
+    GenerationResult,
+    GpuPlacement,
+    Workload,
+    simulate_encode,
+    simulate_generation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfidentialPipeline", "Experiment", "ExperimentResult",
+    "cpu_deployment", "gpu_deployment", "latency_stats",
+    "render_summary_table", "verify_all_insights",
+    "CpuPlacement", "Deployment", "GenerationResult", "GpuPlacement",
+    "Workload", "simulate_encode", "simulate_generation",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+    report     Print the live reproduction report (Fig. 4 bands, the
+               cGPU band, Table I, and the 12 insight checks).
+    insights   Run only the 12 insight checks.
+    threats    Print the threat-coverage matrix per backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core.report import headline_report
+    print(headline_report(output_tokens=args.output_tokens))
+    return 0
+
+
+def _cmd_insights(args: argparse.Namespace) -> int:
+    del args
+    from .core.insights import verify_all_insights
+    failures = 0
+    for check in verify_all_insights():
+        status = "ok  " if check.holds else "FAIL"
+        print(f"[{status}] {check.number:2d}. {check.statement}")
+        print(f"         {check.evidence}")
+        failures += not check.holds
+    return 1 if failures else 0
+
+
+def _cmd_threats(args: argparse.Namespace) -> int:
+    del args
+    from .tee.threats import THREATS, coverage
+    backends = ("baremetal", "vm", "sgx", "tdx", "cgpu", "cgpu-b100")
+    width = max(len(t.name) for t in THREATS)
+    print("threat".ljust(width), *[b.rjust(10) for b in backends])
+    maps = {backend: coverage(backend) for backend in backends}
+    for threat in THREATS:
+        marks = ["yes".rjust(10) if maps[b][threat.name] else "-".rjust(10)
+                 for b in backends]
+        print(threat.name.ljust(width), *marks)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Confidential LLM Inference: "
+                    "Performance and Cost Across CPU and GPU TEEs'")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="live reproduction report")
+    report.add_argument("--output-tokens", type=int, default=64)
+    report.set_defaults(func=_cmd_report)
+
+    insights = sub.add_parser("insights", help="run the 12 insight checks")
+    insights.set_defaults(func=_cmd_insights)
+
+    threats = sub.add_parser("threats", help="threat coverage matrix")
+    threats.set_defaults(func=_cmd_threats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Deployment advisor: pick a TEE for a workload programmatically.
+
+Encodes the paper's decision logic (Table I + Insight 11 + Figs. 12-13)
+as a library call: given a workload and requirements — accelerator-
+memory encryption, a latency SLA, a development-effort cap — score the
+candidate deployments on security coverage, SLA attainment, and $/Mtok,
+and return a ranked recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost.efficiency import cost_per_million_tokens
+from ..cost.pricing import GCP_SPOT_US_EAST1, PAPER_MEMORY_GB, PriceCatalog
+from ..engine.placement import Workload
+from ..engine.simulator import simulate_generation
+from ..tee.base import backend_by_name
+from ..tee.threats import coverage_score, uncovered
+from .experiment import cpu_deployment, gpu_deployment
+from .metrics import HUMAN_READING_LATENCY_S
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """What the deployment must satisfy.
+
+    Attributes:
+        require_encrypted_accelerator_memory: Hard security requirement
+            (disqualifies H100 cGPUs, Insight 11).
+        max_latency_s: Next-token latency SLA (default: the paper's
+            200 ms/word human reading speed).
+        max_dev_effort: Highest acceptable development cost (Table I
+            scale 0-3; 2 excludes SGX's manifest/libOS work).
+    """
+
+    require_encrypted_accelerator_memory: bool = False
+    max_latency_s: float = HUMAN_READING_LATENCY_S
+    max_dev_effort: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_latency_s <= 0:
+            raise ValueError("max_latency_s must be positive")
+        if not 0 <= self.max_dev_effort <= 3:
+            raise ValueError("max_dev_effort must be in [0, 3]")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated deployment option."""
+
+    backend: str
+    vcpus: int
+    latency_s: float
+    throughput_tok_s: float
+    usd_per_mtok: float
+    security_coverage: float
+    meets_sla: bool
+    disqualified: str | None
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's output: best pick plus the full evaluated field."""
+
+    best: Candidate
+    candidates: tuple[Candidate, ...]
+    rationale: str
+
+
+_CPU_CORE_OPTIONS = (8, 16, 32)
+
+
+def _evaluate_cpu(workload: Workload, backend: str, cores: int,
+                  catalog: PriceCatalog,
+                  requirements: Requirements) -> Candidate:
+    deployment = cpu_deployment(backend, sockets_used=1,
+                                cores_per_socket_used=cores)
+    result = simulate_generation(workload, deployment)
+    price = catalog.cpu_instance_hr(cores, PAPER_MEMORY_GB)
+    profile = backend_by_name(backend).security_profile()
+    disqualified = None
+    if profile.development_cost > requirements.max_dev_effort:
+        disqualified = "development effort above cap"
+    return Candidate(
+        backend=backend, vcpus=cores,
+        latency_s=result.next_token_latency_s,
+        throughput_tok_s=result.throughput_tok_s,
+        usd_per_mtok=cost_per_million_tokens(result.throughput_tok_s, price),
+        security_coverage=coverage_score(backend),
+        meets_sla=result.next_token_latency_s <= requirements.max_latency_s,
+        disqualified=disqualified,
+    )
+
+
+def _evaluate_gpu(workload: Workload, backend: str, catalog: PriceCatalog,
+                  requirements: Requirements) -> Candidate:
+    deployment = gpu_deployment(backend=backend)
+    result = simulate_generation(workload, deployment)
+    disqualified = None
+    if requirements.require_encrypted_accelerator_memory:
+        open_threats = {threat.name for threat in uncovered(backend)}
+        if "accelerator-memory-scrape" in open_threats:
+            disqualified = "accelerator memory unencrypted"
+    return Candidate(
+        backend=backend, vcpus=0,
+        latency_s=result.next_token_latency_s,
+        throughput_tok_s=result.throughput_tok_s,
+        usd_per_mtok=cost_per_million_tokens(
+            result.throughput_tok_s, catalog.cgpu_instance_hr),
+        security_coverage=coverage_score(backend),
+        meets_sla=result.next_token_latency_s <= requirements.max_latency_s,
+        disqualified=disqualified,
+    )
+
+
+def recommend(workload: Workload,
+              requirements: Requirements | None = None,
+              catalog: PriceCatalog = GCP_SPOT_US_EAST1) -> Recommendation:
+    """Rank TEE deployments for a workload.
+
+    Only TEE-backed options are considered (the caller asked for
+    confidential inference); among the qualified, SLA-meeting options
+    the cheapest wins, with security coverage as the tiebreak.
+
+    Raises:
+        ValueError: If no candidate qualifies (nothing meets the hard
+            requirements).
+    """
+    requirements = requirements or Requirements()
+    candidates: list[Candidate] = []
+    for backend in ("sgx", "tdx"):
+        for cores in _CPU_CORE_OPTIONS:
+            candidates.append(_evaluate_cpu(workload, backend, cores,
+                                            catalog, requirements))
+    candidates.append(_evaluate_gpu(workload, "cgpu", catalog, requirements))
+
+    qualified = [c for c in candidates
+                 if c.disqualified is None and c.meets_sla]
+    if not qualified:
+        qualified = [c for c in candidates if c.disqualified is None]
+    if not qualified:
+        raise ValueError("no deployment satisfies the hard requirements")
+
+    best = min(qualified,
+               key=lambda c: (c.usd_per_mtok, -c.security_coverage))
+    rationale = (
+        f"{best.backend} ({best.vcpus or 'GPU'} "
+        f"{'cores' if best.vcpus else ''}): "
+        f"${best.usd_per_mtok:.2f}/Mtok at "
+        f"{best.latency_s * 1e3:.0f} ms/token, security coverage "
+        f"{best.security_coverage:.0%}")
+    return Recommendation(best=best, candidates=tuple(candidates),
+                          rationale=rationale)

@@ -1,0 +1,262 @@
+"""The paper's 12 insights as executable checks.
+
+Each check runs a small simulation (or inspects the model structure) and
+returns whether the insight holds in this reproduction, with evidence.
+``verify_all_insights()`` is the one-call regression gate used by tests
+and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.placement import Workload
+from ..hardware.cpu import EMR2
+from ..llm.config import LLAMA2_7B, LLAMA2_70B
+from ..llm.datatypes import BFLOAT16
+from ..memsim.pages import HugepagePolicy
+from ..tee.base import backend_by_name
+from .experiment import Experiment, cpu_deployment, gpu_deployment
+from .overhead import latency_overhead, throughput_overhead
+
+
+@dataclass(frozen=True)
+class InsightCheck:
+    """Outcome of one insight verification."""
+
+    number: int
+    statement: str
+    holds: bool
+    evidence: str
+
+
+def _small_workload(batch_size: int = 1, input_tokens: int = 256,
+                    output_tokens: int = 32) -> Workload:
+    return Workload(LLAMA2_7B, BFLOAT16, batch_size=batch_size,
+                    input_tokens=input_tokens, output_tokens=output_tokens)
+
+
+def _single_socket_experiment(**workload_kwargs: int) -> Experiment:
+    return Experiment(
+        name="insight", workload=_small_workload(**workload_kwargs),
+        deployments={
+            "baremetal": cpu_deployment("baremetal", sockets_used=1),
+            "vm": cpu_deployment("vm", sockets_used=1),
+            "sgx": cpu_deployment("sgx", sockets_used=1),
+            "tdx": cpu_deployment("tdx", sockets_used=1),
+        })
+
+
+def check_insight_1() -> InsightCheck:
+    """TEEs balance security, performance, programmability.
+
+    Evidence: a TEE's overhead stays within tens of percent while
+    homomorphic encryption is cited at up to 10,000x.
+    """
+    outcome = _single_socket_experiment().run()
+    worst = max(outcome.overhead(label).throughput_overhead
+                for label in ("sgx", "tdx"))
+    he_overhead = 10_000.0
+    holds = worst < 0.5 < he_overhead
+    return InsightCheck(1, "TEEs offer a practical balance between security, "
+                           "performance, and programmability.", holds,
+                        f"worst TEE throughput overhead {worst:.1%} vs ~10,000x for HE")
+
+
+def check_insight_2() -> InsightCheck:
+    """TDX is easier to work with than SGX (development cost)."""
+    sgx = backend_by_name("sgx").security_profile()
+    tdx = backend_by_name("tdx").security_profile()
+    holds = tdx.development_cost < sgx.development_cost
+    return InsightCheck(2, "TDX is considerably easier to work with than SGX.",
+                        holds,
+                        f"dev cost: TDX {tdx.development_cost} vs SGX "
+                        f"{sgx.development_cost}")
+
+
+def check_insight_3() -> InsightCheck:
+    """IPEX (AMX + oneCCL) roughly doubles CPU inference performance."""
+    from ..engine.simulator import simulate_generation
+    workload = _small_workload(input_tokens=1024)
+    ipex = simulate_generation(workload,
+                               cpu_deployment("baremetal", framework="ipex",
+                                              sockets_used=1))
+    hf = simulate_generation(workload,
+                             cpu_deployment("baremetal", framework="hf",
+                                            sockets_used=1))
+    speedup = hf.total_time_s / ipex.total_time_s
+    holds = speedup >= 1.8
+    return InsightCheck(3, "Leveraging IPEX (AMX, oneCCL) can double CPU "
+                           "inference performance.", holds,
+                        f"IPEX is {speedup:.2f}x faster than HF transformers")
+
+
+def check_insight_4() -> InsightCheck:
+    """TDX and SGX single-socket overheads land in the 4-10% band."""
+    outcome = _single_socket_experiment(input_tokens=1024,
+                                        output_tokens=64).run()
+    sgx = outcome.overhead("sgx").throughput_overhead
+    tdx = outcome.overhead("tdx").throughput_overhead
+    holds = 0.02 <= sgx <= 0.12 and 0.03 <= tdx <= 0.14
+    return InsightCheck(4, "TDX and SGX have overheads as low as 4-10% for "
+                           "cLLM inference.", holds,
+                        f"SGX {sgx:.1%}, TDX {tdx:.1%} throughput overhead")
+
+
+def check_insight_5() -> InsightCheck:
+    """SGX outperforms TDX; the virtualization tax is ~1-5%."""
+    outcome = _single_socket_experiment(input_tokens=1024,
+                                        output_tokens=64).run()
+    sgx = outcome.overhead("sgx").throughput_overhead
+    tdx = outcome.overhead("tdx").throughput_overhead
+    vm = outcome.overhead("vm").throughput_overhead
+    holds = sgx < tdx and 0.005 <= vm <= 0.08
+    return InsightCheck(5, "TDX pays a virtualization tax of 1-5%, making SGX "
+                           "more performant.", holds,
+                        f"SGX {sgx:.1%} < TDX {tdx:.1%}; VM tax {vm:.1%}")
+
+
+def check_insight_6() -> InsightCheck:
+    """Broken NUMA support degrades two-socket TEE performance."""
+    workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                        input_tokens=256, output_tokens=16)
+    experiment = Experiment(
+        name="i6", workload=workload,
+        deployments={
+            "baremetal": cpu_deployment("baremetal", sockets_used=2),
+            "tdx": cpu_deployment("tdx", sockets_used=2),
+            "sgx": cpu_deployment("sgx", sockets_used=2),
+        })
+    outcome = experiment.run()
+    tdx = outcome.overhead("tdx").latency_overhead
+    sgx = outcome.overhead("sgx").latency_overhead
+    single = _single_socket_experiment(output_tokens=16).run()
+    tdx_single = single.overhead("tdx").latency_overhead
+    holds = tdx > tdx_single and sgx > 1.0
+    return InsightCheck(6, "TDX and SGX do not properly support NUMA "
+                           "bindings, degrading multi-socket performance.",
+                        holds,
+                        f"TDX 2-socket {tdx:.1%} vs 1-socket {tdx_single:.1%}; "
+                        f"SGX 2-socket {sgx:.1%}")
+
+
+def check_insight_7() -> InsightCheck:
+    """TDX silently replaces reserved 1 GB hugepages with THP."""
+    tdx = backend_by_name("tdx")
+    resolved = tdx.resolve_hugepages(HugepagePolicy.RESERVED_1G)
+    holds = resolved is HugepagePolicy.TRANSPARENT_2M
+    return InsightCheck(7, "TDX uses self-allocated transparent hugepages and "
+                           "ignores manually reserved hugepages.", holds,
+                        f"requested 1G resolved to {resolved.value}")
+
+
+def check_insight_8() -> InsightCheck:
+    """AMX reduces both raw cost and TDX overhead.
+
+    Uses the paper's Fig. 8 convention: overheads are measured relative
+    to a VM *running AMX*, so disabling AMX inflates both the raw time
+    and the apparent TDX overhead.
+    """
+    from ..engine.simulator import simulate_generation
+    workload = _small_workload(batch_size=32, input_tokens=128)
+    vm_amx = simulate_generation(
+        workload, cpu_deployment("vm", sockets_used=1, amx_enabled=True))
+    tdx_amx = simulate_generation(
+        workload, cpu_deployment("tdx", sockets_used=1, amx_enabled=True))
+    tdx_noamx = simulate_generation(
+        workload, cpu_deployment("tdx", sockets_used=1, amx_enabled=False))
+    overhead_amx = latency_overhead(tdx_amx, vm_amx, filtered=False)
+    overhead_noamx = latency_overhead(tdx_noamx, vm_amx, filtered=False)
+    vm_noamx = simulate_generation(
+        workload, cpu_deployment("vm", sockets_used=1, amx_enabled=False))
+    faster = vm_noamx.next_token_latency_s / vm_amx.next_token_latency_s
+    holds = faster > 1.1 and overhead_amx < overhead_noamx
+    return InsightCheck(8, "AMX improves performance and also lowers TEE "
+                           "overheads (relative to a VM running AMX).", holds,
+                        f"AMX {faster:.2f}x faster; TDX-over-VM(AMX) latency "
+                        f"overhead {overhead_amx:.1%} (AMX) vs "
+                        f"{overhead_noamx:.1%} (no AMX)")
+
+
+def check_insight_9() -> InsightCheck:
+    """TDX overhead is lowest when the workload is compute-bound."""
+    from ..engine.simulator import simulate_generation
+    small = _small_workload(batch_size=1, input_tokens=128)
+    large = _small_workload(batch_size=256, input_tokens=128)
+    overheads = {}
+    for name, workload in (("small", small), ("large", large)):
+        base = simulate_generation(workload,
+                                   cpu_deployment("baremetal", sockets_used=1))
+        tdx = simulate_generation(workload,
+                                  cpu_deployment("tdx", sockets_used=1))
+        overheads[name] = throughput_overhead(tdx, base)
+    holds = overheads["large"] < overheads["small"]
+    return InsightCheck(9, "TDX has the lowest overhead when the workload is "
+                           "compute-bound.", holds,
+                        f"overhead {overheads['small']:.1%} (memory-bound) -> "
+                        f"{overheads['large']:.1%} (compute-bound)")
+
+
+def check_insight_10() -> InsightCheck:
+    """GPU TEEs stay under 10% overhead, shrinking with batch/input."""
+    from ..engine.simulator import simulate_generation
+    overheads = {}
+    for batch in (1, 64):
+        workload = _small_workload(batch_size=batch, input_tokens=512,
+                                   output_tokens=64)
+        gpu = simulate_generation(workload, gpu_deployment(confidential=False))
+        cgpu = simulate_generation(workload, gpu_deployment(confidential=True))
+        overheads[batch] = throughput_overhead(cgpu, gpu)
+    holds = overheads[1] < 0.10 and overheads[64] < overheads[1]
+    return InsightCheck(10, "GPU TEEs achieve <10% overheads, decreasing with "
+                            "larger batch and input sizes.", holds,
+                        f"cGPU overhead {overheads[1]:.1%} (bs=1) -> "
+                        f"{overheads[64]:.1%} (bs=64)")
+
+
+def check_insight_11() -> InsightCheck:
+    """For small workloads, CPU TEEs are cheaper and stricter than cGPUs."""
+    from ..cost.efficiency import cpu_cost_point, gpu_cost_point
+    from ..cost.pricing import GCP_SPOT_US_EAST1
+    from ..engine.simulator import simulate_generation
+    workload = _small_workload(batch_size=1, input_tokens=128,
+                               output_tokens=64)
+    tdx = simulate_generation(
+        workload, cpu_deployment("tdx", sockets_used=1,
+                                 cores_per_socket_used=16))
+    cgpu = simulate_generation(workload, gpu_deployment(confidential=True))
+    cpu_point = cpu_cost_point(tdx, vcpus=16, catalog=GCP_SPOT_US_EAST1)
+    gpu_point = gpu_cost_point(cgpu, catalog=GCP_SPOT_US_EAST1)
+    cheaper = cpu_point.usd_per_mtok < gpu_point.usd_per_mtok
+    stricter = backend_by_name("tdx").security_profile().stricter_than(
+        backend_by_name("cgpu").security_profile())
+    holds = cheaper and stricter
+    return InsightCheck(11, "For strict security and small LLM workloads, CPU "
+                            "TEEs offer a pragmatic way to secure inference.",
+                        holds,
+                        f"TDX ${cpu_point.usd_per_mtok:.2f}/Mtok vs cGPU "
+                        f"${gpu_point.usd_per_mtok:.2f}/Mtok; stricter={stricter}")
+
+
+def check_insight_12() -> InsightCheck:
+    """A full RAG pipeline in TDX shows LLM-like overheads."""
+    from ..rag.evaluate import rag_tdx_overheads
+    overheads = rag_tdx_overheads(num_docs=300, num_queries=8, seed=3)
+    worst = max(overheads.values())
+    best = min(overheads.values())
+    holds = 0.0 < best and worst < 0.15
+    return InsightCheck(12, "RAG pipelines in TDX achieve overheads similar "
+                            "to LLM inference.", holds,
+                        f"RAG overheads {best:.1%}-{worst:.1%} across retrievers")
+
+
+ALL_CHECKS = (
+    check_insight_1, check_insight_2, check_insight_3, check_insight_4,
+    check_insight_5, check_insight_6, check_insight_7, check_insight_8,
+    check_insight_9, check_insight_10, check_insight_11, check_insight_12,
+)
+
+
+def verify_all_insights() -> list[InsightCheck]:
+    """Run every insight check (a few seconds of simulation)."""
+    return [check() for check in ALL_CHECKS]

@@ -1,0 +1,76 @@
+"""Overhead computation between deployments.
+
+Every figure in the paper reports *relative* overheads — TDX over bare
+metal, TDX over VM, cGPU over raw GPU — on throughput (lower is
+overhead) and latency (higher is overhead).  These helpers make the
+direction conventions explicit so experiment code cannot mix them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.simulator import GenerationResult
+from .metrics import latency_stats
+
+
+def throughput_overhead(result: GenerationResult,
+                        baseline: GenerationResult,
+                        include_prefill: bool = False) -> float:
+    """Fractional throughput loss vs the baseline (positive = slower).
+
+    Args:
+        include_prefill: Use the first-token-inclusive throughput
+            (Fig. 12 convention) instead of steady-state decode.
+    """
+    if include_prefill:
+        ours, base = result.throughput_tok_s, baseline.throughput_tok_s
+    else:
+        ours = result.decode_throughput_tok_s
+        base = baseline.decode_throughput_tok_s
+    return base / ours - 1.0
+
+
+def latency_overhead(result: GenerationResult,
+                     baseline: GenerationResult,
+                     filtered: bool = True) -> float:
+    """Fractional next-token latency increase vs the baseline.
+
+    Args:
+        filtered: Compare Z-score-filtered means of the noisy samples
+            (the paper's method); ``False`` compares noise-free means.
+    """
+    if filtered:
+        ours = latency_stats(result.latency_samples_s).mean_s
+        base = latency_stats(baseline.latency_samples_s).mean_s
+    else:
+        ours = result.next_token_latency_s
+        base = baseline.next_token_latency_s
+    return ours / base - 1.0
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Overheads of one backend against its baseline."""
+
+    backend: str
+    baseline: str
+    throughput_overhead: float
+    latency_overhead: float
+
+    def as_percent(self) -> tuple[float, float]:
+        """(throughput, latency) overheads in percent."""
+        return (100.0 * self.throughput_overhead,
+                100.0 * self.latency_overhead)
+
+
+def compare(result: GenerationResult, baseline: GenerationResult,
+            include_prefill: bool = False) -> OverheadReport:
+    """Full overhead report of one run against a baseline run."""
+    return OverheadReport(
+        backend=result.backend_name,
+        baseline=baseline.backend_name,
+        throughput_overhead=throughput_overhead(result, baseline,
+                                                include_prefill),
+        latency_overhead=latency_overhead(result, baseline),
+    )

@@ -1,0 +1,127 @@
+"""Protection mechanisms for LLM inference (paper §II).
+
+The paper's Section II compares three families of defenses — ML methods
+(watermarking, fingerprinting, passports), cryptographic methods (HE,
+MPC), and confidential computing (TEEs) — and concludes that TEEs are
+currently the only pragmatic option (Insight 1).  This module encodes
+that comparison with the properties the paper argues from, so the
+conclusion is a checkable query instead of prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Family(str, Enum):
+    """Defense family."""
+
+    ML_METHOD = "ml-method"
+    CRYPTOGRAPHIC = "cryptographic"
+    CONFIDENTIAL_COMPUTING = "confidential-computing"
+
+
+@dataclass(frozen=True)
+class Protection:
+    """One protection mechanism and the paper's assessment of it.
+
+    Attributes:
+        name: Mechanism name.
+        family: Defense family.
+        overhead_factor: Typical runtime multiplier (1.05 = +5%).  HE is
+            cited at up to 10,000x; TEEs at ~1.04-1.10 in this paper.
+        active_protection: Actively prevents theft/leakage (vs post-hoc
+            detection like watermark verification).
+        protects_prompts: Covers user-input confidentiality.
+        integrity: Protects computation integrity (HE/MPC cannot).
+        needs_retraining: Requires retraining / model modification.
+        general_purpose: Applies to any model without per-model work.
+        composable: Can be combined with other protections (the paper
+            cites conflicts between ML methods [75]).
+    """
+
+    name: str
+    family: Family
+    overhead_factor: float
+    active_protection: bool
+    protects_prompts: bool
+    integrity: bool
+    needs_retraining: bool
+    general_purpose: bool
+    composable: bool
+
+    def __post_init__(self) -> None:
+        if self.overhead_factor < 1.0:
+            raise ValueError("overhead_factor must be >= 1.0")
+
+    @property
+    def practical_for_llms(self) -> bool:
+        """The paper's §II bar: active, prompt-covering, general
+        protection at overheads a service can absorb (< ~2x)."""
+        return (self.active_protection and self.protects_prompts
+                and self.general_purpose and not self.needs_retraining
+                and self.overhead_factor < 2.0)
+
+
+PROTECTIONS: tuple[Protection, ...] = (
+    Protection("watermarking", Family.ML_METHOD, overhead_factor=1.0,
+               active_protection=False, protects_prompts=False,
+               integrity=False, needs_retraining=True, general_purpose=False,
+               composable=False),
+    Protection("passport-authentication", Family.ML_METHOD,
+               overhead_factor=1.05, active_protection=False,
+               protects_prompts=False, integrity=False, needs_retraining=True,
+               general_purpose=False, composable=False),
+    Protection("backdoor-fingerprinting", Family.ML_METHOD,
+               overhead_factor=1.0, active_protection=False,
+               protects_prompts=False, integrity=False, needs_retraining=True,
+               general_purpose=False, composable=False),
+    Protection("homomorphic-encryption", Family.CRYPTOGRAPHIC,
+               overhead_factor=10_000.0, active_protection=True,
+               protects_prompts=True, integrity=False, needs_retraining=False,
+               general_purpose=False, composable=True),
+    Protection("multiparty-computation", Family.CRYPTOGRAPHIC,
+               overhead_factor=1_000.0, active_protection=True,
+               protects_prompts=True, integrity=False, needs_retraining=False,
+               general_purpose=False, composable=True),
+    Protection("cpu-tee", Family.CONFIDENTIAL_COMPUTING,
+               overhead_factor=1.10, active_protection=True,
+               protects_prompts=True, integrity=True, needs_retraining=False,
+               general_purpose=True, composable=True),
+    Protection("gpu-tee", Family.CONFIDENTIAL_COMPUTING,
+               overhead_factor=1.08, active_protection=True,
+               protects_prompts=True, integrity=True, needs_retraining=False,
+               general_purpose=True, composable=True),
+)
+
+
+def practical_mechanisms() -> tuple[Protection, ...]:
+    """Mechanisms passing the paper's practicality bar."""
+    return tuple(p for p in PROTECTIONS if p.practical_for_llms)
+
+
+def only_practical_family() -> Family:
+    """The §II conclusion as a computation.
+
+    Raises:
+        ValueError: If the catalogue no longer supports a unique answer
+            (e.g. after adding a future practical HE scheme).
+    """
+    families = {p.family for p in practical_mechanisms()}
+    if len(families) != 1:
+        raise ValueError(f"no unique practical family: {sorted(families)}")
+    return next(iter(families))
+
+
+def overhead_gap_vs_he(measured_tee_overhead: float) -> float:
+    """How many times cheaper a measured TEE is than the HE citation.
+
+    Args:
+        measured_tee_overhead: Fractional TEE overhead (e.g. 0.09).
+    """
+    if measured_tee_overhead < 0:
+        raise ValueError("overhead must be >= 0")
+    he = next(p for p in PROTECTIONS
+              if p.name == "homomorphic-encryption")
+    return he.overhead_factor / (1.0 + measured_tee_overhead)

@@ -1,0 +1,157 @@
+"""Table I: the systems summary matrix.
+
+Combines the qualitative security matrix (:mod:`repro.tee.security`)
+with measured overhead bands and the parameter-influence arrows into the
+paper's summary table, rendered as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tee.security import (
+    CGPU_SECURITY,
+    SGX_SECURITY,
+    TDX_SECURITY,
+    SecurityProfile,
+)
+
+
+@dataclass(frozen=True)
+class Trend:
+    """How a parameter influences overheads (Table I arrows)."""
+
+    symbol: str
+
+    DOWN = "down"
+    UP = "up"
+    UP_STRONG = "up-strong"
+    DOWN_THEN_UP = "down-then-up"
+    NEUTRAL = "-"
+
+    def __post_init__(self) -> None:
+        valid = (self.DOWN, self.UP, self.UP_STRONG, self.DOWN_THEN_UP,
+                 self.NEUTRAL)
+        if self.symbol not in valid:
+            raise ValueError(f"unknown trend {self.symbol!r}; valid: {valid}")
+
+    def __str__(self) -> str:
+        return {"down": "v", "up": "^", "up-strong": "^^",
+                "down-then-up": "v^", "-": "-"}[self.symbol]
+
+
+@dataclass(frozen=True)
+class SystemSummary:
+    """One column of Table I."""
+
+    system: str
+    security: SecurityProfile
+    overhead_band: tuple[float, float]
+    batch_size_trend: Trend
+    input_size_trend: Trend
+    amx_trend: Trend
+    scale_up_trend: Trend
+    overhead_sources: tuple[str, ...]
+    good_for_small_workloads: bool
+    good_for_large_workloads: bool
+
+
+SGX_SUMMARY = SystemSummary(
+    system="Intel SGX (process TEE)",
+    security=SGX_SECURITY,
+    overhead_band=(0.04, 0.05),
+    batch_size_trend=Trend(Trend.DOWN),
+    input_size_trend=Trend(Trend.DOWN_THEN_UP),
+    amx_trend=Trend(Trend.DOWN),
+    scale_up_trend=Trend(Trend.UP_STRONG),
+    overhead_sources=("EPC paging", "enclave exits", "memory encryption",
+                      "NUMA"),
+    good_for_small_workloads=True,
+    good_for_large_workloads=False,
+)
+
+TDX_SUMMARY = SystemSummary(
+    system="Intel TDX (VM TEE)",
+    security=TDX_SECURITY,
+    overhead_band=(0.05, 0.10),
+    batch_size_trend=Trend(Trend.DOWN),
+    input_size_trend=Trend(Trend.DOWN_THEN_UP),
+    amx_trend=Trend(Trend.DOWN),
+    scale_up_trend=Trend(Trend.UP),
+    overhead_sources=("virtualization tax", "hugepages",
+                      "memory encryption", "NUMA"),
+    good_for_small_workloads=True,
+    good_for_large_workloads=False,
+)
+
+CGPU_SUMMARY = SystemSummary(
+    system="H100 cGPU (GPU TEE)",
+    security=CGPU_SECURITY,
+    overhead_band=(0.04, 0.08),
+    batch_size_trend=Trend(Trend.DOWN),
+    input_size_trend=Trend(Trend.DOWN),
+    amx_trend=Trend(Trend.NEUTRAL),
+    scale_up_trend=Trend(Trend.UP_STRONG),
+    overhead_sources=("PCIe transfers", "kernel launch"),
+    good_for_small_workloads=False,
+    good_for_large_workloads=True,
+)
+
+ALL_SUMMARIES = (SGX_SUMMARY, TDX_SUMMARY, CGPU_SUMMARY)
+
+
+def render_summary_table(summaries: tuple[SystemSummary, ...] = ALL_SUMMARIES,
+                         measured_bands: dict[str, tuple[float, float]] | None = None,
+                         ) -> str:
+    """Render the Table I matrix as text.
+
+    Args:
+        measured_bands: Optional measured single-resource overhead bands
+            keyed by the security profile name, overriding the paper
+            bands (EXPERIMENTS.md compares both).
+    """
+    if not summaries:
+        raise ValueError("no summaries given")
+    header = ["row"] + [summary.system for summary in summaries]
+    rows: list[list[str]] = [header]
+
+    def add(row_name: str, cells: list[str]) -> None:
+        rows.append([row_name] + cells)
+
+    add("memory protected",
+        [summary.security.memory_encrypted.glyph for summary in summaries])
+    add("scale-up protected",
+        [summary.security.scale_up_protected.glyph for summary in summaries])
+    add("trusted: app", [summary.security.app_trusted.glyph for summary in summaries])
+    add("trusted: OS", [summary.security.os_trusted.glyph for summary in summaries])
+    add("trusted: VM", [summary.security.vm_trusted.glyph for summary in summaries])
+
+    bands = []
+    for summary in summaries:
+        band = summary.overhead_band
+        if measured_bands and summary.security.name in measured_bands:
+            band = measured_bands[summary.security.name]
+        bands.append(f"~{band[0] * 100:.0f}-{band[1] * 100:.0f}%")
+    add("single-resource overhead", bands)
+
+    add("batch size ^", [str(summary.batch_size_trend) for summary in summaries])
+    add("input size ^", [str(summary.input_size_trend) for summary in summaries])
+    add("AMX", [str(summary.amx_trend) for summary in summaries])
+    add("scale-up", [str(summary.scale_up_trend) for summary in summaries])
+    add("overhead sources",
+        [", ".join(summary.overhead_sources) for summary in summaries])
+    add("dev cost",
+        [str(summary.security.development_cost) for summary in summaries])
+    add("efficient: small batches",
+        ["#" if summary.good_for_small_workloads else "." for summary in summaries])
+    add("efficient: large batches",
+        ["#" if summary.good_for_large_workloads else "." for summary in summaries])
+
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        line = " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)

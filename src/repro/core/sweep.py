@@ -1,0 +1,100 @@
+"""Parameter sweeps.
+
+Most figures are sweeps: batch size (Figs. 8-9), input length
+(Figs. 10-11, 13), core count (Fig. 12).  A sweep runs an experiment per
+parameter value and flattens the results into rows a harness can print
+or assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..engine.placement import Deployment, Workload
+from .experiment import Experiment, ExperimentResult
+
+
+def sweep_workload(name: str, base: Workload,
+                   deployments: dict[str, Deployment], parameter: str,
+                   values: list[int], baseline_label: str = "baremetal",
+                   seed: int = 0) -> dict[int, ExperimentResult]:
+    """Run one experiment per value of a workload parameter.
+
+    Args:
+        parameter: Workload field to vary (``batch_size``,
+            ``input_tokens``, ...).
+
+    Returns:
+        Mapping from parameter value to that experiment's result.
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    outcomes = {}
+    for value in values:
+        workload = base.with_(**{parameter: value})
+        experiment = Experiment(
+            name=f"{name}[{parameter}={value}]", workload=workload,
+            deployments=deployments, baseline_label=baseline_label, seed=seed)
+        outcomes[value] = experiment.run()
+    return outcomes
+
+
+def sweep_deployments(name: str, workload: Workload,
+                      make_deployments: Callable[[int], dict[str, Deployment]],
+                      values: list[int], baseline_label: str = "baremetal",
+                      seed: int = 0) -> dict[int, ExperimentResult]:
+    """Run one experiment per deployment variant (e.g. core counts).
+
+    Args:
+        make_deployments: Builds the labelled deployments for one value.
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    outcomes = {}
+    for value in values:
+        experiment = Experiment(
+            name=f"{name}[{value}]", workload=workload,
+            deployments=make_deployments(value),
+            baseline_label=baseline_label, seed=seed)
+        outcomes[value] = experiment.run()
+    return outcomes
+
+
+def overhead_series(outcomes: dict[int, ExperimentResult], label: str,
+                    metric: str = "throughput") -> dict[int, float]:
+    """Extract an overhead-vs-parameter series from sweep outcomes.
+
+    Args:
+        metric: ``"throughput"`` or ``"latency"``.
+    """
+    if metric not in ("throughput", "latency"):
+        raise ValueError("metric must be 'throughput' or 'latency'")
+    series = {}
+    for value, outcome in outcomes.items():
+        report = outcome.overhead(label)
+        series[value] = (report.throughput_overhead if metric == "throughput"
+                         else report.latency_overhead)
+    return series
+
+
+def metric_series(outcomes: dict[int, ExperimentResult], label: str,
+                  metric: str = "decode_throughput_tok_s") -> dict[int, float]:
+    """Extract a raw-metric series (attribute of GenerationResult)."""
+    series = {}
+    for value, outcome in outcomes.items():
+        series[value] = getattr(outcome.results[label], metric)
+    return series
+
+
+def is_monotonic(series: dict[int, float], decreasing: bool = True,
+                 tolerance: float = 0.0) -> bool:
+    """Whether a series moves monotonically with the parameter.
+
+    Args:
+        tolerance: Allowed counter-movement per step (absolute).
+    """
+    ordered = [series[key] for key in sorted(series)]
+    pairs = zip(ordered, ordered[1:])
+    if decreasing:
+        return all(later <= earlier + tolerance for earlier, later in pairs)
+    return all(later >= earlier - tolerance for earlier, later in pairs)

@@ -1,0 +1,19 @@
+"""Cost modelling: price catalog and $/Mtok efficiency (Figs. 12-13)."""
+
+from .efficiency import (
+    CostPoint,
+    best_cpu_point,
+    cost_overhead,
+    cost_per_million_tokens,
+    cpu_cost_point,
+    gpu_cost_point,
+    optimal_core_count,
+)
+from .pricing import GCP_SPOT_US_EAST1, PAPER_MEMORY_GB, PriceCatalog
+
+__all__ = [
+    "CostPoint", "best_cpu_point", "cost_overhead",
+    "cost_per_million_tokens", "cpu_cost_point", "gpu_cost_point",
+    "optimal_core_count",
+    "GCP_SPOT_US_EAST1", "PAPER_MEMORY_GB", "PriceCatalog",
+]

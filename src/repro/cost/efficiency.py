@@ -1,0 +1,95 @@
+"""Cost-efficiency computations (Figs. 12-13).
+
+Combines throughput from the execution engine with the price catalog to
+produce the paper's cost metrics: dollars per million generated tokens,
+the cGPU-vs-CPU cost ratio, and optimal core counts per batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.simulator import GenerationResult
+from .pricing import PAPER_MEMORY_GB, PriceCatalog
+
+
+def cost_per_million_tokens(throughput_tok_s: float, price_hr: float) -> float:
+    """Dollars to generate one million tokens at a sustained throughput."""
+    if throughput_tok_s <= 0:
+        raise ValueError("throughput must be positive")
+    if price_hr < 0:
+        raise ValueError("price must be >= 0")
+    tokens_per_hour = throughput_tok_s * 3600.0
+    return price_hr / tokens_per_hour * 1e6
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """One configuration's cost-efficiency summary.
+
+    Attributes:
+        label: Configuration name (e.g. ``"tdx-32c"``).
+        vcpus: Billed vCPUs (0 for GPU instances).
+        throughput_tok_s: Sustained user-token throughput, first token
+            included (the paper's Fig. 12 metric).
+        price_hr: Instance price per hour.
+        usd_per_mtok: Dollars per million tokens.
+    """
+
+    label: str
+    vcpus: int
+    throughput_tok_s: float
+    price_hr: float
+    usd_per_mtok: float
+
+
+def cpu_cost_point(result: GenerationResult, vcpus: int,
+                   catalog: PriceCatalog, label: str | None = None,
+                   memory_gb: float = PAPER_MEMORY_GB,
+                   spr: bool = False) -> CostPoint:
+    """Cost-efficiency of one CPU run."""
+    price = catalog.cpu_instance_hr(vcpus, memory_gb, spr=spr)
+    throughput = result.throughput_tok_s
+    return CostPoint(
+        label=label or f"{result.backend_name}-{vcpus}c",
+        vcpus=vcpus,
+        throughput_tok_s=throughput,
+        price_hr=price,
+        usd_per_mtok=cost_per_million_tokens(throughput, price),
+    )
+
+
+def gpu_cost_point(result: GenerationResult, catalog: PriceCatalog,
+                   confidential: bool = True,
+                   label: str | None = None) -> CostPoint:
+    """Cost-efficiency of one (c)GPU run."""
+    price = catalog.cgpu_instance_hr if confidential else catalog.gpu_instance_hr
+    throughput = result.throughput_tok_s
+    return CostPoint(
+        label=label or result.backend_name,
+        vcpus=0,
+        throughput_tok_s=throughput,
+        price_hr=price,
+        usd_per_mtok=cost_per_million_tokens(throughput, price),
+    )
+
+
+def cost_overhead(point: CostPoint, reference: CostPoint) -> float:
+    """Fractional extra cost of ``point`` over ``reference``.
+
+    The paper reports "cGPUs up to 100% more expensive" — that is
+    ``cost_overhead(cgpu_point, best_cpu_point) == 1.0``.
+    """
+    return point.usd_per_mtok / reference.usd_per_mtok - 1.0
+
+
+def best_cpu_point(points: list[CostPoint]) -> CostPoint:
+    """The cheapest CPU configuration of a core-count sweep."""
+    if not points:
+        raise ValueError("no cost points given")
+    return min(points, key=lambda point: point.usd_per_mtok)
+
+
+def optimal_core_count(points: list[CostPoint]) -> int:
+    """Core count minimizing $/Mtok (Fig. 12's per-batch optimum)."""
+    return best_cpu_point(points).vcpus

@@ -1,0 +1,62 @@
+"""Cloud price catalog.
+
+§V-D2 evaluates cost with GCP spot prices (US-East-1), selecting vCPUs
+and memory independently and fixing memory at 128 GB (sufficient for
+Llama2 7B in every evaluated configuration), against a rented
+confidential H100 (Azure NCCads_H100_v5).  Prices are per hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PriceCatalog:
+    """Spot prices for one region/date snapshot.
+
+    Attributes:
+        vcpu_hr: Price per vCPU-hour (custom machine type).
+        gb_hr: Price per GB-of-RAM-hour.
+        cgpu_instance_hr: Confidential H100 instance (NCCads_H100_v5).
+        gpu_instance_hr: Non-confidential H100 instance (NCads_H100_v5).
+        spr_discount: Price multiplier for the Sapphire Rapids
+            alternative ("almost 2x cheaper", §V-D2).
+    """
+
+    vcpu_hr: float
+    gb_hr: float
+    cgpu_instance_hr: float
+    gpu_instance_hr: float
+    spr_discount: float = 0.55
+
+    def __post_init__(self) -> None:
+        for name in ("vcpu_hr", "gb_hr", "cgpu_instance_hr", "gpu_instance_hr"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 < self.spr_discount <= 1.0:
+            raise ValueError("spr_discount must be in (0, 1]")
+
+    def cpu_instance_hr(self, vcpus: int, memory_gb: float,
+                        spr: bool = False) -> float:
+        """Hourly price of a custom CPU instance.
+
+        The paper maps one physical core to one billed vCPU (guests see
+        no hyperthreads, §IV-A).
+        """
+        if vcpus < 1 or memory_gb <= 0:
+            raise ValueError("vcpus must be >= 1 and memory positive")
+        price = vcpus * self.vcpu_hr + memory_gb * self.gb_hr
+        return price * (self.spr_discount if spr else 1.0)
+
+
+#: GCP spot, US-East-1, mid-2025 snapshot (paper's assumptions).
+GCP_SPOT_US_EAST1 = PriceCatalog(
+    vcpu_hr=0.00846,
+    gb_hr=0.00113,
+    cgpu_instance_hr=6.50,
+    gpu_instance_hr=5.50,
+)
+
+#: Memory size the paper fixes for all CPU configurations.
+PAPER_MEMORY_GB = 128.0

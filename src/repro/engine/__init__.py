@@ -1,0 +1,36 @@
+"""Execution engine: roofline cost model, generation simulator, traces."""
+
+from .placement import (
+    CpuPlacement,
+    Deployment,
+    GpuPlacement,
+    Workload,
+    weight_footprint,
+)
+from .roofline import (
+    CpuCostModel,
+    GpuCostModel,
+    OpCost,
+    StepCost,
+    WorkingSets,
+    cost_model_for,
+)
+from .simulator import GenerationResult, simulate_encode, simulate_generation
+from .trace import (
+    LayerStat,
+    TraceEvent,
+    block_layer_summary,
+    decoder_block_share,
+    events_from_step,
+    layer_overheads,
+)
+
+__all__ = [
+    "CpuPlacement", "Deployment", "GpuPlacement", "Workload",
+    "weight_footprint",
+    "CpuCostModel", "GpuCostModel", "OpCost", "StepCost", "WorkingSets",
+    "cost_model_for",
+    "GenerationResult", "simulate_encode", "simulate_generation",
+    "LayerStat", "TraceEvent", "block_layer_summary", "decoder_block_share",
+    "events_from_step", "layer_overheads",
+]

@@ -1,0 +1,322 @@
+"""Roofline cost model with TEE mechanism derates.
+
+Per operator the model computes a compute time (engine issue rate x MFU x
+Amdahl-scaled cores), a memory time (DRAM-visible traffic over the
+effective bandwidth after NUMA mixing, link crypto, and memory-encryption
+derates), and two non-overlapped adders: page-walk time (TLB misses x
+walk cost, nested-walk multiplier under virtualization) and EPC paging
+(SGX).  Step-level costs add enclave exits, fixed launch/CC taxes, and
+the virtualization tax.
+
+This is where every mechanism from :mod:`repro.memsim` and
+:mod:`repro.tee` meets the operator stream from :mod:`repro.llm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.engines import (
+    AVX512_RATES,
+    Engine,
+    best_cpu_engine,
+    is_fallback_path,
+)
+from ..llm.datatypes import DType
+from ..llm.ops import Operator, OpCategory
+from ..memsim.cache import CacheModel
+from ..memsim.epc import paging_overhead_s
+from ..memsim.numa import (
+    NumaPolicy,
+    effective_bandwidth,
+    remote_fraction,
+    sub_numa_misplacement,
+)
+from ..memsim.pages import PAGE_4K, HugepagePolicy
+from ..memsim.tlb import WalkModel, streaming_miss_rate, translation_time
+from . import calibration as cal
+from .placement import CpuPlacement, Deployment, GpuPlacement
+
+#: Fraction of THP-managed memory actually backed by 2 MB pages; the
+#: rest fragments to 4 KB (why reserved 1 GB pages still win, Fig. 6).
+THP_COVERAGE = 0.75
+
+#: Fraction of page-walk latency that cannot be hidden by the hardware
+#: walkers overlapping with data streaming.
+WALK_SERIAL_FRACTION = 0.03
+
+#: Bandwidth bonus SNC gives a NUMA-aware (non-TEE) workload.
+SNC_BANDWIDTH_BONUS = 1.05
+
+#: Scheduling tax when hyperthreads are exposed to the guest (PyTorch
+#: pins to first logical threads; siblings only add interference).
+HYPERTHREAD_TAX = 0.03
+
+
+@dataclass(frozen=True)
+class WorkingSets:
+    """Per-stream working sets of one forward step (bytes)."""
+
+    weights: float
+    kv: float
+    activations: float
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost breakdown of one operator."""
+
+    op: Operator
+    compute_s: float
+    memory_s: float
+    translation_s: float
+    paging_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Compute/memory overlap; translation and paging do not overlap."""
+        return max(self.compute_s, self.memory_s) + self.translation_s + self.paging_s
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Cost of one full forward step."""
+
+    op_costs: tuple[OpCost, ...]
+    exits_s: float
+    fixed_s: float
+    tax_multiplier: float
+
+    @property
+    def total_s(self) -> float:
+        raw = sum(cost.total_s for cost in self.op_costs) + self.exits_s
+        return raw * self.tax_multiplier + self.fixed_s
+
+    @property
+    def compute_s(self) -> float:
+        return sum(cost.compute_s for cost in self.op_costs)
+
+    @property
+    def memory_s(self) -> float:
+        return sum(cost.memory_s for cost in self.op_costs)
+
+    def is_compute_bound(self) -> bool:
+        """Whether aggregate compute time exceeds aggregate memory time."""
+        return self.compute_s > self.memory_s
+
+
+class CpuCostModel:
+    """Operator cost model for CPU deployments."""
+
+    def __init__(self, deployment: Deployment) -> None:
+        if not isinstance(deployment.placement, CpuPlacement):
+            raise TypeError("CpuCostModel needs a CpuPlacement")
+        self.deployment = deployment
+        self.placement = deployment.placement
+        self.backend = deployment.backend
+        self.framework = deployment.framework
+        self.profile = deployment.toggles.apply(self.backend.cost_profile())
+        self.cpu = self.placement.cpu
+        self.numa_policy = self.backend.resolve_numa_policy(self.placement.numa_policy)
+        self.hugepages = self.backend.resolve_hugepages(self.placement.hugepages)
+        self.amx_available = (self.placement.amx_enabled
+                              and self.framework.amx_capable)
+        self.llc = CacheModel(self.cpu.llc_bytes_per_socket
+                              * self.placement.sockets_used)
+        self.walk = WalkModel(self.cpu.page_walk_s, self.profile.walk_multiplier)
+
+    # -- compute ------------------------------------------------------------
+
+    def _engine_for(self, op: Operator, dtype: DType) -> tuple[Engine, float]:
+        if op.category in (OpCategory.GEMM, OpCategory.ATTENTION):
+            return best_cpu_engine(dtype, self.amx_available)
+        # Vector ops run on AVX-512 regardless of the matrix engine.
+        rate = AVX512_RATES.rate_for(dtype)
+        if rate == 0.0:
+            rate = AVX512_RATES.rates["f32"]
+        return Engine.AVX512, rate
+
+    def _compute_time(self, op: Operator, dtype: DType) -> float:
+        if op.flops == 0.0:
+            return 0.0
+        engine, rate = self._engine_for(op, dtype)
+        mfu = self.framework.mfu(engine)
+        per_core = rate * self.cpu.clock_hz * mfu
+        cores = self.placement.cores
+        serial = cal.CPU_SERIAL_FRACTION
+        single_core_s = op.flops / per_core
+        return single_core_s * (serial + (1.0 - serial) / cores)
+
+    # -- memory -------------------------------------------------------------
+
+    def _remote_fraction(self, fallback: bool) -> float:
+        if fallback and self.placement.sockets_used > 1:
+            return cal.INT8_FALLBACK_REMOTE_FRACTION
+        return remote_fraction(self.numa_policy, self.placement.sockets_used)
+
+    def effective_bw(self, fallback: bool = False) -> float:
+        """Post-derate DRAM bandwidth visible to the workload."""
+        per_socket = self.cpu.mem_bw_per_socket
+        saturation = min(1.0, self.placement.cores_per_socket
+                         / cal.CORES_TO_SATURATE_BW)
+        single_node = (self.numa_policy is NumaPolicy.SINGLE_NODE
+                       and self.placement.sockets_used > 1)
+        if single_node:
+            # SGX exposes one unified node: every byte lives on (at most)
+            # one socket's DRAM, so the local side is a single socket and
+            # the other socket's cores pull everything over UPI.
+            base = per_socket * saturation
+        else:
+            base = per_socket * self.placement.sockets_used * saturation
+        clusters = self.placement.snc_clusters
+        if clusters > 1 and not self.backend.is_tee:
+            base *= SNC_BANDWIDTH_BONUS
+        cluster_penalty = sub_numa_misplacement(clusters, self.backend.is_tee)
+        bw = effective_bandwidth(
+            base, self.cpu.upi, self._remote_fraction(fallback),
+            upi_crypto_derate=(self.profile.upi_crypto_derate
+                               if self.placement.sockets_used > 1 else 0.0),
+            cluster_penalty=cluster_penalty,
+        )
+        bw *= (1.0 - self.profile.mem_encryption_derate)
+        return bw * self.framework.memory_efficiency()
+
+    def _weight_traffic(self, op: Operator, dtype: DType, fallback: bool) -> float:
+        traffic = op.weight_bytes
+        if self.framework.weight_bytes_per_param is not None:
+            traffic *= self.framework.weight_bytes_per_param / dtype.bytes
+        if fallback:
+            traffic *= cal.INT8_FALLBACK_TRAFFIC_INFLATION
+        return traffic
+
+    def _dram_traffic(self, op: Operator, sets: WorkingSets, dtype: DType,
+                      fallback: bool) -> dict[str, float]:
+        """DRAM-visible bytes per stream after LLC filtering."""
+        allocator = 1.0 if self.placement.tcmalloc \
+            else cal.DEFAULT_ALLOCATOR_TRAFFIC_INFLATION
+        weights = self._weight_traffic(op, dtype, fallback)
+        return {
+            "weights": self.llc.dram_bytes(weights, sets.weights),
+            "kv": self.llc.dram_bytes(op.kv_read_bytes + op.kv_write_bytes,
+                                      sets.kv) * allocator,
+            "activations": self.llc.dram_bytes(op.activation_bytes,
+                                               sets.activations) * allocator,
+        }
+
+    # -- translation & paging -----------------------------------------------
+
+    def _page_mix(self) -> list[tuple[int, float]]:
+        """(page size, traffic fraction) pairs under the active policy."""
+        if self.hugepages is HugepagePolicy.RESERVED_1G:
+            return [(HugepagePolicy.RESERVED_1G.page_bytes, 1.0)]
+        if self.hugepages is HugepagePolicy.TRANSPARENT_2M:
+            return [
+                (HugepagePolicy.TRANSPARENT_2M.page_bytes, THP_COVERAGE),
+                (PAGE_4K, 1.0 - THP_COVERAGE),
+            ]
+        return [(PAGE_4K, 1.0)]
+
+    def _translation_time(self, dram: dict[str, float],
+                          sets: WorkingSets) -> float:
+        per_core_divisor = max(1, self.placement.cores)
+        stream_sets = {"weights": sets.weights, "kv": sets.kv,
+                       "activations": sets.activations}
+        total = 0.0
+        for page_bytes, fraction in self._page_mix():
+            entries = self.cpu.tlb.entries_for(page_bytes)
+            for stream, traffic in dram.items():
+                per_core_ws = stream_sets[stream] * fraction / per_core_divisor
+                miss = streaming_miss_rate(per_core_ws, page_bytes, entries)
+                total += translation_time(traffic * fraction, page_bytes,
+                                          miss, self.walk)
+        return total * WALK_SERIAL_FRACTION
+
+    def _paging_time(self, dram: dict[str, float], sets: WorkingSets) -> float:
+        if not self.profile.epc_limited:
+            return 0.0
+        epc = self.cpu.sgx_epc_per_socket * self.placement.sockets_used
+        working_set = sets.weights + sets.kv + sets.activations
+        return paging_overhead_s(sum(dram.values()), working_set, epc)
+
+    # -- public API ----------------------------------------------------------
+
+    def op_cost(self, op: Operator, sets: WorkingSets, dtype: DType) -> OpCost:
+        """Cost one operator under the deployment's mechanisms."""
+        fallback = is_fallback_path(dtype, self.amx_available)
+        dram = self._dram_traffic(op, sets, dtype, fallback)
+        bw = self.effective_bw(fallback)
+        return OpCost(
+            op=op,
+            compute_s=self._compute_time(op, dtype),
+            memory_s=sum(dram.values()) / bw,
+            translation_s=self._translation_time(dram, sets),
+            paging_s=self._paging_time(dram, sets),
+        )
+
+    def step_cost(self, ops: list[Operator], sets: WorkingSets,
+                  dtype: DType) -> StepCost:
+        """Cost a full forward step (all operators + step-level terms)."""
+        tax = 1.0 + self.profile.virtualization_tax
+        if self.placement.expose_hyperthreads:
+            tax += HYPERTHREAD_TAX
+        return StepCost(
+            op_costs=tuple(self.op_cost(op, sets, dtype) for op in ops),
+            exits_s=self.profile.exit_cost_s * self.profile.exits_per_step,
+            fixed_s=self.profile.step_fixed_s,
+            tax_multiplier=tax,
+        )
+
+
+class GpuCostModel:
+    """Operator cost model for (confidential) GPU deployments."""
+
+    def __init__(self, deployment: Deployment) -> None:
+        if not isinstance(deployment.placement, GpuPlacement):
+            raise TypeError("GpuCostModel needs a GpuPlacement")
+        self.deployment = deployment
+        self.gpu = deployment.placement.gpu
+        self.backend = deployment.backend
+        self.framework = deployment.framework
+        self.profile = deployment.toggles.apply(self.backend.cost_profile())
+
+    def op_cost(self, op: Operator, sets: WorkingSets, dtype: DType) -> OpCost:
+        """Cost one operator; HBM traffic pays no encryption derate on
+        H100 (its HBM is unprotected — a security gap, not a cost)."""
+        del sets  # GPU HBM is not LLC-filtered at these working sets
+        derate = 1.0 - self.profile.gpu_rate_derate
+        rate = (self.gpu.peak_flops(dtype)
+                * self.framework.mfu(Engine.CUDA_TENSOR) * derate)
+        bw = self.gpu.hbm_bw * self.framework.memory_efficiency() * derate
+        # B100-class parts encrypt HBM; the paper projects a CPU-like
+        # memory-encryption cost onto that path (§V-D3).
+        bw *= 1.0 - self.profile.mem_encryption_derate
+        return OpCost(
+            op=op,
+            compute_s=op.flops / rate,
+            memory_s=op.bytes_total / bw,
+            translation_s=0.0,
+            paging_s=0.0,
+        )
+
+    def _bounce_time(self, io_bytes: float) -> float:
+        if self.profile.bounce_bw is None or io_bytes <= 0.0:
+            return 0.0
+        return self.gpu.pcie.latency_s + io_bytes / self.profile.bounce_bw
+
+    def step_cost(self, ops: list[Operator], sets: WorkingSets, dtype: DType,
+                  io_bytes: float = 0.0) -> StepCost:
+        """Cost a forward step including launch tax and PCIe staging."""
+        fixed = self.profile.step_fixed_s + self._bounce_time(io_bytes)
+        return StepCost(
+            op_costs=tuple(self.op_cost(op, sets, dtype) for op in ops),
+            exits_s=0.0,
+            fixed_s=fixed,
+            tax_multiplier=1.0,
+        )
+
+
+def cost_model_for(deployment: Deployment) -> CpuCostModel | GpuCostModel:
+    """Instantiate the matching cost model for a deployment."""
+    if isinstance(deployment.placement, CpuPlacement):
+        return CpuCostModel(deployment)
+    return GpuCostModel(deployment)

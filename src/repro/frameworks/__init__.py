@@ -1,0 +1,17 @@
+"""Inference framework models (Fig. 3 contenders + vLLM-GPU)."""
+
+from .base import (
+    HUGGINGFACE,
+    IPEX,
+    LLAMACPP,
+    VLLM_CPU,
+    VLLM_GPU,
+    Framework,
+    cpu_frameworks,
+    framework_by_name,
+)
+
+__all__ = [
+    "HUGGINGFACE", "IPEX", "LLAMACPP", "VLLM_CPU", "VLLM_GPU",
+    "Framework", "cpu_frameworks", "framework_by_name",
+]

@@ -1,0 +1,101 @@
+"""Inference framework models.
+
+§III-C2 benchmarks Hugging Face transformers, vLLM, IPEX and llama.cpp
+to pick the CPU inference stack (IPEX wins by ~2x thanks to AMX and
+oneCCL, Insight 3); the GPU experiments use vLLM.  A framework
+contributes three things to the execution model: which engines it can
+drive (AMX vs AVX-512 only), its sustained MFU per engine, and its
+memory-bandwidth efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine import calibration as cal
+from ..hardware.engines import Engine
+from ..llm.datatypes import BFLOAT16, FLOAT32, INT8, DType
+
+
+@dataclass(frozen=True)
+class Framework:
+    """One inference software stack.
+
+    Attributes:
+        name: Registry name.
+        device: ``"cpu"`` or ``"gpu"``.
+        amx_capable: Whether the stack ships AMX kernels (IPEX only).
+        dtypes: Datatypes the stack supports for end-to-end inference.
+        weight_bytes_per_param: Storage bytes per parameter when the
+            stack overrides the nominal dtype width (llama.cpp's mixed
+            quantization); ``None`` uses the dtype width.
+        multi_socket: Whether the stack scales across NUMA domains
+            (IPEX via oneCCL; DeepSpeed-style tensor parallel).
+    """
+
+    name: str
+    device: str
+    amx_capable: bool
+    dtypes: tuple[DType, ...]
+    weight_bytes_per_param: float | None = None
+    multi_socket: bool = False
+    _mfu: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def supports(self, dtype: DType) -> bool:
+        return dtype in self.dtypes
+
+    def mfu(self, engine: Engine) -> float:
+        """Sustained model-FLOP utilization on one engine.
+
+        Raises:
+            KeyError: If the stack cannot drive the engine at all.
+        """
+        key = (self.name, engine.value)
+        if key not in cal.FRAMEWORK_MFU:
+            raise KeyError(f"{self.name} has no kernels for engine {engine.value}")
+        return cal.FRAMEWORK_MFU[key]
+
+    def memory_efficiency(self) -> float:
+        """Sustained fraction of hardware memory bandwidth."""
+        return cal.FRAMEWORK_MEM_EFF[self.name]
+
+
+IPEX = Framework(
+    name="ipex", device="cpu", amx_capable=True,
+    dtypes=(FLOAT32, BFLOAT16, INT8), multi_socket=True,
+)
+
+VLLM_CPU = Framework(
+    name="vllm-cpu", device="cpu", amx_capable=False,
+    dtypes=(FLOAT32, BFLOAT16),
+)
+
+HUGGINGFACE = Framework(
+    name="hf", device="cpu", amx_capable=False,
+    dtypes=(FLOAT32, BFLOAT16),
+)
+
+#: llama.cpp's mixed quantization: ~4.5 bits/weight plus scales.
+LLAMACPP = Framework(
+    name="llamacpp", device="cpu", amx_capable=False,
+    dtypes=(BFLOAT16,), weight_bytes_per_param=0.62,
+)
+
+VLLM_GPU = Framework(
+    name="vllm-gpu", device="gpu", amx_capable=False,
+    dtypes=(FLOAT32, BFLOAT16, INT8), multi_socket=False,
+)
+
+_FRAMEWORKS = {fw.name: fw for fw in (IPEX, VLLM_CPU, HUGGINGFACE, LLAMACPP, VLLM_GPU)}
+
+
+def framework_by_name(name: str) -> Framework:
+    """Look up a framework by registry name."""
+    if name not in _FRAMEWORKS:
+        raise KeyError(f"unknown framework {name!r}; known: {sorted(_FRAMEWORKS)}")
+    return _FRAMEWORKS[name]
+
+
+def cpu_frameworks() -> tuple[Framework, ...]:
+    """All CPU inference stacks (the Fig. 3 contenders)."""
+    return tuple(fw for fw in _FRAMEWORKS.values() if fw.device == "cpu")

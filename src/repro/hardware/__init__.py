@@ -1,0 +1,30 @@
+"""Hardware substrate: CPU/GPU specs, compute engines, interconnects."""
+
+from .cpu import EMR1, EMR2, SPR, CpuSpec, TlbSpec, cpu_by_name
+from .engines import (
+    AMX_RATES,
+    AVX512_RATES,
+    CUDA_TENSOR_RATES,
+    Engine,
+    EngineRates,
+    best_cpu_engine,
+    is_fallback_path,
+)
+from .gpu import B100, H100_NVL, GpuSpec, gpu_by_name
+from .interconnect import (
+    CONFIDENTIAL_GPU_ROUTED_BW,
+    NONCONFIDENTIAL_GPU_ROUTED_BW,
+    NVLINK4,
+    PCIE_GEN5_X16,
+    UPI_EMR,
+    Link,
+)
+
+__all__ = [
+    "EMR1", "EMR2", "SPR", "CpuSpec", "TlbSpec", "cpu_by_name",
+    "AMX_RATES", "AVX512_RATES", "CUDA_TENSOR_RATES", "Engine",
+    "EngineRates", "best_cpu_engine", "is_fallback_path",
+    "B100", "H100_NVL", "GpuSpec", "gpu_by_name",
+    "CONFIDENTIAL_GPU_ROUTED_BW", "NONCONFIDENTIAL_GPU_ROUTED_BW",
+    "NVLINK4", "PCIE_GEN5_X16", "UPI_EMR", "Link",
+]

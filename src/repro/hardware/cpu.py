@@ -1,0 +1,161 @@
+"""CPU system specifications.
+
+Models the paper's two Emerald Rapids testbeds (EMR1 = dual Xeon Gold
+6530, EMR2 = dual Xeon Platinum 8580) plus the cheaper Sapphire Rapids
+alternative mentioned in §V-D2 as an "almost 2x cheaper, up to 40% worse"
+option.  All rates that the execution engine consumes come from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .interconnect import UPI_EMR, Link
+
+
+@dataclass(frozen=True)
+class TlbSpec:
+    """Second-level (unified) data-TLB capacity by page size."""
+
+    entries_4k: int
+    entries_2m: int
+    entries_1g: int
+
+    def entries_for(self, page_bytes: int) -> int:
+        if page_bytes == 4 * 1024:
+            return self.entries_4k
+        if page_bytes == 2 * 1024 * 1024:
+            return self.entries_2m
+        if page_bytes == 1024 * 1024 * 1024:
+            return self.entries_1g
+        raise ValueError(f"unsupported page size {page_bytes}")
+
+    def reach_bytes(self, page_bytes: int) -> int:
+        """Bytes covered without a page walk."""
+        return self.entries_for(page_bytes) * page_bytes
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU system (possibly dual socket).
+
+    Attributes:
+        name: System label used in experiment outputs (e.g. ``"EMR2"``).
+        sockets: Number of populated sockets.
+        cores_per_socket: Physical cores per socket.
+        clock_hz: Sustained all-core frequency under AMX-heavy load.
+        mem_bw_per_socket: Sustained local DRAM bandwidth per socket.
+        mem_per_socket_bytes: DRAM capacity per socket.
+        llc_bytes_per_socket: Last-level cache per socket.
+        tlb: Second-level TLB capacities.
+        page_walk_s: Effective cost of one native page walk (walk caches
+            included); TEE backends multiply this for nested EPT walks.
+        upi: Socket interconnect.
+        sgx_epc_per_socket: SGX enclave page cache capacity per socket.
+        price_usd: List price per CPU (for context in reports).
+        sub_numa_clusters: SNC domains per socket when enabled (1 = off).
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_hz: float
+    mem_bw_per_socket: float
+    mem_per_socket_bytes: float
+    llc_bytes_per_socket: float
+    tlb: TlbSpec
+    page_walk_s: float
+    upi: Link
+    sgx_epc_per_socket: float
+    price_usd: float
+    sub_numa_clusters: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("sockets and cores_per_socket must be >= 1")
+        if self.clock_hz <= 0 or self.mem_bw_per_socket <= 0:
+            raise ValueError("clock and bandwidth must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def peak_flops(self, flops_per_cycle_per_core: float, cores: int) -> float:
+        """Aggregate peak FLOP/s of ``cores`` cores on one engine rate."""
+        if cores < 1 or cores > self.total_cores:
+            raise ValueError(f"cores must be in [1, {self.total_cores}], got {cores}")
+        return flops_per_cycle_per_core * self.clock_hz * cores
+
+    def mem_bw(self, sockets_used: int) -> float:
+        """Aggregate local DRAM bandwidth of the sockets in use."""
+        if sockets_used < 1 or sockets_used > self.sockets:
+            raise ValueError(
+                f"sockets_used must be in [1, {self.sockets}], got {sockets_used}")
+        return self.mem_bw_per_socket * sockets_used
+
+    def with_sub_numa(self, clusters: int) -> "CpuSpec":
+        """A copy with sub-NUMA clustering set to ``clusters`` domains."""
+        if clusters < 1:
+            raise ValueError("clusters must be >= 1")
+        return replace(self, sub_numa_clusters=clusters)
+
+
+_EMR_TLB = TlbSpec(entries_4k=2048, entries_2m=2048, entries_1g=16)
+
+#: EMR1: dual Xeon Gold 6530 (32 cores/socket), 16x32 GiB DDR5-4800.
+EMR1 = CpuSpec(
+    name="EMR1",
+    sockets=2,
+    cores_per_socket=32,
+    clock_hz=2.4e9,
+    mem_bw_per_socket=220e9,
+    mem_per_socket_bytes=256 * 2**30,
+    llc_bytes_per_socket=160 * 2**20,
+    tlb=_EMR_TLB,
+    page_walk_s=45e-9,
+    upi=UPI_EMR,
+    sgx_epc_per_socket=128 * 2**30,
+    price_usd=2130.0,
+)
+
+#: EMR2: dual Xeon Platinum 8580 (60 cores/socket), 16x32 GiB DDR5-4800.
+EMR2 = CpuSpec(
+    name="EMR2",
+    sockets=2,
+    cores_per_socket=60,
+    clock_hz=2.3e9,
+    mem_bw_per_socket=230e9,
+    mem_per_socket_bytes=256 * 2**30,
+    llc_bytes_per_socket=300 * 2**20,
+    tlb=_EMR_TLB,
+    page_walk_s=45e-9,
+    upi=UPI_EMR,
+    sgx_epc_per_socket=128 * 2**30,
+    price_usd=10710.0,
+)
+
+#: Sapphire Rapids alternative: ~40% lower performance, ~2x cheaper rent
+#: (§V-D2).  Modeled as a slower clock and bandwidth EMR2 sibling.
+SPR = CpuSpec(
+    name="SPR",
+    sockets=2,
+    cores_per_socket=56,
+    clock_hz=1.9e9,
+    mem_bw_per_socket=180e9,
+    mem_per_socket_bytes=256 * 2**30,
+    llc_bytes_per_socket=210 * 2**20,
+    tlb=_EMR_TLB,
+    page_walk_s=48e-9,
+    upi=UPI_EMR,
+    sgx_epc_per_socket=128 * 2**30,
+    price_usd=5600.0,
+)
+
+_SYSTEMS = {spec.name: spec for spec in (EMR1, EMR2, SPR)}
+
+
+def cpu_by_name(name: str) -> CpuSpec:
+    """Look up a CPU system by name (``EMR1``, ``EMR2``, ``SPR``)."""
+    if name not in _SYSTEMS:
+        raise KeyError(f"unknown CPU system {name!r}; known: {sorted(_SYSTEMS)}")
+    return _SYSTEMS[name]

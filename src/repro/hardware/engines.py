@@ -1,0 +1,96 @@
+"""Compute engines and per-datatype issue rates.
+
+The paper's AMX study (Fig. 8) hinges on which matrix engine executes a
+GEMM: Intel AMX tiles (bf16/int8), AVX-512 vector units (fp32/bf16, plus
+an unoptimized int8 fallback — IPEX ships no AVX int8 kernels, the root
+cause of the 96%/1700% no-AMX int8 overheads), or GPU tensor cores.
+Rates are expressed in FLOPs (MACs * 2) per cycle per core so CPU specs
+can scale them by core count and clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..llm.datatypes import BFLOAT16, FLOAT32, INT8, DType
+
+
+class Engine(str, Enum):
+    """A matrix/vector execution engine."""
+
+    AMX = "amx"
+    AVX512 = "avx512"
+    CUDA_TENSOR = "cuda_tensor"
+
+
+@dataclass(frozen=True)
+class EngineRates:
+    """Issue rates of one engine, FLOPs per cycle per core.
+
+    ``0.0`` means the engine cannot execute the datatype at all.
+    """
+
+    engine: Engine
+    rates: dict[str, float]
+
+    def rate_for(self, dtype: DType) -> float:
+        """FLOPs/cycle/core for a datatype (0 when unsupported)."""
+        return self.rates.get(dtype.name, 0.0)
+
+    def supports(self, dtype: DType) -> bool:
+        return self.rate_for(dtype) > 0.0
+
+
+#: Intel AMX: one TMUL unit per core, 16x16x32 bf16 / 16x16x64 int8 tiles.
+AMX_RATES = EngineRates(Engine.AMX, {
+    BFLOAT16.name: 1024.0,
+    INT8.name: 2048.0,
+    # AMX has no fp32 tiles; fp32 GEMMs fall back to AVX-512.
+    FLOAT32.name: 0.0,
+})
+
+#: AVX-512 with two 512-bit FMA ports; bf16 via AVX512-BF16 dot products.
+#: The int8 rate models IPEX's unoptimized fallback (dequantize-to-fp32
+#: temporaries and vector FMA), not a tuned VNNI kernel.
+AVX512_RATES = EngineRates(Engine.AVX512, {
+    FLOAT32.name: 64.0,
+    BFLOAT16.name: 128.0,
+    INT8.name: 96.0,
+})
+
+#: Per-SM per-cycle tensor-core rates for H100 (used with SM count/clock).
+CUDA_TENSOR_RATES = EngineRates(Engine.CUDA_TENSOR, {
+    FLOAT32.name: 1024.0,   # TF32 path
+    BFLOAT16.name: 2048.0,
+    INT8.name: 4096.0,
+})
+
+
+def best_cpu_engine(dtype: DType, amx_enabled: bool) -> tuple[Engine, float]:
+    """Pick the fastest available CPU engine for a datatype.
+
+    Returns:
+        ``(engine, flops_per_cycle_per_core)``.
+
+    Raises:
+        ValueError: If no engine can execute the datatype.
+    """
+    candidates = []
+    if amx_enabled and AMX_RATES.supports(dtype):
+        candidates.append((Engine.AMX, AMX_RATES.rate_for(dtype)))
+    if AVX512_RATES.supports(dtype):
+        candidates.append((Engine.AVX512, AVX512_RATES.rate_for(dtype)))
+    if not candidates:
+        raise ValueError(f"no CPU engine supports dtype {dtype.name}")
+    return max(candidates, key=lambda pair: pair[1])
+
+
+def is_fallback_path(dtype: DType, amx_enabled: bool) -> bool:
+    """True when the dtype lands on the unoptimized AVX int8 fallback.
+
+    IPEX quantization is fine-tuned for AMX; without AMX the int8 path
+    dequantizes through fp32 temporaries, inflating memory traffic and
+    destroying NUMA locality (paper §IV-C).
+    """
+    return dtype.name == INT8.name and not amx_enabled

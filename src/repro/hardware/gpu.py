@@ -1,0 +1,94 @@
+"""GPU specifications.
+
+Models the paper's H100 NVL (94 GB) instance as rented from Azure
+(NCCads_H100_v5 confidential / NCads_H100_v5 raw) and, for the security
+discussion, the B100-class successor that adds HBM and NVLink encryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .interconnect import NVLINK4, PCIE_GEN5_X16, Link
+from ..llm.datatypes import DType
+from .engines import CUDA_TENSOR_RATES
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU device.
+
+    Attributes:
+        name: Device label.
+        sms: Streaming multiprocessor count.
+        clock_hz: Sustained SM clock.
+        hbm_bytes: Device memory capacity.
+        hbm_bw: Sustained device memory bandwidth.
+        pcie: Host link.
+        nvlink: Peer link.
+        kernel_launch_s: Baseline kernel/graph launch latency.
+        hbm_encrypted: Whether device memory is TEE-protected (False on
+            H100 — a security gap the paper highlights; True on B100).
+        nvlink_protected: Whether peer traffic is TEE-protected.
+        price_usd: Approximate device list price.
+    """
+
+    name: str
+    sms: int
+    clock_hz: float
+    hbm_bytes: float
+    hbm_bw: float
+    pcie: Link
+    nvlink: Link
+    kernel_launch_s: float
+    hbm_encrypted: bool
+    nvlink_protected: bool
+    price_usd: float
+
+    def peak_flops(self, dtype: DType) -> float:
+        """Tensor-core peak FLOP/s for a datatype."""
+        rate = CUDA_TENSOR_RATES.rate_for(dtype)
+        if rate == 0.0:
+            raise ValueError(f"{self.name} tensor cores do not support {dtype.name}")
+        return rate * self.clock_hz * self.sms
+
+
+H100_NVL = GpuSpec(
+    name="H100-NVL",
+    sms=132,
+    clock_hz=1.6e9,
+    hbm_bytes=94 * 10**9,
+    hbm_bw=3.3e12,
+    pcie=PCIE_GEN5_X16,
+    nvlink=NVLINK4,
+    kernel_launch_s=4.0e-6,
+    hbm_encrypted=False,
+    nvlink_protected=False,
+    price_usd=30000.0,
+)
+
+#: B100-class successor: resolves H100's CC gaps (HBM + NVLink encryption)
+#: at the cost of memory-path protection overhead (modeled, not measured —
+#: the paper notes CC-mode B100s were not rentable).
+B100 = GpuSpec(
+    name="B100",
+    sms=144,
+    clock_hz=1.7e9,
+    hbm_bytes=192 * 10**9,
+    hbm_bw=8.0e12,
+    pcie=PCIE_GEN5_X16,
+    nvlink=NVLINK4,
+    kernel_launch_s=4.0e-6,
+    hbm_encrypted=True,
+    nvlink_protected=True,
+    price_usd=40000.0,
+)
+
+_GPUS = {spec.name: spec for spec in (H100_NVL, B100)}
+
+
+def gpu_by_name(name: str) -> GpuSpec:
+    """Look up a GPU by name (``H100-NVL``, ``B100``)."""
+    if name not in _GPUS:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(_GPUS)}")
+    return _GPUS[name]

@@ -1,0 +1,62 @@
+"""Socket and device interconnect models.
+
+Three links matter to the paper:
+
+* **UPI** between CPU sockets — on TDX/SGX parts it carries a dedicated
+  cryptographic unit, so cross-socket traffic pays an encryption derate
+  on top of its raw bandwidth (Insight 6's multi-socket costs).
+* **PCIe** between host and GPU — under confidential compute every
+  transfer is staged through an encrypted bounce buffer.
+* **NVLink** between GPUs — unprotected on H100, which forces confidential
+  multi-GPU traffic through the host at a hard throughput cap (§V-D4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point interconnect.
+
+    Attributes:
+        name: Human-readable link name.
+        bandwidth_bytes_s: Sustained one-direction bandwidth.
+        latency_s: Per-transfer latency.
+        encrypted_in_tee: Whether the TEE transparently protects traffic
+            on this link (UPI: yes; PCIe/NVLink on H100: no — PCIe uses a
+            software bounce buffer instead).
+    """
+
+    name: str
+    bandwidth_bytes_s: float
+    latency_s: float
+    encrypted_in_tee: bool
+
+    def transfer_time(self, size_bytes: float, efficiency: float = 1.0) -> float:
+        """Seconds to move ``size_bytes`` at a bandwidth efficiency."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        return self.latency_s + size_bytes / (self.bandwidth_bytes_s * efficiency)
+
+
+#: UPI 2.0 on Emerald Rapids: 3 links x 24 GT/s, ~120 GB/s usable
+#: aggregate for remote memory traffic between two sockets.
+UPI_EMR = Link("upi-emr", bandwidth_bytes_s=120e9, latency_s=80e-9,
+               encrypted_in_tee=True)
+
+#: PCIe 5.0 x16 between host and H100 NVL.
+PCIE_GEN5_X16 = Link("pcie5-x16", bandwidth_bytes_s=55e9, latency_s=1.0e-6,
+                     encrypted_in_tee=False)
+
+#: NVLink 4 between H100s (unprotected in CC mode).
+NVLINK4 = Link("nvlink4", bandwidth_bytes_s=400e9, latency_s=0.5e-6,
+               encrypted_in_tee=False)
+
+#: Observed cap for CPU-routed GPU-to-GPU traffic in confidential mode
+#: (no RDMA/GPUDirect): ~3 GB/s vs ~40 GB/s non-confidential (§V-D4).
+CONFIDENTIAL_GPU_ROUTED_BW = 3e9
+NONCONFIDENTIAL_GPU_ROUTED_BW = 40e9

@@ -1,0 +1,106 @@
+"""Analytical model summaries: the roofline numbers behind the figures.
+
+Answers the questions the paper's analysis keeps returning to — how many
+bytes does a decode step move, when does a batch become compute-bound,
+how fast can hardware possibly serve a model — directly from the
+operator accounting, without running the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ModelConfig
+from .datatypes import DType
+from .graph import decode_step_ops, prefill_ops
+from .ops import merge_totals
+
+
+@dataclass(frozen=True)
+class ModelSummary:
+    """Static footprint numbers for one (model, dtype) pair."""
+
+    model: str
+    dtype: str
+    parameters: int
+    weight_gb: float
+    kv_bytes_per_token: float
+    decode_flops_per_token: float
+    decode_bytes_per_token: float
+
+    @property
+    def decode_intensity(self) -> float:
+        """FLOPs per byte of a batch-1 decode step."""
+        return self.decode_flops_per_token / self.decode_bytes_per_token
+
+
+def summarize(model: ModelConfig, dtype: DType,
+              context_len: int = 512) -> ModelSummary:
+    """Static summary of a model at one datatype."""
+    totals = merge_totals(decode_step_ops(model, dtype, 1, context_len))
+    bytes_total = (totals["weight_bytes"] + totals["activation_bytes"]
+                   + totals["kv_read_bytes"] + totals["kv_write_bytes"])
+    return ModelSummary(
+        model=model.name,
+        dtype=dtype.name,
+        parameters=model.num_parameters,
+        weight_gb=model.weight_bytes(dtype.bytes) / 1e9,
+        kv_bytes_per_token=model.kv_bytes_per_token(dtype.bytes),
+        decode_flops_per_token=totals["flops"],
+        decode_bytes_per_token=bytes_total,
+    )
+
+
+def arithmetic_intensity(model: ModelConfig, dtype: DType, batch_size: int,
+                         context_len: int = 512) -> float:
+    """FLOPs per byte of a decode step at a batch size.
+
+    Grows with batch because streamed weights amortize — the quantity
+    Insight 9 ties TEE overheads to.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    totals = merge_totals(decode_step_ops(model, dtype, batch_size,
+                                          context_len))
+    bytes_total = (totals["weight_bytes"] + totals["activation_bytes"]
+                   + totals["kv_read_bytes"] + totals["kv_write_bytes"])
+    return totals["flops"] / bytes_total
+
+
+def compute_bound_batch(model: ModelConfig, dtype: DType,
+                        flops_per_s: float, bytes_per_s: float,
+                        context_len: int = 512,
+                        max_batch: int = 4096) -> int | None:
+    """Smallest batch at which a decode step turns compute-bound.
+
+    Args:
+        flops_per_s: Sustained compute rate of the target machine.
+        bytes_per_s: Sustained memory bandwidth of the target machine.
+
+    Returns:
+        The crossover batch, or ``None`` if it never crosses within
+        ``max_batch`` (KV traffic growth can keep decode memory-bound
+        forever at long contexts).
+    """
+    if flops_per_s <= 0 or bytes_per_s <= 0:
+        raise ValueError("rates must be positive")
+    machine_balance = flops_per_s / bytes_per_s
+    batch = 1
+    while batch <= max_batch:
+        if arithmetic_intensity(model, dtype, batch,
+                                context_len) >= machine_balance:
+            return batch
+        batch *= 2
+    return None
+
+
+def memory_floor_tok_s(model: ModelConfig, dtype: DType,
+                       bytes_per_s: float) -> float:
+    """Upper bound on batch-1 decode throughput from weight streaming.
+
+    Every decode token must read the full weights once; no software can
+    beat ``bandwidth / weight_bytes`` tokens per second at batch 1.
+    """
+    if bytes_per_s <= 0:
+        raise ValueError("bytes_per_s must be positive")
+    return bytes_per_s / model.weight_bytes(dtype.bytes)

@@ -1,0 +1,190 @@
+"""Model architecture registry.
+
+The paper's primary workload is Llama2 (7B/13B/70B); §III-C additionally
+validates Llama3 8B, GPT-J 6B, Falcon 7B, Baichuan2 7B and Qwen 7B, and
+the RAG section uses an SBERT-class sentence encoder plus a cross-encoder
+reranker.  All of these are dense transformers; the registry captures the
+architectural parameters that the operator-level FLOP/byte accounting in
+:mod:`repro.llm.ops` needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of a dense transformer.
+
+    Attributes:
+        name: Registry name, e.g. ``"llama2-7b"``.
+        num_layers: Number of decoder blocks.
+        hidden_size: Model (embedding) dimension.
+        num_heads: Attention query heads.
+        num_kv_heads: Key/value heads (``< num_heads`` implies GQA/MQA).
+        intermediate_size: MLP inner dimension (per branch for gated MLPs).
+        vocab_size: Vocabulary size.
+        mlp: Either ``"gated_silu"`` (Llama-style gate/up/down) or
+            ``"gelu"`` (GPT-J-style two-matrix MLP).
+        norm: ``"rmsnorm"`` or ``"layernorm"``.
+        max_position: Maximum supported context length.
+        tie_embeddings: Whether the LM head shares the embedding matrix.
+        encoder_only: True for BERT-style encoders (SBERT, cross-encoder);
+            these have no KV-cache decode phase.
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    intermediate_size: int
+    vocab_size: int
+    mlp: str = "gated_silu"
+    norm: str = "rmsnorm"
+    max_position: int = 4096
+    tie_embeddings: bool = False
+    encoder_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"{self.name}: hidden_size {self.hidden_size} not divisible "
+                f"by num_heads {self.num_heads}"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                f"{self.name}: num_heads {self.num_heads} not divisible "
+                f"by num_kv_heads {self.num_kv_heads}"
+            )
+        if self.mlp not in ("gated_silu", "gelu"):
+            raise ValueError(f"{self.name}: unknown mlp kind {self.mlp!r}")
+        if self.norm not in ("rmsnorm", "layernorm"):
+            raise ValueError(f"{self.name}: unknown norm kind {self.norm!r}")
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of one attention head."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total K (or V) width: ``num_kv_heads * head_dim``."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def attention_params(self) -> int:
+        """Parameters in one block's attention (q/k/v/o projections)."""
+        h = self.hidden_size
+        return h * h + 2 * h * self.kv_dim + h * h
+
+    @property
+    def mlp_params(self) -> int:
+        """Parameters in one block's MLP."""
+        h, i = self.hidden_size, self.intermediate_size
+        if self.mlp == "gated_silu":
+            return 3 * h * i
+        return 2 * h * i
+
+    @property
+    def block_params(self) -> int:
+        """Parameters in one decoder block (norm weights included)."""
+        return self.attention_params + self.mlp_params + 2 * self.hidden_size
+
+    @property
+    def num_parameters(self) -> int:
+        """Total parameter count, embeddings and LM head included."""
+        embed = self.vocab_size * self.hidden_size
+        head = 0 if (self.tie_embeddings or self.encoder_only) else embed
+        return self.num_layers * self.block_params + embed + head + self.hidden_size
+
+    def weight_bytes(self, dtype_bytes: float) -> float:
+        """Total weight footprint in bytes at the given element width."""
+        return self.num_parameters * dtype_bytes
+
+    def kv_bytes_per_token(self, dtype_bytes: float) -> float:
+        """KV-cache bytes appended per sequence token across all layers."""
+        return 2.0 * self.kv_dim * self.num_layers * dtype_bytes
+
+    def scaled(self, name: str, num_layers: int) -> "ModelConfig":
+        """A copy with a different depth, for building tiny test models."""
+        return replace(self, name=name, num_layers=num_layers)
+
+
+def _cfg(*args: object, **kwargs: object) -> ModelConfig:
+    return ModelConfig(*args, **kwargs)  # type: ignore[arg-type]
+
+
+_MODELS: dict[str, ModelConfig] = {}
+
+
+def _register(cfg: ModelConfig) -> ModelConfig:
+    if cfg.name in _MODELS:
+        raise ValueError(f"duplicate model {cfg.name}")
+    _MODELS[cfg.name] = cfg
+    return cfg
+
+
+LLAMA2_7B = _register(_cfg("llama2-7b", 32, 4096, 32, 32, 11008, 32000))
+LLAMA2_13B = _register(_cfg("llama2-13b", 40, 5120, 40, 40, 13824, 32000))
+LLAMA2_70B = _register(_cfg("llama2-70b", 80, 8192, 64, 8, 28672, 32000))
+LLAMA3_8B = _register(_cfg("llama3-8b", 32, 4096, 32, 8, 14336, 128256, max_position=8192))
+GPTJ_6B = _register(
+    _cfg("gptj-6b", 28, 4096, 16, 16, 16384, 50400, mlp="gelu", norm="layernorm", max_position=2048)
+)
+FALCON_7B = _register(
+    _cfg("falcon-7b", 32, 4544, 71, 1, 18176, 65024, mlp="gelu", norm="layernorm", max_position=2048)
+)
+BAICHUAN2_7B = _register(_cfg("baichuan2-7b", 32, 4096, 32, 32, 11008, 125696))
+QWEN_7B = _register(_cfg("qwen-7b", 32, 4096, 32, 32, 11008, 151936, max_position=8192))
+SBERT_BASE = _register(
+    _cfg(
+        "sbert-base", 6, 384, 12, 12, 1536, 30522,
+        mlp="gelu", norm="layernorm", max_position=512,
+        tie_embeddings=True, encoder_only=True,
+    )
+)
+CROSS_ENCODER = _register(
+    _cfg(
+        "cross-encoder-minilm", 6, 384, 12, 12, 1536, 30522,
+        mlp="gelu", norm="layernorm", max_position=512,
+        tie_embeddings=True, encoder_only=True,
+    )
+)
+
+#: Models used by the §III-C cross-model validation experiment.
+VALIDATION_MODELS = (LLAMA3_8B, GPTJ_6B, FALCON_7B, BAICHUAN2_7B, QWEN_7B)
+
+
+def model_by_name(name: str) -> ModelConfig:
+    """Look up a registered model configuration by name."""
+    if name not in _MODELS:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(_MODELS)}")
+    return _MODELS[name]
+
+
+def all_models() -> tuple[ModelConfig, ...]:
+    """All registered model configurations."""
+    return tuple(_MODELS.values())
+
+
+def tiny_llama(num_layers: int = 2, hidden_size: int = 64, num_heads: int = 4,
+               num_kv_heads: int | None = None, intermediate_size: int = 128,
+               vocab_size: int = 199) -> ModelConfig:
+    """A miniature Llama-style config for functional tests.
+
+    The numpy reference transformer (:mod:`repro.llm.reference`) runs real
+    forward passes on configs of this size to validate the analytical
+    FLOP/byte formulas.
+    """
+    return ModelConfig(
+        name=f"tiny-llama-{num_layers}x{hidden_size}",
+        num_layers=num_layers,
+        hidden_size=hidden_size,
+        num_heads=num_heads,
+        num_kv_heads=num_kv_heads if num_kv_heads is not None else num_heads,
+        intermediate_size=intermediate_size,
+        vocab_size=vocab_size,
+        max_position=512,
+    )

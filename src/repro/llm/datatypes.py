@@ -1,0 +1,77 @@
+"""Inference datatypes used throughout the performance model.
+
+The paper evaluates two inference datatypes on CPUs (bfloat16 and int8,
+the latter obtained through post-training quantization) and bfloat16 on
+GPUs, with float32 appearing only in the framework microbenchmark
+(Fig. 3).  A datatype influences three things in the model:
+
+* bytes per element (weight/activation/KV-cache footprint),
+* which compute engines can execute it (AMX supports bf16/int8,
+  AVX-512 supports fp32/bf16 but has no optimized int8 kernels in IPEX,
+  which is the root cause of the paper's 96%/1700% no-AMX int8 numbers),
+* accumulation width (int8 accumulates into int32, bf16 into fp32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DType:
+    """An inference datatype.
+
+    Attributes:
+        name: Canonical short name, e.g. ``"bf16"``.
+        bits: Storage bits per element.
+        amx_supported: Whether Intel AMX has native tiles for this type.
+        avx_optimized: Whether IPEX ships optimized AVX-512 kernels for
+            this type.  ``False`` models the paper's observation that
+            int8 without AMX falls back to an unoptimized path.
+        cuda_tensor_core: Whether H100 tensor cores accelerate this type.
+    """
+
+    name: str
+    bits: int
+    amx_supported: bool
+    avx_optimized: bool
+    cuda_tensor_core: bool
+
+    @property
+    def bytes(self) -> float:
+        """Storage bytes per element (may be fractional for sub-byte types)."""
+        return self.bits / 8.0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+FLOAT32 = DType("f32", 32, amx_supported=False, avx_optimized=True, cuda_tensor_core=True)
+BFLOAT16 = DType("bf16", 16, amx_supported=True, avx_optimized=True, cuda_tensor_core=True)
+INT8 = DType("int8", 8, amx_supported=True, avx_optimized=False, cuda_tensor_core=True)
+
+_REGISTRY = {dt.name: dt for dt in (FLOAT32, BFLOAT16, INT8)}
+_ALIASES = {
+    "float32": "f32",
+    "fp32": "f32",
+    "bfloat16": "bf16",
+    "i8": "int8",
+}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a datatype by name or common alias.
+
+    Raises:
+        KeyError: If the name is not a known datatype.
+    """
+    key = _ALIASES.get(name.lower(), name.lower())
+    if key not in _REGISTRY:
+        known = sorted(set(_REGISTRY) | set(_ALIASES))
+        raise KeyError(f"unknown dtype {name!r}; known: {known}")
+    return _REGISTRY[key]
+
+
+def all_dtypes() -> tuple[DType, ...]:
+    """All datatypes the model knows about, in definition order."""
+    return (FLOAT32, BFLOAT16, INT8)

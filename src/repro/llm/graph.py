@@ -1,0 +1,233 @@
+"""Decoder op-graph construction for prefill and decode steps.
+
+:func:`prefill_ops` and :func:`decode_step_ops` emit the operator stream
+of one forward step.  The operator names match the per-block layer
+categories in the paper's Fig. 7 trace study (input layernorm, QKV
+projection, self-attention, output projection, post-attention layernorm,
+gate/up projection with SiLU multiply, down projection, residuals).
+"""
+
+from __future__ import annotations
+
+from .config import ModelConfig
+from .datatypes import DType
+from .ops import Operator, OpCategory, Phase
+
+#: Operator names emitted per decoder block, in execution order.
+BLOCK_OP_NAMES = (
+    "input_layernorm",
+    "qkv_proj",
+    "rotary_embed",
+    "self_attention",
+    "o_proj",
+    "residual_add",
+    "post_attention_layernorm",
+    "gate_up_proj",
+    "silu_mul",
+    "down_proj",
+    "residual_add_2",
+)
+
+
+def _norm_op(name: str, phase: Phase, layer: int | None, tokens: float,
+             hidden: int, ds: float) -> Operator:
+    return Operator(
+        name=name, category=OpCategory.NORM, phase=phase, layer=layer,
+        flops=5.0 * tokens * hidden,
+        weight_bytes=hidden * ds,
+        activation_bytes=2.0 * tokens * hidden * ds,
+    )
+
+
+def _block_ops(model: ModelConfig, dtype: DType, phase: Phase, layer: int,
+               new_tokens: float, context_len: float,
+               sequences: float) -> list[Operator]:
+    """Operators of one decoder block.
+
+    Args:
+        new_tokens: Tokens processed this step across the whole batch
+            (``sequences * seq_len`` in prefill, ``sequences`` in decode).
+        context_len: Attended context length per sequence.
+        sequences: Number of sequences (batch * beams).
+    """
+    h = model.hidden_size
+    kv = model.kv_dim
+    i = model.intermediate_size
+    ds = dtype.bytes
+    ops: list[Operator] = []
+
+    ops.append(_norm_op("input_layernorm", phase, layer, new_tokens, h, ds))
+
+    ops.append(Operator(
+        name="qkv_proj", category=OpCategory.GEMM, phase=phase, layer=layer,
+        flops=2.0 * new_tokens * h * (h + 2 * kv),
+        weight_bytes=(h * h + 2 * h * kv) * ds,
+        activation_bytes=new_tokens * (2 * h + 2 * kv) * ds,
+    ))
+
+    ops.append(Operator(
+        name="rotary_embed", category=OpCategory.ELEMENTWISE, phase=phase,
+        layer=layer,
+        flops=6.0 * new_tokens * (h + kv),
+        activation_bytes=2.0 * new_tokens * (h + kv) * ds,
+    ))
+
+    if phase is Phase.PREFILL:
+        # Causal attention over the prompt: ~S^2/2 score and context MACs.
+        seq_len = new_tokens / sequences
+        attn_flops = 2.0 * sequences * h * seq_len * seq_len
+        kv_read = 0.0
+        softmax_tokens = sequences * seq_len * seq_len / 2.0
+    else:
+        # One new token per sequence attends to the full cached context.
+        attn_flops = 4.0 * sequences * h * context_len
+        kv_read = 2.0 * sequences * context_len * kv * ds
+        softmax_tokens = sequences * context_len
+    ops.append(Operator(
+        name="self_attention", category=OpCategory.ATTENTION, phase=phase,
+        layer=layer,
+        flops=attn_flops + 5.0 * model.num_heads * softmax_tokens,
+        activation_bytes=2.0 * new_tokens * h * ds,
+        kv_read_bytes=kv_read,
+        kv_write_bytes=2.0 * new_tokens * kv * ds,
+    ))
+
+    ops.append(Operator(
+        name="o_proj", category=OpCategory.GEMM, phase=phase, layer=layer,
+        flops=2.0 * new_tokens * h * h,
+        weight_bytes=h * h * ds,
+        activation_bytes=2.0 * new_tokens * h * ds,
+    ))
+
+    ops.append(Operator(
+        name="residual_add", category=OpCategory.ELEMENTWISE, phase=phase,
+        layer=layer,
+        flops=new_tokens * h,
+        activation_bytes=3.0 * new_tokens * h * ds,
+    ))
+
+    ops.append(_norm_op("post_attention_layernorm", phase, layer, new_tokens, h, ds))
+
+    if model.mlp == "gated_silu":
+        ops.append(Operator(
+            name="gate_up_proj", category=OpCategory.GEMM, phase=phase,
+            layer=layer,
+            flops=2.0 * new_tokens * h * 2 * i,
+            weight_bytes=2 * h * i * ds,
+            activation_bytes=new_tokens * (h + 2 * i) * ds,
+        ))
+        ops.append(Operator(
+            name="silu_mul", category=OpCategory.ELEMENTWISE, phase=phase,
+            layer=layer,
+            flops=5.0 * new_tokens * i,
+            activation_bytes=3.0 * new_tokens * i * ds,
+        ))
+    else:
+        ops.append(Operator(
+            name="gate_up_proj", category=OpCategory.GEMM, phase=phase,
+            layer=layer,
+            flops=2.0 * new_tokens * h * i,
+            weight_bytes=h * i * ds,
+            activation_bytes=new_tokens * (h + i) * ds,
+        ))
+        ops.append(Operator(
+            name="silu_mul", category=OpCategory.ELEMENTWISE, phase=phase,
+            layer=layer,
+            flops=8.0 * new_tokens * i,
+            activation_bytes=2.0 * new_tokens * i * ds,
+        ))
+
+    ops.append(Operator(
+        name="down_proj", category=OpCategory.GEMM, phase=phase, layer=layer,
+        flops=2.0 * new_tokens * i * h,
+        weight_bytes=h * i * ds,
+        activation_bytes=new_tokens * (i + h) * ds,
+    ))
+
+    ops.append(Operator(
+        name="residual_add_2", category=OpCategory.ELEMENTWISE, phase=phase,
+        layer=layer,
+        flops=new_tokens * h,
+        activation_bytes=3.0 * new_tokens * h * ds,
+    ))
+    return ops
+
+
+def _head_ops(model: ModelConfig, dtype: DType, phase: Phase,
+              logits_tokens: float) -> list[Operator]:
+    """Final norm and LM head for the tokens that need logits."""
+    h, v, ds = model.hidden_size, model.vocab_size, dtype.bytes
+    ops = [_norm_op("final_norm", phase, None, logits_tokens, h, ds)]
+    if not model.encoder_only:
+        ops.append(Operator(
+            name="lm_head", category=OpCategory.GEMM, phase=phase, layer=None,
+            flops=2.0 * logits_tokens * h * v,
+            weight_bytes=h * v * ds,
+            activation_bytes=logits_tokens * (h + v) * ds,
+        ))
+    return ops
+
+
+def _embed_op(model: ModelConfig, dtype: DType, phase: Phase,
+              tokens: float) -> Operator:
+    h, ds = model.hidden_size, dtype.bytes
+    return Operator(
+        name="embed_tokens", category=OpCategory.EMBEDDING, phase=phase,
+        layer=None,
+        flops=0.0,
+        weight_bytes=tokens * h * ds,
+        activation_bytes=tokens * h * ds,
+    )
+
+
+def prefill_ops(model: ModelConfig, dtype: DType, batch_size: int,
+                input_len: int, beam_size: int = 1) -> list[Operator]:
+    """Operator stream of one prefill over the prompt.
+
+    Beam search shares the prompt forward pass across beams (the KV cache
+    is replicated afterwards), so prefill cost scales with ``batch_size``
+    only.
+    """
+    _check_shape(batch_size, input_len, beam_size)
+    sequences = float(batch_size)
+    tokens = sequences * input_len
+    ops = [_embed_op(model, dtype, Phase.PREFILL, tokens)]
+    for layer in range(model.num_layers):
+        ops.extend(_block_ops(model, dtype, Phase.PREFILL, layer,
+                              new_tokens=tokens, context_len=float(input_len),
+                              sequences=sequences))
+    # Only the last position of each sequence needs logits after prefill.
+    ops.extend(_head_ops(model, dtype, Phase.PREFILL, logits_tokens=sequences))
+    return ops
+
+
+def decode_step_ops(model: ModelConfig, dtype: DType, batch_size: int,
+                    context_len: int, beam_size: int = 1) -> list[Operator]:
+    """Operator stream of one decode step at a given context length."""
+    _check_shape(batch_size, context_len, beam_size)
+    sequences = float(batch_size * beam_size)
+    ops = [_embed_op(model, dtype, Phase.DECODE, sequences)]
+    for layer in range(model.num_layers):
+        ops.extend(_block_ops(model, dtype, Phase.DECODE, layer,
+                              new_tokens=sequences,
+                              context_len=float(context_len),
+                              sequences=sequences))
+    ops.extend(_head_ops(model, dtype, Phase.DECODE, logits_tokens=sequences))
+    return ops
+
+
+def encode_ops(model: ModelConfig, dtype: DType, batch_size: int,
+               input_len: int) -> list[Operator]:
+    """Operator stream for a BERT-style encoder pass (RAG models)."""
+    if not model.encoder_only:
+        raise ValueError(f"{model.name} is not an encoder-only model")
+    return prefill_ops(model, dtype, batch_size, input_len)
+
+
+def _check_shape(batch_size: int, length: int, beam_size: int) -> None:
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if length < 1:
+        raise ValueError(f"sequence length must be >= 1, got {length}")
+    if beam_size < 1:
+        raise ValueError(f"beam_size must be >= 1, got {beam_size}")

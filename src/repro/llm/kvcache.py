@@ -1,0 +1,150 @@
+"""KV-cache bookkeeping.
+
+Two implementations are provided:
+
+* :class:`KVCacheState` — the contiguous per-sequence cache used by the
+  CPU (IPEX-style) path; the analytical model only needs its byte
+  accounting, but the class also supports functional append/trim so the
+  reference transformer can share it.
+* :class:`PagedKVCache` — a vLLM-style block-allocated cache used by the
+  GPU path; it exercises block allocation/free invariants that the test
+  suite checks with property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import ModelConfig
+
+
+@dataclass
+class KVCacheState:
+    """Contiguous KV cache for a batch of sequences.
+
+    Attributes:
+        model: Architecture whose K/V widths are cached.
+        dtype_bytes: Element width of the cached K/V values.
+        lengths: Current cached length per sequence.
+    """
+
+    model: ModelConfig
+    dtype_bytes: float
+    lengths: list[int] = field(default_factory=list)
+
+    def add_sequences(self, count: int, prompt_len: int) -> None:
+        """Register ``count`` new sequences with ``prompt_len`` cached tokens."""
+        if count < 0 or prompt_len < 0:
+            raise ValueError("count and prompt_len must be >= 0")
+        self.lengths.extend([prompt_len] * count)
+
+    def append_token(self) -> None:
+        """Extend every sequence by one decoded token."""
+        self.lengths = [length + 1 for length in self.lengths]
+
+    def evict(self, index: int) -> None:
+        """Remove a finished sequence from the cache."""
+        del self.lengths[index]
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens cached across all sequences."""
+        return sum(self.lengths)
+
+    @property
+    def bytes(self) -> float:
+        """Total cache footprint in bytes."""
+        return self.total_tokens * self.model.kv_bytes_per_token(self.dtype_bytes)
+
+    def read_bytes_per_step(self) -> float:
+        """Bytes read by one decode step (full cache scan, all layers)."""
+        return self.bytes
+
+    def write_bytes_per_step(self) -> float:
+        """Bytes appended by one decode step."""
+        return len(self.lengths) * self.model.kv_bytes_per_token(self.dtype_bytes)
+
+
+class PagedKVCache:
+    """Block-allocated KV cache in the style of vLLM's PagedAttention.
+
+    Sequences own ordered lists of fixed-size blocks; blocks are recycled
+    through a free list.  Invariants (checked by tests):
+
+    * a block is owned by at most one sequence,
+    * ``free + allocated == total`` at all times,
+    * capacity in tokens is ``blocks * block_size``.
+    """
+
+    def __init__(self, num_blocks: int, block_size: int) -> None:
+        if num_blocks <= 0 or block_size <= 0:
+            raise ValueError("num_blocks and block_size must be positive")
+        self.block_size = block_size
+        self.num_blocks = num_blocks
+        self._free: list[int] = list(range(num_blocks - 1, -1, -1))
+        self._tables: dict[int, list[int]] = {}
+        self._lengths: dict[int, int] = {}
+
+    @property
+    def free_blocks(self) -> int:
+        """Number of unallocated blocks."""
+        return len(self._free)
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Number of blocks currently owned by sequences."""
+        return self.num_blocks - len(self._free)
+
+    def sequence_length(self, seq_id: int) -> int:
+        """Cached token count for a sequence."""
+        return self._lengths[seq_id]
+
+    def block_table(self, seq_id: int) -> tuple[int, ...]:
+        """The ordered block ids backing a sequence."""
+        return tuple(self._tables[seq_id])
+
+    def _blocks_needed(self, tokens: int) -> int:
+        return -(-tokens // self.block_size)
+
+    def allocate(self, seq_id: int, prompt_len: int) -> None:
+        """Admit a new sequence with ``prompt_len`` tokens.
+
+        Raises:
+            KeyError: If the sequence id is already admitted.
+            MemoryError: If not enough free blocks remain; the caller is
+                expected to apply its scheduling policy (vLLM preempts).
+        """
+        if seq_id in self._tables:
+            raise KeyError(f"sequence {seq_id} already allocated")
+        if prompt_len < 0:
+            raise ValueError("prompt_len must be >= 0")
+        needed = self._blocks_needed(prompt_len) if prompt_len else 0
+        if needed > len(self._free):
+            raise MemoryError(
+                f"need {needed} blocks for sequence {seq_id}, "
+                f"only {len(self._free)} free"
+            )
+        self._tables[seq_id] = [self._free.pop() for _ in range(needed)]
+        self._lengths[seq_id] = prompt_len
+
+    def append_token(self, seq_id: int) -> None:
+        """Extend a sequence by one token, growing its table if needed."""
+        length = self._lengths[seq_id]
+        if self._blocks_needed(length + 1) > len(self._tables[seq_id]):
+            if not self._free:
+                raise MemoryError(f"no free block to grow sequence {seq_id}")
+            self._tables[seq_id].append(self._free.pop())
+        self._lengths[seq_id] = length + 1
+
+    def free(self, seq_id: int) -> None:
+        """Release all blocks of a finished sequence."""
+        blocks = self._tables.pop(seq_id)
+        del self._lengths[seq_id]
+        self._free.extend(reversed(blocks))
+
+    def utilization(self) -> float:
+        """Fraction of allocated block capacity actually holding tokens."""
+        if self.allocated_blocks == 0:
+            return 0.0
+        capacity = self.allocated_blocks * self.block_size
+        return sum(self._lengths.values()) / capacity

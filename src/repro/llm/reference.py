@@ -1,0 +1,238 @@
+"""Functional numpy reference transformer.
+
+A real Llama-style forward pass (RoPE, GQA, RMSNorm/LayerNorm, gated-SiLU
+or GELU MLP, KV cache) on tiny random-weight models.  Its purposes:
+
+* validate the analytical FLOP/byte formulas in :mod:`repro.llm.graph`
+  against actually executed matmul shapes (the pass records them),
+* provide a genuine inference substrate for the end-to-end examples and
+  for the greedy/beam decoding implementation in :mod:`repro.llm.sampling`,
+* exercise the int8 weight-only quantization path functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import ModelConfig
+from .quantize import QuantizedTensor, int8_matmul, quantize_per_row
+
+
+@dataclass
+class FlopRecorder:
+    """Counts multiply-add FLOPs of executed matmuls by operator name."""
+
+    counts: dict[str, float] = field(default_factory=dict)
+
+    def record(self, name: str, flops: float) -> None:
+        self.counts[name] = self.counts.get(name, 0.0) + flops
+
+    @property
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+
+class _Linear:
+    """A dense layer storable as float32 or weight-only int8."""
+
+    def __init__(self, weight: np.ndarray, quantized: bool) -> None:
+        self.out_features, self.in_features = weight.shape
+        self._q: QuantizedTensor | None = None
+        self._w: np.ndarray | None = None
+        if quantized:
+            self._q = quantize_per_row(weight)
+        else:
+            self._w = weight.astype(np.float32)
+
+    def __call__(self, x: np.ndarray, name: str,
+                 recorder: FlopRecorder | None) -> np.ndarray:
+        if recorder is not None:
+            tokens = int(np.prod(x.shape[:-1]))
+            recorder.record(name, 2.0 * tokens * self.in_features * self.out_features)
+        if self._q is not None:
+            flat = x.reshape(-1, self.in_features)
+            out = int8_matmul(flat, self._q)
+            return out.reshape(*x.shape[:-1], self.out_features)
+        return x @ self._w.T
+
+
+def _rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def _layer_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    mean = np.mean(x, axis=-1, keepdims=True)
+    variance = np.var(x, axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(variance + eps) * weight
+
+
+def _silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-x))
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)))
+
+
+def _rope_cache(head_dim: int, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    inv_freq = 1.0 / (10000.0 ** (np.arange(0, head_dim, 2) / head_dim))
+    angles = positions[:, None] * inv_freq[None, :]
+    return np.cos(angles), np.sin(angles)
+
+
+def _apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Rotate pairs of channels; x has shape (batch, heads, seq, head_dim)."""
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    rotated = np.empty_like(x)
+    rotated[..., 0::2] = x1 * cos - x2 * sin
+    rotated[..., 1::2] = x1 * sin + x2 * cos
+    return rotated
+
+
+class ReferenceTransformer:
+    """Random-weight Llama-style model with an incremental KV cache.
+
+    Args:
+        config: Architecture to instantiate; keep it tiny (this is numpy).
+        seed: Weight initialization seed.
+        quantized: Store linear weights as weight-only int8.
+    """
+
+    def __init__(self, config: ModelConfig, seed: int = 0,
+                 quantized: bool = False) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        h, kv, i, v = (config.hidden_size, config.kv_dim,
+                       config.intermediate_size, config.vocab_size)
+
+        def init(out_f: int, in_f: int) -> _Linear:
+            scale = 1.0 / np.sqrt(in_f)
+            weight = rng.normal(0.0, scale, size=(out_f, in_f))
+            return _Linear(weight, quantized)
+
+        self.embed = rng.normal(0.0, 0.02, size=(v, h)).astype(np.float32)
+        self.blocks = []
+        for _ in range(config.num_layers):
+            self.blocks.append({
+                "input_norm": np.ones(h, dtype=np.float32),
+                "q": init(h, h), "k": init(kv, h), "v": init(kv, h),
+                "o": init(h, h),
+                "post_norm": np.ones(h, dtype=np.float32),
+                "gate": init(i, h) if config.mlp == "gated_silu" else None,
+                "up": init(i, h),
+                "down": init(h, i),
+            })
+        self.final_norm = np.ones(h, dtype=np.float32)
+        if config.tie_embeddings:
+            self.lm_head = _Linear(self.embed, quantized=False)
+        else:
+            self.lm_head = init(v, h)
+        self._norm = _rms_norm if config.norm == "rmsnorm" else _layer_norm
+
+    def new_cache(self) -> list[dict[str, np.ndarray | None]]:
+        """An empty KV cache, one {k, v} entry per layer."""
+        return [{"k": None, "v": None} for _ in range(self.config.num_layers)]
+
+    def forward(self, token_ids: np.ndarray,
+                cache: list[dict[str, np.ndarray | None]] | None = None,
+                recorder: FlopRecorder | None = None) -> np.ndarray:
+        """Run the model over new tokens, extending ``cache`` in place.
+
+        Args:
+            token_ids: int array of shape (batch, new_tokens).
+            cache: KV cache from :meth:`new_cache`; ``None`` disables caching.
+            recorder: Optional FLOP recorder for validation tests.
+
+        Returns:
+            Logits of shape (batch, new_tokens, vocab).
+        """
+        hidden = self._run_blocks(token_ids, cache, recorder)
+        return self.lm_head(hidden, "lm_head", recorder)
+
+    def _run_blocks(self, token_ids: np.ndarray,
+                    cache: list[dict[str, np.ndarray | None]] | None = None,
+                    recorder: FlopRecorder | None = None) -> np.ndarray:
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be 2-D, got shape {token_ids.shape}")
+        if token_ids.min() < 0 or token_ids.max() >= self.config.vocab_size:
+            raise ValueError("token id out of vocabulary range")
+        cfg = self.config
+        batch, new_tokens = token_ids.shape
+        past = 0
+        if cache is not None and cache[0]["k"] is not None:
+            past = cache[0]["k"].shape[2]
+        positions = np.arange(past, past + new_tokens, dtype=np.float64)
+        cos, sin = _rope_cache(cfg.head_dim, positions)
+
+        hidden = self.embed[token_ids]
+        group = cfg.num_heads // cfg.num_kv_heads
+        for layer, block in enumerate(self.blocks):
+            normed = self._norm(hidden, block["input_norm"])
+            q = block["q"](normed, "qkv_proj", recorder)
+            k = block["k"](normed, "qkv_proj", recorder)
+            vv = block["v"](normed, "qkv_proj", recorder)
+            q = q.reshape(batch, new_tokens, cfg.num_heads, cfg.head_dim).transpose(0, 2, 1, 3)
+            k = k.reshape(batch, new_tokens, cfg.num_kv_heads, cfg.head_dim).transpose(0, 2, 1, 3)
+            vv = vv.reshape(batch, new_tokens, cfg.num_kv_heads, cfg.head_dim).transpose(0, 2, 1, 3)
+            if not cfg.encoder_only:
+                q = _apply_rope(q, cos, sin)
+                k = _apply_rope(k, cos, sin)
+
+            if cache is not None:
+                entry = cache[layer]
+                if entry["k"] is not None:
+                    k = np.concatenate([entry["k"], k], axis=2)
+                    vv = np.concatenate([entry["v"], vv], axis=2)
+                entry["k"], entry["v"] = k, vv
+            context_len = k.shape[2]
+
+            k_full = np.repeat(k, group, axis=1)
+            v_full = np.repeat(vv, group, axis=1)
+            scores = q @ k_full.transpose(0, 1, 3, 2) / np.sqrt(cfg.head_dim)
+            if recorder is not None:
+                recorder.record(
+                    "self_attention",
+                    2.0 * batch * cfg.num_heads * new_tokens * context_len * cfg.head_dim,
+                )
+            if not cfg.encoder_only:
+                query_pos = np.arange(past, past + new_tokens)[:, None]
+                key_pos = np.arange(context_len)[None, :]
+                scores = np.where(key_pos <= query_pos, scores, -1e30)
+            weights = np.exp(scores - scores.max(axis=-1, keepdims=True))
+            weights = weights / weights.sum(axis=-1, keepdims=True)
+            attended = weights @ v_full
+            if recorder is not None:
+                recorder.record(
+                    "self_attention",
+                    2.0 * batch * cfg.num_heads * new_tokens * context_len * cfg.head_dim,
+                )
+            attended = attended.transpose(0, 2, 1, 3).reshape(batch, new_tokens, cfg.hidden_size)
+            hidden = hidden + block["o"](attended, "o_proj", recorder)
+
+            normed = self._norm(hidden, block["post_norm"])
+            if cfg.mlp == "gated_silu":
+                gate = block["gate"](normed, "gate_up_proj", recorder)
+                up = block["up"](normed, "gate_up_proj", recorder)
+                mlp = block["down"](_silu(gate) * up, "down_proj", recorder)
+            else:
+                mlp = block["down"](_gelu(block["up"](normed, "gate_up_proj", recorder)),
+                                    "down_proj", recorder)
+            hidden = hidden + mlp
+
+        return self._norm(hidden, self.final_norm)
+
+    def encode(self, token_ids: np.ndarray) -> np.ndarray:
+        """Mean-pooled final hidden states (SBERT-style sentence embedding).
+
+        Returns:
+            Array of shape (batch, hidden_size).
+        """
+        if not self.config.encoder_only:
+            raise ValueError(f"{self.config.name} is not an encoder-only model")
+        hidden = self._run_blocks(token_ids, cache=None)
+        return hidden.mean(axis=1)

@@ -1,0 +1,132 @@
+"""Tensor-parallel weight sharding planner.
+
+Megatron-style sharding splits attention heads and MLP columns across
+devices.  The planner computes per-device parameter shards, validates
+divisibility constraints, and reports replicated (norm/embedding)
+parameters — backing the multi-GPU scale-out model with an exact
+placement rather than a uniform 1/N approximation, and exposing the
+imbalance that GQA models (few KV heads) create at high degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ModelConfig
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Per-device placement of one model under tensor parallelism.
+
+    Attributes:
+        model: Architecture being sharded.
+        degree: Tensor-parallel width.
+        heads_per_device: Query heads on each device.
+        kv_heads_per_device: KV heads on each device (>= 1; KV heads are
+            replicated when the degree exceeds their count).
+        kv_replication: How many devices hold a copy of each KV head.
+        sharded_params_per_device: Parameters split across devices.
+        replicated_params: Parameters every device holds (norms,
+            embeddings, LM head in the common implementation).
+    """
+
+    model: ModelConfig
+    degree: int
+    heads_per_device: int
+    kv_heads_per_device: int
+    kv_replication: int
+    sharded_params_per_device: int
+    replicated_params: int
+
+    @property
+    def params_per_device(self) -> int:
+        return self.sharded_params_per_device + self.replicated_params
+
+    @property
+    def memory_per_device_bytes(self) -> float:
+        """Weight bytes per device at a given dtype width is obtained by
+        multiplying this count by the dtype's bytes."""
+        return float(self.params_per_device)
+
+    @property
+    def efficiency(self) -> float:
+        """Ideal-fraction of memory saved: 1.0 means perfect 1/N split.
+
+        Replication (norms, embeddings, duplicated KV heads) pushes the
+        per-device footprint above ``total/degree``; efficiency is
+        ``(total/degree) / params_per_device``.
+        """
+        ideal = self.model.num_parameters / self.degree
+        return ideal / self.params_per_device
+
+
+def plan_tensor_parallel(model: ModelConfig, degree: int) -> ShardPlan:
+    """Compute the tensor-parallel shard plan.
+
+    Raises:
+        ValueError: If the degree does not divide the query heads or the
+            MLP width (the Megatron divisibility constraints).
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    if model.num_heads % degree != 0:
+        raise ValueError(
+            f"{model.name}: {model.num_heads} heads not divisible by "
+            f"degree {degree}")
+    if model.intermediate_size % degree != 0:
+        raise ValueError(
+            f"{model.name}: MLP width {model.intermediate_size} not "
+            f"divisible by degree {degree}")
+
+    heads_per_device = model.num_heads // degree
+    if model.num_kv_heads >= degree:
+        if model.num_kv_heads % degree != 0:
+            raise ValueError(
+                f"{model.name}: {model.num_kv_heads} KV heads not "
+                f"divisible by degree {degree}")
+        kv_heads_per_device = model.num_kv_heads // degree
+        kv_replication = 1
+    else:
+        # Fewer KV heads than devices: each KV head is replicated.
+        if degree % model.num_kv_heads != 0:
+            raise ValueError(
+                f"{model.name}: degree {degree} not divisible by "
+                f"{model.num_kv_heads} KV heads")
+        kv_heads_per_device = 1
+        kv_replication = degree // model.num_kv_heads
+
+    h = model.hidden_size
+    head_dim = model.head_dim
+    q_params = h * heads_per_device * head_dim
+    kv_params = 2 * h * kv_heads_per_device * head_dim
+    o_params = heads_per_device * head_dim * h
+    mlp_per_device = model.mlp_params // degree
+    per_layer = q_params + kv_params + o_params + mlp_per_device
+    sharded = per_layer * model.num_layers
+
+    embed = model.vocab_size * model.hidden_size
+    head = 0 if (model.tie_embeddings or model.encoder_only) else embed
+    norms = model.num_layers * 2 * model.hidden_size + model.hidden_size
+    replicated = embed + head + norms
+
+    return ShardPlan(
+        model=model, degree=degree,
+        heads_per_device=heads_per_device,
+        kv_heads_per_device=kv_heads_per_device,
+        kv_replication=kv_replication,
+        sharded_params_per_device=sharded,
+        replicated_params=replicated,
+    )
+
+
+def max_degree(model: ModelConfig, limit: int = 64) -> int:
+    """Largest valid tensor-parallel degree up to ``limit``."""
+    best = 1
+    for degree in range(1, limit + 1):
+        try:
+            plan_tensor_parallel(model, degree)
+        except ValueError:
+            continue
+        best = degree
+    return best

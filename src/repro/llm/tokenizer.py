@@ -1,0 +1,54 @@
+"""A small deterministic tokenizer.
+
+The experiments only need token *counts* and reproducible ids, not a
+linguistically meaningful vocabulary, so this is a whitespace/punctuation
+word-piece tokenizer with a hash-bucketed vocabulary.  It is shared by the
+workload generators and the RAG substrate (where the same tokenization
+feeds BM25 document statistics).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+|[^\sa-z0-9]")
+
+
+class HashTokenizer:
+    """Deterministic tokenizer mapping words to stable id buckets.
+
+    Ids 0..3 are reserved: pad=0, bos=1, eos=2, unk=3.
+    """
+
+    PAD_ID = 0
+    BOS_ID = 1
+    EOS_ID = 2
+    UNK_ID = 3
+    _RESERVED = 4
+
+    def __init__(self, vocab_size: int = 32000) -> None:
+        if vocab_size <= self._RESERVED:
+            raise ValueError(f"vocab_size must exceed {self._RESERVED}")
+        self.vocab_size = vocab_size
+
+    def words(self, text: str) -> list[str]:
+        """Lowercased word/punctuation pieces of ``text``."""
+        return _TOKEN_RE.findall(text.lower())
+
+    def token_id(self, word: str) -> int:
+        """Stable id for one word piece."""
+        digest = hashlib.blake2b(word.encode("utf-8"), digest_size=8).digest()
+        bucket = int.from_bytes(digest, "little") % (self.vocab_size - self._RESERVED)
+        return self._RESERVED + bucket
+
+    def encode(self, text: str, add_bos: bool = True) -> list[int]:
+        """Token ids for ``text``; empty text encodes to just BOS."""
+        ids = [self.token_id(word) for word in self.words(text)]
+        if add_bos:
+            ids.insert(0, self.BOS_ID)
+        return ids
+
+    def count(self, text: str) -> int:
+        """Token count excluding special tokens."""
+        return len(self.words(text))

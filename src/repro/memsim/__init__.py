@@ -1,0 +1,35 @@
+"""Memory-subsystem simulators: TLB, pages, EPC, LLC, NUMA."""
+
+from .cache import CacheModel
+from .cachesim import ScanResult, SetAssociativeCache, measure_cyclic_scan
+from .epc import EPC_FAULT_S, EpcPager, paging_fraction, paging_overhead_s
+from .numa import (
+    NumaAllocator,
+    NumaPolicy,
+    effective_bandwidth,
+    remote_fraction,
+    sub_numa_misplacement,
+)
+from .pages import (
+    GB,
+    KB,
+    MB,
+    PAGE_1G,
+    PAGE_2M,
+    PAGE_4K,
+    HugepagePolicy,
+    effective_policy,
+)
+from .tlb import SetAssociativeTlb, WalkModel, streaming_miss_rate, translation_time
+
+__all__ = [
+    "CacheModel",
+    "ScanResult", "SetAssociativeCache", "measure_cyclic_scan",
+    "EPC_FAULT_S", "EpcPager", "paging_fraction", "paging_overhead_s",
+    "NumaAllocator", "NumaPolicy", "effective_bandwidth",
+    "remote_fraction", "sub_numa_misplacement",
+    "GB", "KB", "MB", "PAGE_1G", "PAGE_2M", "PAGE_4K",
+    "HugepagePolicy", "effective_policy",
+    "SetAssociativeTlb", "WalkModel", "streaming_miss_rate",
+    "translation_time",
+]

@@ -1,0 +1,104 @@
+"""Functional set-associative cache simulator.
+
+Backs the analytical :class:`~repro.memsim.cache.CacheModel` the same
+way the TLB simulator backs the streaming miss model: tests replay
+synthetic access patterns (cyclic weight scans, growing KV streams)
+against a real set-associative cache and check that the closed form's
+DRAM-fraction predictions bound what LRU actually does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+class SetAssociativeCache:
+    """A set-associative cache with per-set LRU replacement.
+
+    Args:
+        capacity_bytes: Total capacity.
+        line_bytes: Cache-line size.
+        ways: Associativity.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = 64,
+                 ways: int = 16) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("capacity, line size, and ways must be positive")
+        if capacity_bytes % (line_bytes * ways) != 0:
+            raise ValueError("capacity must be a multiple of line*ways")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (line_bytes * ways)
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.ways * self.line_bytes
+
+    def access(self, address: int) -> bool:
+        """Access one address; returns True on hit."""
+        line = address // self.line_bytes
+        target = self._sets[line % self.num_sets]
+        if line in target:
+            target.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(target) >= self.ways:
+            target.popitem(last=False)
+        target[line] = None
+        return False
+
+    def stream(self, start: int, length: int) -> None:
+        """Touch every line of ``[start, start+length)`` once."""
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        for offset in range(0, length, self.line_bytes):
+            self.access(start + offset)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    @property
+    def dram_bytes(self) -> int:
+        """Bytes fetched from DRAM so far (misses x line size)."""
+        return self.misses * self.line_bytes
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of a measured cyclic-scan experiment."""
+
+    working_set_bytes: int
+    passes: int
+    measured_dram_fraction: float
+
+
+def measure_cyclic_scan(cache: SetAssociativeCache, working_set_bytes: int,
+                        passes: int = 3) -> ScanResult:
+    """Stream a working set cyclically and measure the steady-state DRAM
+    fraction (warm-up pass excluded)."""
+    if working_set_bytes <= 0 or passes < 2:
+        raise ValueError("need a positive working set and >= 2 passes")
+    cache.stream(0, working_set_bytes)  # warm-up
+    cache.reset_stats()
+    for _ in range(passes - 1):
+        cache.stream(0, working_set_bytes)
+    touched = (passes - 1) * working_set_bytes
+    return ScanResult(
+        working_set_bytes=working_set_bytes,
+        passes=passes,
+        measured_dram_fraction=cache.dram_bytes / touched,
+    )

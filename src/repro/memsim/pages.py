@@ -1,0 +1,51 @@
+"""Page-size policies.
+
+The paper distinguishes three hugepage configurations (Fig. 6):
+
+* ``VM FH`` — preallocated 1 GB hugepages,
+* ``VM TH`` — 2 MB transparent hugepages,
+* ``TDX``  — requests 1 GB pages but silently gets 2 MB THP (Insight 7).
+
+A policy resolves to the page size that actually backs a guest, which
+drives TLB reach and walk counts.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+PAGE_4K = 4 * KB
+PAGE_2M = 2 * MB
+PAGE_1G = GB
+
+
+class HugepagePolicy(str, Enum):
+    """How guest (or process) memory is backed."""
+
+    BASE_4K = "4k"
+    TRANSPARENT_2M = "thp-2m"
+    RESERVED_1G = "reserved-1g"
+
+    @property
+    def page_bytes(self) -> int:
+        return {
+            HugepagePolicy.BASE_4K: PAGE_4K,
+            HugepagePolicy.TRANSPARENT_2M: PAGE_2M,
+            HugepagePolicy.RESERVED_1G: PAGE_1G,
+        }[self]
+
+
+def effective_policy(requested: HugepagePolicy, tdx: bool) -> HugepagePolicy:
+    """The policy that actually takes effect.
+
+    TDX ignores manually reserved 1 GB hugepages and self-allocates 2 MB
+    transparent hugepages instead (paper §IV-A2); everything else honours
+    the request.
+    """
+    if tdx and requested is HugepagePolicy.RESERVED_1G:
+        return HugepagePolicy.TRANSPARENT_2M
+    return requested

@@ -1,0 +1,30 @@
+"""RAG substrate: corpus, inverted index, BM25, rerank, dense, evaluation."""
+
+from .bm25 import Bm25Retriever, RankedDoc
+from .corpus import Corpus, Document, generate_corpus
+from .dense import DenseRetriever, HashingSentenceEncoder
+from .evaluate import (
+    RAG_METHODS,
+    QueryTiming,
+    RagEvaluation,
+    build_retrievers,
+    evaluate_pipeline,
+    rag_tdx_overheads,
+    time_query,
+)
+from .inverted_index import POSTING_ENTRY_BYTES, InvertedIndex, ScanCost
+from .metrics import dcg, mean_metric, ndcg_at_k, recall_at_k
+from .pipeline import RagAnswer, RagService
+from .rerank import CrossEncoderScorer, RerankedBm25Retriever
+
+__all__ = [
+    "Bm25Retriever", "RankedDoc",
+    "Corpus", "Document", "generate_corpus",
+    "DenseRetriever", "HashingSentenceEncoder",
+    "RAG_METHODS", "QueryTiming", "RagEvaluation", "build_retrievers",
+    "evaluate_pipeline", "rag_tdx_overheads", "time_query",
+    "POSTING_ENTRY_BYTES", "InvertedIndex", "ScanCost",
+    "dcg", "mean_metric", "ndcg_at_k", "recall_at_k",
+    "RagAnswer", "RagService",
+    "CrossEncoderScorer", "RerankedBm25Retriever",
+]

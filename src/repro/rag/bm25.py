@@ -1,0 +1,69 @@
+"""BM25 ranking (Okapi BM25, the paper's classic retrieval model)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .inverted_index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class RankedDoc:
+    """One retrieval hit."""
+
+    doc_id: str
+    score: float
+
+
+class Bm25Retriever:
+    """Okapi BM25 over an inverted index.
+
+    Args:
+        index: Populated inverted index.
+        k1: Term-frequency saturation (Elasticsearch default 1.2).
+        b: Length normalization (Elasticsearch default 0.75).
+    """
+
+    name = "bm25"
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.2,
+                 b: float = 0.75) -> None:
+        if k1 < 0 or not 0.0 <= b <= 1.0:
+            raise ValueError("k1 must be >= 0 and b in [0, 1]")
+        self.index = index
+        self.k1 = k1
+        self.b = b
+
+    def _idf(self, term: str) -> float:
+        n = self.index.num_documents
+        df = self.index.document_frequency(term)
+        # Lucene-style floor at 0 via the +1 inside the log.
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5)) if df else 0.0
+
+    def score_all(self, query: str) -> dict[str, float]:
+        """BM25 scores of every document matching at least one term."""
+        terms = query.split()
+        if not terms:
+            raise ValueError("empty query")
+        avgdl = self.index.average_doc_length
+        scores: dict[str, float] = {}
+        for term in terms:
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for doc_id, tf in self.index.postings(term):
+                length_norm = 1.0 - self.b + self.b * (
+                    self.index.doc_length(doc_id) / avgdl)
+                gain = idf * tf * (self.k1 + 1.0) / (tf + self.k1 * length_norm)
+                scores[doc_id] = scores.get(doc_id, 0.0) + gain
+        return scores
+
+    def retrieve(self, query: str, k: int = 10) -> list[RankedDoc]:
+        """Top-k documents by BM25 score (ties broken by doc id)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        scores = self.score_all(query)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [RankedDoc(doc_id=doc_id, score=score)
+                for doc_id, score in ranked[:k]]

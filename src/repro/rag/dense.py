@@ -1,0 +1,98 @@
+"""SBERT-style dense retrieval.
+
+Encodes queries and documents into dense vectors and ranks by cosine
+similarity.  The encoder is a feature-hashing bag-of-words embedder:
+each word deterministically maps to a unit vector (seeded by its hash),
+and a text embeds to the normalized mean — preserving the property the
+experiments need (texts sharing vocabulary are close in cosine space)
+with zero learned weights.  The *cost* of encoding is separately priced
+as a real SBERT-class transformer pass by the TEE envelope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .bm25 import RankedDoc
+from .corpus import Document
+
+
+class HashingSentenceEncoder:
+    """Deterministic sentence embedder via feature hashing."""
+
+    def __init__(self, dim: int = 384) -> None:
+        if dim < 8:
+            raise ValueError("dim must be >= 8")
+        self.dim = dim
+        self._word_cache: dict[str, np.ndarray] = {}
+
+    def _word_vector(self, word: str) -> np.ndarray:
+        cached = self._word_cache.get(word)
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(word.encode("utf-8"), digest_size=8).digest()
+        rng = np.random.default_rng(int.from_bytes(digest, "little"))
+        vector = rng.standard_normal(self.dim)
+        vector /= np.linalg.norm(vector)
+        self._word_cache[word] = vector
+        return vector
+
+    def encode(self, text: str) -> np.ndarray:
+        """Unit-norm embedding of a text.
+
+        Raises:
+            ValueError: For texts with no words.
+        """
+        words = text.split()
+        if not words:
+            raise ValueError("cannot encode empty text")
+        mean = np.mean([self._word_vector(word) for word in words], axis=0)
+        norm = np.linalg.norm(mean)
+        if norm == 0.0:
+            # Theoretically possible with cancelling vectors; fall back
+            # to the first word's direction.
+            return self._word_vector(words[0])
+        return mean / norm
+
+
+class DenseRetriever:
+    """Cosine-similarity retrieval over pre-encoded documents."""
+
+    name = "sbert"
+
+    def __init__(self, encoder: HashingSentenceEncoder | None = None) -> None:
+        self.encoder = encoder or HashingSentenceEncoder()
+        self._doc_ids: list[str] = []
+        self._matrix: np.ndarray | None = None
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_ids)
+
+    def index_all(self, documents: list[Document]) -> None:
+        """Encode and store document embeddings.
+
+        Raises:
+            ValueError: If called twice (rebuild a new retriever instead).
+        """
+        if self._matrix is not None:
+            raise ValueError("index already built")
+        if not documents:
+            raise ValueError("no documents")
+        self._doc_ids = [doc.doc_id for doc in documents]
+        self._matrix = np.stack([self.encoder.encode(doc.text)
+                                 for doc in documents])
+
+    def retrieve(self, query: str, k: int = 10) -> list[RankedDoc]:
+        """Top-k documents by cosine similarity."""
+        if self._matrix is None:
+            raise ValueError("index not built; call index_all first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        query_vec = self.encoder.encode(query)
+        similarities = self._matrix @ query_vec
+        order = np.argsort(-similarities)[:k]
+        return [RankedDoc(doc_id=self._doc_ids[i],
+                          score=float(similarities[i])) for i in order]

@@ -1,0 +1,88 @@
+"""A miniature Elasticsearch: inverted index with collection statistics.
+
+The paper stores documents in Elasticsearch and runs the whole database
+inside TDX.  This index implements the parts the retrieval models need:
+term postings with term frequencies, document lengths, and cost
+accounting (postings bytes scanned, scoring operations) that the TEE
+envelope prices (see :mod:`repro.rag.evaluate`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .corpus import Document
+
+#: Modelled size of one posting entry on the Elasticsearch heap
+#: (doc id, term frequency, norms, skip-list share).
+POSTING_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class ScanCost:
+    """Work performed by one index scan."""
+
+    postings_scanned: int
+    bytes_touched: float
+    score_ops: float
+
+
+class InvertedIndex:
+    """In-memory inverted index over tokenized documents."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, list[tuple[str, int]]] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._doc_texts: dict[str, str] = {}
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    @property
+    def average_doc_length(self) -> float:
+        if not self._doc_lengths:
+            raise ValueError("empty index")
+        return sum(self._doc_lengths.values()) / len(self._doc_lengths)
+
+    def index_document(self, document: Document) -> None:
+        """Add one document; re-adding an id raises KeyError."""
+        if document.doc_id in self._doc_lengths:
+            raise KeyError(f"document {document.doc_id!r} already indexed")
+        terms = document.text.split()
+        self._doc_lengths[document.doc_id] = len(terms)
+        self._doc_texts[document.doc_id] = document.text
+        for term, count in Counter(terms).items():
+            self._postings.setdefault(term, []).append((document.doc_id, count))
+
+    def index_all(self, documents: list[Document]) -> None:
+        for document in documents:
+            self.index_document(document)
+
+    def postings(self, term: str) -> list[tuple[str, int]]:
+        """(doc_id, term frequency) postings of a term (empty if absent)."""
+        return list(self._postings.get(term, []))
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def doc_length(self, doc_id: str) -> int:
+        return self._doc_lengths[doc_id]
+
+    def doc_text(self, doc_id: str) -> str:
+        return self._doc_texts[doc_id]
+
+    def scan_cost(self, query_terms: list[str],
+                  ops_per_posting: float = 12.0) -> ScanCost:
+        """Cost accounting for scoring one query against the index."""
+        scanned = sum(self.document_frequency(term) for term in query_terms)
+        return ScanCost(
+            postings_scanned=scanned,
+            bytes_touched=float(scanned * POSTING_ENTRY_BYTES),
+            score_ops=scanned * ops_per_posting,
+        )

@@ -1,0 +1,48 @@
+"""Retrieval quality metrics (nDCG@k, recall@k) — the BEIR measures."""
+
+from __future__ import annotations
+
+import math
+
+from .bm25 import RankedDoc
+
+
+def dcg(grades: list[int]) -> float:
+    """Discounted cumulative gain of a graded ranking."""
+    return sum((2 ** grade - 1) / math.log2(position + 2)
+               for position, grade in enumerate(grades))
+
+
+def ndcg_at_k(ranking: list[RankedDoc], qrels: dict[str, int],
+              k: int = 10) -> float:
+    """Normalized DCG@k of one ranking against graded judgments.
+
+    Returns 0.0 when the query has no relevant documents.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    gains = [qrels.get(hit.doc_id, 0) for hit in ranking[:k]]
+    ideal = sorted(qrels.values(), reverse=True)[:k]
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg == 0.0:
+        return 0.0
+    return dcg(gains) / ideal_dcg
+
+
+def recall_at_k(ranking: list[RankedDoc], qrels: dict[str, int],
+                k: int = 10) -> float:
+    """Fraction of relevant documents found in the top k."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    relevant = {doc_id for doc_id, grade in qrels.items() if grade > 0}
+    if not relevant:
+        return 0.0
+    found = {hit.doc_id for hit in ranking[:k]} & relevant
+    return len(found) / len(relevant)
+
+
+def mean_metric(values: list[float]) -> float:
+    """Mean over queries (raises on empty input)."""
+    if not values:
+        raise ValueError("no values")
+    return sum(values) / len(values)

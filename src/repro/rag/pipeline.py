@@ -1,0 +1,113 @@
+"""End-to-end RAG + LLM generation service.
+
+§VI motivates RAG as the most common LLM extension: retrieve documents
+matching the query, stuff them into the prompt, and generate.  This
+service combines the functional retrieval stack with the TEE-aware
+generation engine so the *whole* confidential pipeline — retrieval,
+encoding, and generation — is priced on one deployment, including the
+prompt growth that retrieved context causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.placement import Deployment, Workload
+from ..engine.simulator import simulate_generation
+from ..llm.config import ModelConfig
+from ..llm.datatypes import DType
+from ..llm.tokenizer import HashTokenizer
+from .bm25 import RankedDoc
+from .corpus import Corpus
+from .evaluate import build_retrievers, time_query
+
+
+@dataclass(frozen=True)
+class RagAnswer:
+    """One answered RAG query."""
+
+    query: str
+    retrieved: tuple[RankedDoc, ...]
+    prompt_tokens: int
+    retrieval_s: float
+    generation_s: float
+    generation_tok_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.retrieval_s + self.generation_s
+
+    @property
+    def retrieval_fraction(self) -> float:
+        return self.retrieval_s / self.total_s if self.total_s else 0.0
+
+
+class RagService:
+    """Retrieval-augmented generation on one deployment.
+
+    Args:
+        corpus: Document collection (indexed on construction).
+        deployment: Where retrieval and generation run.
+        model: Generator architecture.
+        dtype: Generation datatype.
+        retriever: One of :data:`repro.rag.evaluate.RAG_METHODS`.
+        top_k: Documents stuffed into the prompt.
+        output_tokens: Tokens generated per answer.
+    """
+
+    def __init__(self, corpus: Corpus, deployment: Deployment,
+                 model: ModelConfig, dtype: DType,
+                 retriever: str = "bm25", top_k: int = 3,
+                 output_tokens: int = 128) -> None:
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if output_tokens < 1:
+            raise ValueError("output_tokens must be >= 1")
+        self.corpus = corpus
+        self.deployment = deployment
+        self.model = model
+        self.dtype = dtype
+        self.retriever_name = retriever
+        self.top_k = top_k
+        self.output_tokens = output_tokens
+        self._retrievers = build_retrievers(corpus)
+        if retriever not in self._retrievers:
+            raise ValueError(f"unknown retriever {retriever!r}")
+        self._tokenizer = HashTokenizer(model.vocab_size)
+
+    def _build_prompt(self, query: str, hits: list[RankedDoc]) -> str:
+        context = " ".join(
+            self._retrievers["_index"].doc_text(hit.doc_id)  # type: ignore[attr-defined]
+            for hit in hits)
+        return f"context: {context} question: {query} answer:"
+
+    def answer(self, query: str, seed: int = 0) -> RagAnswer:
+        """Retrieve, build the prompt, and price the generation.
+
+        Raises:
+            ValueError: For empty queries or prompts exceeding the
+                generator's context window.
+        """
+        if not query.strip():
+            raise ValueError("empty query")
+        retriever = self._retrievers[self.retriever_name]
+        hits = retriever.retrieve(query, k=self.top_k)  # type: ignore[attr-defined]
+        timing = time_query(self.retriever_name,
+                            self._retrievers["_index"],  # type: ignore[arg-type]
+                            query, self.deployment,
+                            dense_docs=self.corpus.num_documents, seed=seed)
+        prompt = self._build_prompt(query, hits)
+        prompt_tokens = max(1, self._tokenizer.count(prompt))
+        workload = Workload(self.model, self.dtype, batch_size=1,
+                            input_tokens=prompt_tokens,
+                            output_tokens=self.output_tokens)
+        generation = simulate_generation(workload, self.deployment,
+                                         seed=seed)
+        return RagAnswer(
+            query=query,
+            retrieved=tuple(hits),
+            prompt_tokens=prompt_tokens,
+            retrieval_s=timing.total_s,
+            generation_s=generation.total_time_s,
+            generation_tok_s=generation.decode_throughput_tok_s,
+        )

@@ -1,0 +1,40 @@
+"""Scale-out substrate: multi-GPU parallelism, links, hybrid offload."""
+
+from .comm import (
+    CommVolume,
+    Parallelism,
+    pipeline_parallel_volume,
+    tensor_parallel_volume,
+    volume_for,
+)
+from .links import (
+    IPSEC_EFFICIENCY,
+    NETWORK_RAW_BW,
+    EffectiveLink,
+    LinkKind,
+    gpu_link,
+    routed_bandwidth,
+)
+from .multigpu import (
+    MultiGpuResult,
+    confidential_scaling_penalty,
+    fits,
+    simulate_multi_gpu,
+)
+from .offload import (
+    PCIE_STREAM_EFFICIENCY,
+    OffloadResult,
+    required_host_fraction,
+    simulate_offloaded,
+)
+
+__all__ = [
+    "CommVolume", "Parallelism", "pipeline_parallel_volume",
+    "tensor_parallel_volume", "volume_for",
+    "IPSEC_EFFICIENCY", "NETWORK_RAW_BW", "EffectiveLink", "LinkKind",
+    "gpu_link", "routed_bandwidth",
+    "MultiGpuResult", "confidential_scaling_penalty", "fits",
+    "simulate_multi_gpu",
+    "PCIE_STREAM_EFFICIENCY", "OffloadResult", "required_host_fraction",
+    "simulate_offloaded",
+]

@@ -1,0 +1,87 @@
+"""Communication-volume models for parallel transformer inference.
+
+§V-D4 discusses scaling confidential LLMs beyond one device: tensor
+parallelism all-reduces activations twice per decoder block, pipeline
+parallelism ships boundary activations between stages.  Volumes here
+feed the link models in :mod:`repro.scaleout.links` to price a step's
+communication under (non-)confidential interconnects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..llm.config import ModelConfig
+from ..llm.datatypes import DType
+
+
+class Parallelism(str, Enum):
+    """How a model is split across devices."""
+
+    TENSOR = "tensor"
+    PIPELINE = "pipeline"
+
+
+@dataclass(frozen=True)
+class CommVolume:
+    """Bytes a device exchanges during one forward step.
+
+    Attributes:
+        bytes_per_step: Payload this device sends (and receives) per step.
+        messages_per_step: Synchronization points (latency-bound count).
+    """
+
+    bytes_per_step: float
+    messages_per_step: int
+
+
+def tensor_parallel_volume(model: ModelConfig, dtype: DType, degree: int,
+                           tokens_per_step: float) -> CommVolume:
+    """Per-device all-reduce volume for Megatron-style tensor parallelism.
+
+    Each decoder block all-reduces the attention output and the MLP
+    output: 2 all-reduces per layer over ``tokens * hidden`` elements.
+    A ring all-reduce moves ``2 * (d-1)/d`` of the payload per device.
+
+    Raises:
+        ValueError: For degree < 1 or non-positive token counts.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    if tokens_per_step <= 0:
+        raise ValueError("tokens_per_step must be positive")
+    if degree == 1:
+        return CommVolume(0.0, 0)
+    payload = tokens_per_step * model.hidden_size * dtype.bytes
+    ring_factor = 2.0 * (degree - 1) / degree
+    allreduces = 2 * model.num_layers
+    return CommVolume(
+        bytes_per_step=allreduces * payload * ring_factor,
+        messages_per_step=allreduces * 2 * (degree - 1),
+    )
+
+
+def pipeline_parallel_volume(model: ModelConfig, dtype: DType, stages: int,
+                             tokens_per_step: float) -> CommVolume:
+    """Per-device boundary-activation volume for pipeline parallelism.
+
+    Each stage boundary ships ``tokens * hidden`` activations once per
+    microbatch step (we charge one microbatch per decode step).
+    """
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    if tokens_per_step <= 0:
+        raise ValueError("tokens_per_step must be positive")
+    if stages == 1:
+        return CommVolume(0.0, 0)
+    payload = tokens_per_step * model.hidden_size * dtype.bytes
+    return CommVolume(bytes_per_step=payload, messages_per_step=1)
+
+
+def volume_for(parallelism: Parallelism, model: ModelConfig, dtype: DType,
+               degree: int, tokens_per_step: float) -> CommVolume:
+    """Dispatch on the parallelism kind."""
+    if parallelism is Parallelism.TENSOR:
+        return tensor_parallel_volume(model, dtype, degree, tokens_per_step)
+    return pipeline_parallel_volume(model, dtype, degree, tokens_per_step)

@@ -1,0 +1,73 @@
+"""Inter-device links available to confidential deployments.
+
+§V-D3/4: H100 NVLink is unprotected in CC mode, so confidential
+multi-GPU traffic must route through the host CPU (no RDMA/GPUDirect),
+capping throughput at ~3 GB/s vs ~40 GB/s non-confidential.  Across
+hosts, a network protection scheme such as IPsec is required on top of
+both CPUs and GPUs, costing up to 90% of raw network throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..hardware.gpu import GpuSpec
+from ..hardware.interconnect import (
+    CONFIDENTIAL_GPU_ROUTED_BW,
+    NONCONFIDENTIAL_GPU_ROUTED_BW,
+)
+
+#: Throughput fraction surviving IPsec protection (paper cites up to 90%
+#: overhead for confidential network traffic [25]).
+IPSEC_EFFICIENCY = 0.53
+
+#: Raw scale-out network between hosts (200 Gb/s class).
+NETWORK_RAW_BW = 25e9
+
+
+class LinkKind(str, Enum):
+    """Which physical path carries inter-device traffic."""
+
+    NVLINK = "nvlink"
+    CPU_ROUTED = "cpu-routed"
+    NETWORK = "network"
+
+
+@dataclass(frozen=True)
+class EffectiveLink:
+    """A usable inter-device channel for a given security posture."""
+
+    kind: LinkKind
+    bandwidth_bytes_s: float
+    latency_s: float
+    confidential_ok: bool
+
+
+def gpu_link(gpu: GpuSpec, confidential: bool,
+             same_host: bool = True) -> EffectiveLink:
+    """The best link between two GPUs under the security posture.
+
+    Confidential H100s cannot use NVLink (unprotected) and fall back to
+    CPU-routed copies; B100-class parts with protected NVLink keep it.
+    Across hosts, traffic needs IPsec when confidential.
+    """
+    if not same_host:
+        bandwidth = NETWORK_RAW_BW * (IPSEC_EFFICIENCY if confidential else 1.0)
+        return EffectiveLink(LinkKind.NETWORK, bandwidth, 5e-6, True)
+    if not confidential:
+        return EffectiveLink(LinkKind.NVLINK, gpu.nvlink.bandwidth_bytes_s,
+                             gpu.nvlink.latency_s, True)
+    if gpu.nvlink_protected:
+        # B100-class: NVLink carries encryption, stays usable.
+        return EffectiveLink(LinkKind.NVLINK,
+                             gpu.nvlink.bandwidth_bytes_s * 0.92,
+                             gpu.nvlink.latency_s, True)
+    return EffectiveLink(LinkKind.CPU_ROUTED, CONFIDENTIAL_GPU_ROUTED_BW,
+                         20e-6, True)
+
+
+def routed_bandwidth(confidential: bool) -> float:
+    """CPU-routed GPU-to-GPU bandwidth for the security posture."""
+    return (CONFIDENTIAL_GPU_ROUTED_BW if confidential
+            else NONCONFIDENTIAL_GPU_ROUTED_BW)

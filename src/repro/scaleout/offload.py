@@ -1,0 +1,89 @@
+"""Hybrid host-offloaded GPU inference (§V-D1).
+
+When a model does not fit the GPU, part of the weights live in host
+memory and stream over PCIe every decode step.  Prior work the paper
+cites shows AMX CPUs already beat offloaded GPUs; under confidential
+compute the gap widens because the stream crosses the encrypted bounce
+buffer (~9 GB/s effective instead of ~44 GB/s raw PCIe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import calibration as cal
+from ..engine.placement import Workload
+from ..hardware.gpu import GpuSpec, H100_NVL
+
+#: Sustained fraction of raw PCIe bandwidth for bulk weight streaming.
+PCIE_STREAM_EFFICIENCY = 0.80
+
+
+@dataclass(frozen=True)
+class OffloadResult:
+    """One offloaded configuration's decode estimate."""
+
+    host_fraction: float
+    confidential: bool
+    gpu_step_s: float
+    transfer_s: float
+
+    @property
+    def step_s(self) -> float:
+        """PCIe prefetch overlaps GPU compute; the slower side rules."""
+        return max(self.gpu_step_s, self.transfer_s)
+
+    @property
+    def throughput_tok_s(self) -> float:
+        return 1.0 / self.step_s
+
+    @property
+    def transfer_bound(self) -> bool:
+        return self.transfer_s > self.gpu_step_s
+
+
+def required_host_fraction(workload: Workload, gpu: GpuSpec = H100_NVL,
+                           kv_context: int | None = None) -> float:
+    """Weight fraction that must live in host memory for the workload."""
+    weights = workload.model.weight_bytes(workload.dtype.bytes)
+    context = kv_context if kv_context is not None else (
+        workload.input_tokens + workload.output_tokens)
+    kv = (workload.sequences * context
+          * workload.model.kv_bytes_per_token(workload.dtype.bytes))
+    spill = weights + kv - gpu.hbm_bytes
+    if spill <= 0:
+        return 0.0
+    return min(1.0, spill / weights)
+
+
+def simulate_offloaded(workload: Workload, host_fraction: float,
+                       confidential: bool,
+                       gpu: GpuSpec = H100_NVL) -> OffloadResult:
+    """Estimate a decode step with ``host_fraction`` of weights offloaded.
+
+    Per step the resident fraction is served from HBM and the offloaded
+    fraction streams over PCIe (through the bounce buffer when
+    confidential).
+
+    Raises:
+        ValueError: If host_fraction is outside [0, 1].
+    """
+    if not 0.0 <= host_fraction <= 1.0:
+        raise ValueError("host_fraction must be in [0, 1]")
+    weights = workload.model.weight_bytes(workload.dtype.bytes)
+    context = workload.input_tokens + workload.output_tokens // 2
+    kv = (workload.sequences * context
+          * workload.model.kv_bytes_per_token(workload.dtype.bytes))
+
+    hbm_bw = gpu.hbm_bw * cal.FRAMEWORK_MEM_EFF["vllm-gpu"]
+    resident_bytes = weights * (1.0 - host_fraction) + kv
+    gpu_step = resident_bytes / hbm_bw
+    if confidential:
+        gpu_step += cal.CGPU_STEP_TAX_S
+
+    pcie_bw = (cal.CGPU_BOUNCE_BW if confidential
+               else gpu.pcie.bandwidth_bytes_s * PCIE_STREAM_EFFICIENCY)
+    transfer = weights * host_fraction / pcie_bw
+    return OffloadResult(host_fraction=host_fraction,
+                         confidential=confidential,
+                         gpu_step_s=gpu_step, transfer_s=transfer)

@@ -1,0 +1,14 @@
+"""Serving substrate: continuous batching over a paged KV cache."""
+
+from .scheduler import (
+    ContinuousBatchingScheduler,
+    RequestOutcome,
+    ServeRequest,
+    ServingReport,
+    poisson_stream,
+)
+
+__all__ = [
+    "ContinuousBatchingScheduler", "RequestOutcome", "ServeRequest",
+    "ServingReport", "poisson_stream",
+]

@@ -1,0 +1,267 @@
+"""Continuous-batching serving simulation.
+
+The paper's GPU experiments run vLLM, whose scheduler forms decode
+batches dynamically from an arriving request stream and manages KV
+memory in pages, preempting (and recomputing) requests when blocks run
+out.  This module implements that serving loop over the repository's
+substrates: admission and preemption run against the functional
+:class:`~repro.llm.kvcache.PagedKVCache`, and step durations come from
+the same TEE-aware cost model as every other experiment — so serving
+SLAs (TTFT, end-to-end latency) can be compared across bare metal, TDX,
+and (c)GPU deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.placement import Deployment
+from ..engine.roofline import WorkingSets, cost_model_for
+from ..llm.config import ModelConfig
+from ..llm.datatypes import DType
+from ..llm.graph import decode_step_ops, prefill_ops
+from ..llm.kvcache import PagedKVCache
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One request in the arrival stream."""
+
+    request_id: int
+    arrival_s: float
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be >= 0")
+        if self.prompt_tokens < 1 or self.output_tokens < 1:
+            raise ValueError("prompt and output tokens must be >= 1")
+
+
+@dataclass
+class RequestOutcome:
+    """Lifecycle record of one served request."""
+
+    request: ServeRequest
+    first_token_s: float = 0.0
+    finish_s: float = 0.0
+    preemptions: int = 0
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token (queueing + prefill)."""
+        return self.first_token_s - self.request.arrival_s
+
+    @property
+    def e2e_s(self) -> float:
+        """End-to-end latency."""
+        return self.finish_s - self.request.arrival_s
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate serving metrics."""
+
+    outcomes: tuple[RequestOutcome, ...]
+    makespan_s: float
+    total_preemptions: int
+    mean_batch_occupancy: float
+
+    @property
+    def throughput_tok_s(self) -> float:
+        tokens = sum(o.request.output_tokens for o in self.outcomes)
+        return tokens / self.makespan_s if self.makespan_s else 0.0
+
+    def ttft_percentile(self, percentile: float) -> float:
+        return _percentile([o.ttft_s for o in self.outcomes], percentile)
+
+    def e2e_percentile(self, percentile: float) -> float:
+        return _percentile([o.e2e_s for o in self.outcomes], percentile)
+
+
+def _percentile(values: list[float], percentile: float) -> float:
+    if not values:
+        raise ValueError("no values")
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                int(round(percentile / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class _Running:
+    request: ServeRequest
+    outcome: RequestOutcome
+    generated: int = 0
+
+
+class ContinuousBatchingScheduler:
+    """vLLM-style continuous batching over a paged KV cache.
+
+    Args:
+        deployment: Where the model serves (any backend).
+        model: Served architecture.
+        dtype: Serving datatype.
+        kv_capacity_tokens: Total KV pool size in tokens.
+        block_size: Paged-KV block granularity in tokens.
+        max_batch: Scheduler cap on concurrent sequences.
+    """
+
+    def __init__(self, deployment: Deployment, model: ModelConfig,
+                 dtype: DType, kv_capacity_tokens: int = 65536,
+                 block_size: int = 16, max_batch: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.deployment = deployment
+        self.model = model
+        self.dtype = dtype
+        self.max_batch = max_batch
+        self.block_size = block_size
+        self.cache = PagedKVCache(
+            num_blocks=max(1, kv_capacity_tokens // block_size),
+            block_size=block_size)
+        self._cost_model = cost_model_for(deployment)
+        self._step_cache: dict[tuple[int, int], float] = {}
+
+    # -- cost helpers ---------------------------------------------------------
+
+    def _sets(self, batch: int, context: int) -> WorkingSets:
+        weights = self.model.weight_bytes(self.dtype.bytes)
+        kv = batch * context * self.model.kv_bytes_per_token(self.dtype.bytes)
+        return WorkingSets(weights=weights, kv=kv, activations=64e6)
+
+    def _decode_step_s(self, batch: int, context: int) -> float:
+        context_bucket = max(16, (context // 64) * 64)
+        key = (batch, context_bucket)
+        if key not in self._step_cache:
+            ops = decode_step_ops(self.model, self.dtype, batch,
+                                  context_bucket)
+            step = self._cost_model.step_cost(
+                ops, self._sets(batch, context_bucket), self.dtype)
+            self._step_cache[key] = step.total_s
+        return self._step_cache[key]
+
+    def _prefill_s(self, prompt_tokens: int) -> float:
+        ops = prefill_ops(self.model, self.dtype, 1, prompt_tokens)
+        step = self._cost_model.step_cost(
+            ops, self._sets(1, prompt_tokens), self.dtype)
+        return step.total_s
+
+    # -- serving loop -----------------------------------------------------------
+
+    def run(self, requests: list[ServeRequest]) -> ServingReport:
+        """Serve a request stream to completion.
+
+        Raises:
+            ValueError: If any single request cannot ever fit the KV pool.
+        """
+        if not requests:
+            raise ValueError("no requests")
+        for request in requests:
+            needed = request.prompt_tokens + request.output_tokens
+            if needed > self.cache.num_blocks * self.block_size:
+                raise ValueError(
+                    f"request {request.request_id} needs {needed} KV tokens, "
+                    f"pool holds {self.cache.num_blocks * self.block_size}")
+
+        waiting = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        outcomes = {r.request_id: RequestOutcome(request=r) for r in requests}
+        running: list[_Running] = []
+        clock = 0.0
+        preemptions = 0
+        occupancy_samples: list[int] = []
+
+        while waiting or running:
+            # Admit arrived requests while memory and batch slots allow.
+            while (waiting and len(running) < self.max_batch
+                   and waiting[0].arrival_s <= clock):
+                request = waiting[0]
+                try:
+                    self.cache.allocate(request.request_id,
+                                        request.prompt_tokens)
+                except MemoryError:
+                    break
+                waiting.pop(0)
+                clock += self._prefill_s(request.prompt_tokens)
+                outcome = outcomes[request.request_id]
+                outcome.first_token_s = clock
+                running.append(_Running(request=request, outcome=outcome))
+
+            if not running:
+                # Idle until the next arrival.
+                clock = max(clock, waiting[0].arrival_s)
+                continue
+
+            # One decode step for the whole batch.
+            contexts = [r.request.prompt_tokens + r.generated
+                        for r in running]
+            mean_context = int(sum(contexts) / len(contexts))
+            occupancy_samples.append(len(running))
+            clock += self._decode_step_s(len(running), max(1, mean_context))
+
+            finished: list[_Running] = []
+            preempted_ids: set[int] = set()
+
+            def preempt_youngest() -> _Running:
+                victim = running[-1]
+                self.cache.free(victim.request.request_id)
+                victim.outcome.preemptions += 1
+                victim.generated = 0
+                running.remove(victim)
+                waiting.insert(0, victim.request)
+                preempted_ids.add(victim.request.request_id)
+                return victim
+
+            for entry in list(running):
+                if entry.request.request_id in preempted_ids:
+                    continue
+                appended = False
+                while not appended:
+                    try:
+                        self.cache.append_token(entry.request.request_id)
+                        appended = True
+                    except MemoryError:
+                        # Preempt the youngest sequence; vLLM recomputes
+                        # it from scratch on re-admission.
+                        victim = preempt_youngest()
+                        preemptions += 1
+                        if victim is entry:
+                            break
+                if not appended:
+                    continue
+                entry.generated += 1
+                if entry.generated >= entry.request.output_tokens:
+                    finished.append(entry)
+            for entry in finished:
+                entry.outcome.finish_s = clock
+                self.cache.free(entry.request.request_id)
+                running.remove(entry)
+
+        ordered = tuple(outcomes[r.request_id] for r in requests)
+        mean_occupancy = (sum(occupancy_samples) / len(occupancy_samples)
+                          if occupancy_samples else 0.0)
+        return ServingReport(outcomes=ordered, makespan_s=clock,
+                             total_preemptions=preemptions,
+                             mean_batch_occupancy=mean_occupancy)
+
+
+def poisson_stream(count: int, rate_per_s: float, mean_prompt: int = 256,
+                   mean_output: int = 96, seed: int = 0) -> list[ServeRequest]:
+    """A deterministic Poisson-like arrival stream for serving studies."""
+    import random
+    if count < 1 or rate_per_s <= 0:
+        raise ValueError("count >= 1 and positive rate required")
+    rng = random.Random(seed)
+    clock = 0.0
+    requests = []
+    for request_id in range(count):
+        clock += rng.expovariate(rate_per_s)
+        prompt = max(16, int(rng.lognormvariate(0.0, 0.5) * mean_prompt))
+        output = max(8, int(rng.lognormvariate(0.0, 0.4) * mean_output))
+        requests.append(ServeRequest(request_id=request_id, arrival_s=clock,
+                                     prompt_tokens=prompt,
+                                     output_tokens=output))
+    return requests

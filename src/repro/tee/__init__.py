@@ -1,0 +1,66 @@
+"""TEE substrate: backends, security matrix, configuration tooling."""
+
+from .attestation import AttestationService, Quote, RelyingParty, measure
+from .backends import (
+    BAREMETAL,
+    CGPU,
+    CGPU_B100,
+    GPU,
+    SGX,
+    TDX,
+    VM,
+    VM_UNBOUND,
+    BaremetalBackend,
+    CgpuBackend,
+    GpuBackend,
+    SgxBackend,
+    TdxBackend,
+    VmBackend,
+)
+from .base import (
+    Backend,
+    CostProfile,
+    MechanismToggles,
+    all_backends,
+    backend_by_name,
+    register_backend,
+)
+from .gramine import GramineManifest, inference_manifest, parse_manifest
+from .qemu import LuksPlan, TdxVmConfig, paper_tdx_guest
+from .threats import (
+    THREATS,
+    Asset,
+    Attacker,
+    Threat,
+    coverage,
+    coverage_score,
+    mitigates,
+    uncovered,
+)
+from .security import (
+    B100_SECURITY,
+    BAREMETAL_SECURITY,
+    CGPU_SECURITY,
+    GPU_SECURITY,
+    SGX_SECURITY,
+    TDX_SECURITY,
+    VM_SECURITY,
+    SecurityProfile,
+    Support,
+)
+
+__all__ = [
+    "AttestationService", "Quote", "RelyingParty", "measure",
+    "BAREMETAL", "CGPU", "CGPU_B100", "GPU", "SGX", "TDX", "VM", "VM_UNBOUND",
+    "BaremetalBackend", "CgpuBackend", "GpuBackend", "SgxBackend",
+    "TdxBackend", "VmBackend",
+    "Backend", "CostProfile", "MechanismToggles", "all_backends",
+    "backend_by_name", "register_backend",
+    "GramineManifest", "inference_manifest", "parse_manifest",
+    "LuksPlan", "TdxVmConfig", "paper_tdx_guest",
+    "B100_SECURITY", "BAREMETAL_SECURITY", "CGPU_SECURITY", "GPU_SECURITY",
+    "SGX_SECURITY", "TDX_SECURITY", "VM_SECURITY",
+    "SecurityProfile", "Support",
+    "THREATS", "Asset", "Attacker", "Threat", "coverage",
+    "coverage_score", "mitigates", "uncovered",
+]

@@ -1,0 +1,117 @@
+"""Remote attestation workflow (functional simulation).
+
+TEEs let users verify what runs inside the enclave before releasing
+secrets (model decryption keys, prompts).  This module simulates the
+complete DCAP-style flow the paper's deployments rely on:
+
+1. the platform **measures** the enclave/TD (hash of code + config),
+2. the hardware signs a **quote** over the measurement with a
+   platform-bound key that chains to the vendor root,
+3. the relying party **verifies** the chain and compares the measurement
+   against the expected value, then
+4. releases the **secrets** over a channel bound to the quote.
+
+Keys here are HMAC-based stand-ins for ECDSA — the control flow, the
+failure modes, and the measurement discipline are what the tests cover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+_VENDOR_ROOT_KEY = b"repro-vendor-root-key-v1"
+
+
+def measure(artifacts: dict[str, bytes]) -> str:
+    """Deterministic measurement over named artifacts (MRENCLAVE-style).
+
+    Artifacts are hashed in name order so the measurement is independent
+    of dict insertion order.
+    """
+    digest = hashlib.sha384()
+    for name in sorted(artifacts):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(artifacts[name])
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation quote.
+
+    Attributes:
+        measurement: Enclave/TD measurement being attested.
+        platform_id: Identifies the attesting platform (FMSPC-style).
+        report_data: Caller-chosen binding data (e.g. a key-exchange
+            public key hash).
+        signature: Platform signature over all of the above.
+    """
+
+    measurement: str
+    platform_id: str
+    report_data: str
+    signature: str
+
+
+class AttestationService:
+    """The platform side: provisioned platforms produce quotes."""
+
+    def __init__(self) -> None:
+        self._platform_keys: dict[str, bytes] = {}
+
+    def provision_platform(self, platform_id: str) -> None:
+        """Derive and install a platform attestation key from the root."""
+        key = hmac.new(_VENDOR_ROOT_KEY, platform_id.encode(), hashlib.sha256).digest()
+        self._platform_keys[platform_id] = key
+
+    def generate_quote(self, platform_id: str, measurement: str,
+                       report_data: str = "") -> Quote:
+        """Sign a quote; the platform must have been provisioned.
+
+        Raises:
+            KeyError: For unprovisioned platforms (models a machine
+                without valid DCAP collateral).
+        """
+        if platform_id not in self._platform_keys:
+            raise KeyError(f"platform {platform_id!r} not provisioned")
+        payload = f"{measurement}|{platform_id}|{report_data}".encode()
+        signature = hmac.new(self._platform_keys[platform_id], payload,
+                             hashlib.sha256).hexdigest()
+        return Quote(measurement=measurement, platform_id=platform_id,
+                     report_data=report_data, signature=signature)
+
+
+class RelyingParty:
+    """The verifier side: checks quotes and releases secrets."""
+
+    def __init__(self, expected_measurement: str) -> None:
+        self.expected_measurement = expected_measurement
+        self._secrets: dict[str, bytes] = {}
+
+    def register_secret(self, name: str, value: bytes) -> None:
+        self._secrets[name] = value
+
+    def verify(self, quote: Quote) -> bool:
+        """Check the signature chain and the expected measurement."""
+        platform_key = hmac.new(_VENDOR_ROOT_KEY, quote.platform_id.encode(),
+                                hashlib.sha256).digest()
+        payload = f"{quote.measurement}|{quote.platform_id}|{quote.report_data}".encode()
+        expected_sig = hmac.new(platform_key, payload, hashlib.sha256).hexdigest()
+        if not hmac.compare_digest(expected_sig, quote.signature):
+            return False
+        return quote.measurement == self.expected_measurement
+
+    def release_secret(self, name: str, quote: Quote) -> bytes:
+        """Release a secret to a successfully attested enclave.
+
+        Raises:
+            PermissionError: If verification fails.
+            KeyError: If the secret does not exist.
+        """
+        if not self.verify(quote):
+            raise PermissionError("attestation failed: secret not released")
+        return self._secrets[name]

@@ -1,0 +1,199 @@
+"""Concrete deployment backends.
+
+Six modes cover the paper's hardware configurations:
+
+* ``baremetal`` — the CPU baseline,
+* ``vm`` — a raw KVM VM without security features (several hugepage /
+  NUMA-binding variants, Figs. 5-6),
+* ``tdx`` — TDX-enabled VM,
+* ``sgx`` — Gramine on SGX (bare metal underneath),
+* ``gpu`` — raw H100,
+* ``cgpu`` — H100 with confidential compute enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import calibration as cal
+from ..memsim.numa import NumaPolicy
+from .base import Backend, CostProfile, register_backend
+from .security import (
+    BAREMETAL_SECURITY,
+    CGPU_SECURITY,
+    GPU_SECURITY,
+    SGX_SECURITY,
+    TDX_SECURITY,
+    VM_SECURITY,
+    SecurityProfile,
+)
+
+
+class BaremetalBackend(Backend):
+    """Unprotected bare-metal execution (the CPU baseline)."""
+
+    name = "baremetal"
+    device = "cpu"
+    is_tee = False
+
+    def cost_profile(self) -> CostProfile:
+        return CostProfile()
+
+    def security_profile(self) -> SecurityProfile:
+        return BAREMETAL_SECURITY
+
+
+@dataclass
+class VmBackend(Backend):
+    """A raw KVM VM without TEE protections.
+
+    Pays the virtualization tax and nested EPT walks, but no crypto.
+    ``numa_bound`` distinguishes the paper's VM B (bindings honoured) from
+    VM NB (no binding → interleaved placement).
+    """
+
+    numa_bound: bool = True
+    variant: str = ""
+
+    def __post_init__(self) -> None:
+        self.name = f"vm{('-' + self.variant) if self.variant else ''}"
+        self.device = "cpu"
+        self.is_tee = False
+
+    def cost_profile(self) -> CostProfile:
+        override = None if self.numa_bound else NumaPolicy.INTERLEAVED
+        return CostProfile(
+            walk_multiplier=cal.EPT_WALK_MULTIPLIER,
+            virtualization_tax=cal.VM_VIRTUALIZATION_TAX,
+            numa_policy_override=override,
+        )
+
+    def security_profile(self) -> SecurityProfile:
+        return VM_SECURITY
+
+
+class TdxBackend(Backend):
+    """Intel TDX: a hardened VM TEE.
+
+    On top of the VM costs it pays memory encryption, secure-EPT walks,
+    UPI link crypto, and two driver limitations the paper documents:
+    NUMA bindings are ignored (Insight 6) and reserved 1 GB hugepages are
+    silently replaced by 2 MB THP (Insight 7).
+    """
+
+    name = "tdx"
+    device = "cpu"
+    is_tee = True
+
+    def cost_profile(self) -> CostProfile:
+        return CostProfile(
+            mem_encryption_derate=cal.MEM_ENCRYPTION_DERATE,
+            walk_multiplier=cal.TDX_WALK_MULTIPLIER,
+            virtualization_tax=cal.VM_VIRTUALIZATION_TAX + cal.TDX_EXTRA_TAX,
+            upi_crypto_derate=cal.UPI_CRYPTO_DERATE,
+            numa_policy_override=NumaPolicy.TDX_DEFAULT,
+            hugepage_force_thp=True,
+        )
+
+    def security_profile(self) -> SecurityProfile:
+        return TDX_SECURITY
+
+
+class SgxBackend(Backend):
+    """Intel SGX under the Gramine libOS (process TEE, bare metal host).
+
+    No virtualization tax (runs on bare metal with direct hardware
+    access), but memory encryption, enclave exits for non-emulated
+    syscalls, EPC capacity limits, and a single unified NUMA node.
+    """
+
+    name = "sgx"
+    device = "cpu"
+    is_tee = True
+
+    def cost_profile(self) -> CostProfile:
+        return CostProfile(
+            mem_encryption_derate=cal.SGX_MEM_ENCRYPTION_DERATE,
+            exit_cost_s=cal.SGX_EXIT_S,
+            exits_per_step=cal.SGX_EXITS_PER_STEP,
+            upi_crypto_derate=cal.UPI_CRYPTO_DERATE,
+            numa_policy_override=NumaPolicy.SINGLE_NODE,
+            epc_limited=True,
+        )
+
+    def security_profile(self) -> SecurityProfile:
+        return SGX_SECURITY
+
+
+class GpuBackend(Backend):
+    """Raw (non-confidential) H100 — the GPU baseline.
+
+    The paper rents VMs, so the raw GPU baseline still sits inside a VM;
+    that shared cost cancels in the overhead ratio, so only the residual
+    per-step launch cost is modeled.
+    """
+
+    name = "gpu"
+    device = "gpu"
+    is_tee = False
+
+    def cost_profile(self) -> CostProfile:
+        return CostProfile(step_fixed_s=cal.GPU_STEP_LAUNCH_S)
+
+    def security_profile(self) -> SecurityProfile:
+        return GPU_SECURITY
+
+
+class CgpuBackend(Backend):
+    """H100 with confidential compute: encrypted command submission and
+    PCIe bounce-buffer staging; HBM itself stays unencrypted."""
+
+    name = "cgpu"
+    device = "gpu"
+    is_tee = True
+
+    def cost_profile(self) -> CostProfile:
+        return CostProfile(
+            step_fixed_s=cal.GPU_STEP_LAUNCH_S + cal.CGPU_STEP_TAX_S,
+            bounce_bw=cal.CGPU_BOUNCE_BW,
+            gpu_rate_derate=cal.CGPU_RATE_DERATE,
+        )
+
+    def security_profile(self) -> SecurityProfile:
+        return CGPU_SECURITY
+
+
+class CgpuB100Backend(Backend):
+    """Projected B100-class confidential GPU (§V-D3).
+
+    Closes H100's security gaps — HBM and NVLink encryption — at the
+    price of a memory-path protection cost the paper expects to be
+    non-negligible.  Not measured by the paper (CC-mode B100s were not
+    rentable); this backend encodes the projection.
+    """
+
+    name = "cgpu-b100"
+    device = "gpu"
+    is_tee = True
+
+    def cost_profile(self) -> CostProfile:
+        return CostProfile(
+            step_fixed_s=cal.GPU_STEP_LAUNCH_S + cal.CGPU_STEP_TAX_S,
+            bounce_bw=cal.CGPU_BOUNCE_BW,
+            gpu_rate_derate=cal.CGPU_RATE_DERATE,
+            mem_encryption_derate=cal.B100_HBM_ENCRYPTION_DERATE,
+        )
+
+    def security_profile(self) -> SecurityProfile:
+        from .security import B100_SECURITY
+        return B100_SECURITY
+
+
+BAREMETAL = register_backend(BaremetalBackend())
+VM = register_backend(VmBackend(numa_bound=True))
+VM_UNBOUND = register_backend(VmBackend(numa_bound=False, variant="unbound"))
+TDX = register_backend(TdxBackend())
+SGX = register_backend(SgxBackend())
+GPU = register_backend(GpuBackend())
+CGPU = register_backend(CgpuBackend())
+CGPU_B100 = register_backend(CgpuB100Backend())

@@ -1,0 +1,165 @@
+"""TEE backend abstraction.
+
+A backend bundles everything the execution engine must know about one
+deployment mode: the mechanism-level cost profile (bandwidth derates,
+walk multipliers, exit costs, launch taxes) and the security profile used
+for Table I.  Backends are registered by name so experiment configs can
+reference them as strings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..memsim.numa import NumaPolicy
+from ..memsim.pages import HugepagePolicy
+from .security import SecurityProfile
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Mechanism-level cost parameters of one deployment mode.
+
+    All rates and taxes default to the free (bare-metal) values; each
+    backend overrides the mechanisms it actually pays for.
+
+    Attributes:
+        mem_encryption_derate: DRAM bandwidth fraction lost to inline
+            memory encryption/integrity.
+        walk_multiplier: Page-walk cost multiplier (EPT nested walks).
+        virtualization_tax: Fractional slowdown applied to every step.
+        exit_cost_s: Cost of one enclave/TD exit.
+        exits_per_step: Synchronous exits per inference step.
+        upi_crypto_derate: Socket-interconnect bandwidth lost to crypto.
+        numa_policy_override: Placement policy forced by the backend
+            (TDX ignores bindings; SGX sees one node), or ``None`` to
+            honour the requested policy.
+        hugepage_force_thp: Backend silently downgrades reserved 1 GB
+            pages to 2 MB THP (TDX, Insight 7).
+        epc_limited: Working set constrained by the SGX EPC.
+        step_fixed_s: Fixed cost added to every forward step (cGPU
+            encrypted command submission).
+        bounce_bw: Encrypted host-device staging bandwidth (cGPU), or
+            ``None`` when transfers are unprotected.
+        gpu_rate_derate: Proportional GPU execution-rate loss in CC mode
+            (encrypted scheduling/doorbell path); applies to compute and
+            HBM bandwidth alike, keeping the Fig. 11 overhead floor.
+    """
+
+    mem_encryption_derate: float = 0.0
+    walk_multiplier: float = 1.0
+    virtualization_tax: float = 0.0
+    exit_cost_s: float = 0.0
+    exits_per_step: float = 0.0
+    upi_crypto_derate: float = 0.0
+    numa_policy_override: NumaPolicy | None = None
+    hugepage_force_thp: bool = False
+    epc_limited: bool = False
+    step_fixed_s: float = 0.0
+    bounce_bw: float | None = None
+    gpu_rate_derate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mem_encryption_derate < 1.0:
+            raise ValueError("mem_encryption_derate must be in [0, 1)")
+        if self.walk_multiplier < 1.0:
+            raise ValueError("walk_multiplier must be >= 1")
+        if self.virtualization_tax < 0.0:
+            raise ValueError("virtualization_tax must be >= 0")
+
+
+class Backend(ABC):
+    """One deployment mode (bare metal, VM, TDX, SGX, GPU, cGPU)."""
+
+    #: Registry name; subclasses set this.
+    name: str = ""
+    #: ``"cpu"`` or ``"gpu"``.
+    device: str = "cpu"
+    #: Whether this mode provides TEE protection.
+    is_tee: bool = False
+
+    @abstractmethod
+    def cost_profile(self) -> CostProfile:
+        """Mechanism costs this mode pays."""
+
+    @abstractmethod
+    def security_profile(self) -> SecurityProfile:
+        """Security properties for the Table I comparison."""
+
+    def resolve_numa_policy(self, requested: NumaPolicy) -> NumaPolicy:
+        """The placement policy that actually takes effect."""
+        override = self.cost_profile().numa_policy_override
+        return override if override is not None else requested
+
+    def resolve_hugepages(self, requested: HugepagePolicy) -> HugepagePolicy:
+        """The page backing that actually takes effect."""
+        if (self.cost_profile().hugepage_force_thp
+                and requested is HugepagePolicy.RESERVED_1G):
+            return HugepagePolicy.TRANSPARENT_2M
+        return requested
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_BACKENDS: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add a backend instance to the global registry."""
+    if not backend.name:
+        raise ValueError("backend must define a name")
+    if backend.name in _BACKENDS:
+        raise ValueError(f"duplicate backend {backend.name!r}")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def backend_by_name(name: str) -> Backend:
+    """Look up a registered backend."""
+    if name not in _BACKENDS:
+        raise KeyError(f"unknown backend {name!r}; known: {sorted(_BACKENDS)}")
+    return _BACKENDS[name]
+
+
+def all_backends() -> dict[str, Backend]:
+    """Snapshot of the backend registry."""
+    return dict(_BACKENDS)
+
+
+@dataclass(frozen=True)
+class MechanismToggles:
+    """Ablation switches for the mechanism-level costs.
+
+    The ablation benchmarks disable one mechanism at a time to quantify
+    its contribution (DESIGN.md, "ablation benches").
+    """
+
+    memory_encryption: bool = True
+    nested_walks: bool = True
+    virtualization_tax: bool = True
+    upi_crypto: bool = True
+    enclave_exits: bool = True
+    step_fixed: bool = True
+
+    def apply(self, profile: CostProfile) -> CostProfile:
+        """A profile with the disabled mechanisms zeroed out."""
+        return CostProfile(
+            mem_encryption_derate=(profile.mem_encryption_derate
+                                   if self.memory_encryption else 0.0),
+            walk_multiplier=profile.walk_multiplier if self.nested_walks else 1.0,
+            virtualization_tax=(profile.virtualization_tax
+                                if self.virtualization_tax else 0.0),
+            exit_cost_s=profile.exit_cost_s if self.enclave_exits else 0.0,
+            exits_per_step=profile.exits_per_step if self.enclave_exits else 0.0,
+            upi_crypto_derate=(profile.upi_crypto_derate
+                               if self.upi_crypto else 0.0),
+            numa_policy_override=profile.numa_policy_override,
+            hugepage_force_thp=profile.hugepage_force_thp,
+            epc_limited=profile.epc_limited,
+            step_fixed_s=profile.step_fixed_s if self.step_fixed else 0.0,
+            bounce_bw=profile.bounce_bw,
+            gpu_rate_derate=(profile.gpu_rate_derate
+                             if self.memory_encryption else 0.0),
+        )

@@ -1,0 +1,170 @@
+"""QEMU / libvirt configuration for TDX guests (functional).
+
+Using TDX requires defining the VM precisely: boot firmware (TDVF), the
+``tdx-guest`` confidential-guest object, virtual-to-physical core
+mapping, memory backing (hugepages), and NUMA bindings (which the TDX
+KVM driver then ignores, Insight 6 — we still generate the correct
+binding so the configuration artifact matches the paper's released one).
+Full-disk encryption of the guest image is the user's job under TDX; the
+LUKS plan generator covers that (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memsim.pages import GB, HugepagePolicy
+
+
+@dataclass(frozen=True)
+class TdxVmConfig:
+    """One TDX (or plain KVM) guest definition.
+
+    Attributes:
+        name: Domain name.
+        vcpus: Virtual CPU count.
+        memory_bytes: Guest RAM.
+        tdx_enabled: Confidential guest vs plain VM.
+        hugepages: Requested memory backing.
+        numa_nodes: Host NUMA nodes to bind guest memory to (empty =
+            no binding, the paper's VM NB).
+        cpu_pin: vCPU → physical core pinning ranges per socket.
+        disk_image: Guest image path.
+        luks_encrypted: Whether the image is LUKS-protected.
+    """
+
+    name: str
+    vcpus: int
+    memory_bytes: int
+    tdx_enabled: bool = True
+    hugepages: HugepagePolicy = HugepagePolicy.RESERVED_1G
+    numa_nodes: tuple[int, ...] = ()
+    cpu_pin: tuple[str, ...] = ()
+    disk_image: str = "/var/lib/libvirt/images/guest.qcow2"
+    luks_encrypted: bool = True
+
+    def validate(self) -> None:
+        """Raise ValueError on an impossible guest definition."""
+        if self.vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        if self.memory_bytes < GB:
+            raise ValueError("guests below 1 GiB are not practical for LLMs")
+        if self.tdx_enabled and not self.luks_encrypted:
+            raise ValueError(
+                "TDX does not protect storage; enable LUKS for the image "
+                "(paper §III-B: users must protect the filesystem)")
+
+    def qemu_args(self) -> list[str]:
+        """The QEMU command line for this guest."""
+        self.validate()
+        mem_g = self.memory_bytes // GB
+        args = [
+            "qemu-system-x86_64",
+            "-name", self.name,
+            "-machine", "q35,kernel-irqchip=split"
+                        + (",confidential-guest-support=tdx0" if self.tdx_enabled else ""),
+            "-smp", str(self.vcpus),
+            "-m", f"{mem_g}G",
+            "-accel", "kvm",
+            "-cpu", "host,-kvm-steal-time",
+            "-nographic",
+        ]
+        if self.tdx_enabled:
+            args += ["-object", "tdx-guest,id=tdx0",
+                     "-bios", "/usr/share/qemu/OVMF_TDX.fd"]
+        if self.hugepages is not HugepagePolicy.BASE_4K:
+            size = "1G" if self.hugepages is HugepagePolicy.RESERVED_1G else "2M"
+            policy = (f",host-nodes={'-'.join(map(str, self.numa_nodes))},policy=bind"
+                      if self.numa_nodes else "")
+            args += ["-object",
+                     f"memory-backend-file,id=mem0,size={mem_g}G,"
+                     f"mem-path=/dev/hugepages-{size},share=on{policy}",
+                     "-numa", "node,memdev=mem0"]
+        drive = f"file={self.disk_image},if=virtio"
+        if self.luks_encrypted:
+            drive += ",encrypt.format=luks,encrypt.key-secret=sec0"
+            args += ["-object", "secret,id=sec0,file=/etc/guest.key"]
+        args += ["-drive", drive]
+        return args
+
+    def libvirt_xml(self) -> str:
+        """A libvirt domain definition equivalent to :meth:`qemu_args`."""
+        self.validate()
+        mem_kib = self.memory_bytes // 1024
+        hugepage_elem = ""
+        if self.hugepages is not HugepagePolicy.BASE_4K:
+            size_kib = self.hugepages.page_bytes // 1024
+            nodeset = (f' nodeset="{",".join(map(str, self.numa_nodes))}"'
+                       if self.numa_nodes else "")
+            hugepage_elem = (f"    <hugepages><page size='{size_kib}'"
+                             f" unit='KiB'{nodeset}/></hugepages>\n")
+        launch = ("  <launchSecurity type='tdx'/>\n" if self.tdx_enabled else "")
+        pins = "".join(
+            f"    <vcpupin vcpu='{index}' cpuset='{pin}'/>\n"
+            for index, pin in enumerate(self.cpu_pin)
+        )
+        return (
+            "<domain type='kvm'>\n"
+            f"  <name>{self.name}</name>\n"
+            f"  <memory unit='KiB'>{mem_kib}</memory>\n"
+            f"  <vcpu>{self.vcpus}</vcpu>\n"
+            "  <memoryBacking>\n" + hugepage_elem + "  </memoryBacking>\n"
+            "  <cputune>\n" + pins + "  </cputune>\n"
+            + launch +
+            "  <os><type arch='x86_64' machine='q35'>hvm</type></os>\n"
+            "</domain>\n"
+        )
+
+
+def paper_tdx_guest(cpu_cores: int, memory_gib: int,
+                    sockets: tuple[int, ...] = (0,)) -> TdxVmConfig:
+    """The guest shape used in the paper's TDX experiments.
+
+    One vCPU per physical core (hyperthreads hidden — exposing them only
+    added noise, §IV-A), memory bound to the sockets in use, 1 GB
+    hugepages requested (TDX will silently downgrade them), LUKS image.
+    """
+    if cpu_cores < 1 or memory_gib < 1:
+        raise ValueError("cpu_cores and memory_gib must be >= 1")
+    pin_ranges = tuple(
+        f"{socket * cpu_cores}-{(socket + 1) * cpu_cores - 1}" for socket in sockets
+    )
+    return TdxVmConfig(
+        name=f"tdx-llm-{cpu_cores}c",
+        vcpus=cpu_cores * len(sockets),
+        memory_bytes=memory_gib * GB,
+        numa_nodes=sockets,
+        cpu_pin=pin_ranges,
+    )
+
+
+@dataclass(frozen=True)
+class LuksPlan:
+    """A LUKS2 full-disk-encryption plan for a TDX guest image.
+
+    TDX protects memory, not storage; the paper uses LUKS for the guest
+    filesystem.  The plan is a validated sequence of setup steps.
+    """
+
+    device: str
+    cipher: str = "aes-xts-plain64"
+    key_bits: int = 512
+    pbkdf: str = "argon2id"
+
+    def validate(self) -> None:
+        if not self.device.startswith("/dev/"):
+            raise ValueError(f"device must be a block device path, got {self.device!r}")
+        if self.cipher not in ("aes-xts-plain64", "aes-cbc-essiv:sha256"):
+            raise ValueError(f"unsupported cipher {self.cipher!r}")
+        if self.key_bits not in (256, 512):
+            raise ValueError("key_bits must be 256 or 512")
+
+    def commands(self) -> list[str]:
+        """The cryptsetup command sequence."""
+        self.validate()
+        return [
+            f"cryptsetup luksFormat --type luks2 --cipher {self.cipher} "
+            f"--key-size {self.key_bits} --pbkdf {self.pbkdf} {self.device}",
+            f"cryptsetup open {self.device} guest_root",
+            "mkfs.ext4 /dev/mapper/guest_root",
+        ]

@@ -1,0 +1,165 @@
+"""Security property matrix (Table I).
+
+Captures the qualitative security comparison the paper summarizes in
+Table I: what hardware state is protected (memory, scale-up links), what
+software must be trusted (application, OS, VM), and development cost.
+Values use a three-level scale mirroring the paper's full / partial / no
+support glyphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Support(str, Enum):
+    """Three-level support scale (Table I legend)."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+    NONE = "none"
+
+    @property
+    def glyph(self) -> str:
+        return {"full": "#", "partial": "=", "none": "."}[self.value]
+
+
+@dataclass(frozen=True)
+class SecurityProfile:
+    """Security properties of one deployment mode.
+
+    Attributes:
+        name: Backend name.
+        memory_encrypted: DRAM (or HBM) protection level.  H100 leaves
+            HBM unencrypted — the paper's headline cGPU security gap.
+        scale_up_protected: Socket/GPU interconnect protection.  UPI is
+            transparently encrypted on CPUs; NVLink is not on H100.
+        app_trusted: Whether the application must be trusted (always —
+            the TEE protects it but cannot vet it).
+        os_trusted: Trust required in an OS layer (SGX needs only a
+            libOS → partial; TDX/cGPU trust the whole guest OS).
+        vm_trusted: Trust required in a VM/hypervisor-adjacent stack.
+        attestable: Remote attestation support.
+        development_cost: Porting effort (Table I "Development" row);
+            higher is worse.  SGX requires manifests and libOS quirks,
+            TDX runs stock OS images, cGPU runs unmodified CUDA.
+    """
+
+    name: str
+    memory_encrypted: Support
+    scale_up_protected: Support
+    app_trusted: Support
+    os_trusted: Support
+    vm_trusted: Support
+    attestable: bool
+    development_cost: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.development_cost <= 3:
+            raise ValueError("development_cost must be in [0, 3]")
+
+    @property
+    def tcb_size_rank(self) -> int:
+        """Relative trusted-computing-base size (smaller is better).
+
+        Counts the trust levels over the software rows: a full-trust row
+        adds 2, partial adds 1.
+        """
+        score = 0
+        for level in (self.app_trusted, self.os_trusted, self.vm_trusted):
+            score += {"full": 2, "partial": 1, "none": 0}[level.value]
+        return score
+
+    def stricter_than(self, other: "SecurityProfile") -> bool:
+        """True if this mode dominates ``other`` on hardware protections
+        and does not trust more software.
+
+        Used for Insight 11: CPU TEEs are 'more secure' than H100 cGPUs
+        because they encrypt memory and protect the scale-up links.
+        """
+        order = {Support.NONE: 0, Support.PARTIAL: 1, Support.FULL: 2}
+        hw_geq = (order[self.memory_encrypted] >= order[other.memory_encrypted]
+                  and order[self.scale_up_protected] >= order[other.scale_up_protected])
+        hw_gt = (order[self.memory_encrypted] > order[other.memory_encrypted]
+                 or order[self.scale_up_protected] > order[other.scale_up_protected])
+        return hw_geq and hw_gt and self.tcb_size_rank <= other.tcb_size_rank
+
+
+#: No-protection baseline rows for completeness.
+BAREMETAL_SECURITY = SecurityProfile(
+    name="baremetal",
+    memory_encrypted=Support.NONE,
+    scale_up_protected=Support.NONE,
+    app_trusted=Support.FULL,
+    os_trusted=Support.FULL,
+    vm_trusted=Support.FULL,
+    attestable=False,
+    development_cost=0,
+)
+
+VM_SECURITY = SecurityProfile(
+    name="vm",
+    memory_encrypted=Support.NONE,
+    scale_up_protected=Support.NONE,
+    app_trusted=Support.FULL,
+    os_trusted=Support.FULL,
+    vm_trusted=Support.FULL,
+    attestable=False,
+    development_cost=0,
+)
+
+SGX_SECURITY = SecurityProfile(
+    name="sgx",
+    memory_encrypted=Support.FULL,
+    scale_up_protected=Support.FULL,
+    app_trusted=Support.FULL,
+    os_trusted=Support.PARTIAL,   # only the Gramine libOS is trusted
+    vm_trusted=Support.NONE,
+    attestable=True,
+    development_cost=3,
+)
+
+TDX_SECURITY = SecurityProfile(
+    name="tdx",
+    memory_encrypted=Support.FULL,
+    scale_up_protected=Support.FULL,
+    app_trusted=Support.FULL,
+    os_trusted=Support.FULL,      # whole guest OS inside the trust boundary
+    vm_trusted=Support.FULL,
+    attestable=True,
+    development_cost=1,
+)
+
+CGPU_SECURITY = SecurityProfile(
+    name="cgpu",
+    memory_encrypted=Support.NONE,      # H100 HBM is unencrypted
+    scale_up_protected=Support.NONE,    # NVLink unprotected in CC mode
+    app_trusted=Support.FULL,
+    os_trusted=Support.FULL,
+    vm_trusted=Support.FULL,            # requires a host CPU TEE (CVM)
+    attestable=True,
+    development_cost=0,
+)
+
+GPU_SECURITY = SecurityProfile(
+    name="gpu",
+    memory_encrypted=Support.NONE,
+    scale_up_protected=Support.NONE,
+    app_trusted=Support.FULL,
+    os_trusted=Support.FULL,
+    vm_trusted=Support.FULL,
+    attestable=False,
+    development_cost=0,
+)
+
+B100_SECURITY = SecurityProfile(
+    name="cgpu-b100",
+    memory_encrypted=Support.FULL,
+    scale_up_protected=Support.FULL,
+    app_trusted=Support.FULL,
+    os_trusted=Support.FULL,
+    vm_trusted=Support.FULL,
+    attestable=True,
+    development_cost=0,
+)

@@ -1,0 +1,135 @@
+"""Threat taxonomy (paper Fig. 1 and §I-II).
+
+The paper motivates TEEs with concrete attacks that cloud providers,
+cluster administrators, and co-tenants can mount on LLM deployments:
+stealing weights or user prompts from memory or storage, tampering with
+inference results, and snooping interconnects.  This module encodes the
+taxonomy and evaluates which deployment mode mitigates which attack,
+backing the examples' security advice with checkable logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .base import Backend, backend_by_name
+from .security import SecurityProfile, Support
+
+
+class Attacker(str, Enum):
+    """Who mounts the attack (the paper's privileged-adversary model)."""
+
+    CLOUD_PROVIDER = "cloud-provider"
+    HOST_ADMIN = "host-admin"
+    CO_TENANT = "co-tenant"
+    NETWORK = "network"
+
+
+class Asset(str, Enum):
+    """What the attack targets."""
+
+    MODEL_WEIGHTS = "model-weights"
+    USER_PROMPTS = "user-prompts"
+    INFERENCE_INTEGRITY = "inference-integrity"
+
+
+@dataclass(frozen=True)
+class Threat:
+    """One attack vector from the paper's motivation.
+
+    Attributes:
+        name: Short identifier.
+        attacker: Adversary class.
+        asset: What is stolen or corrupted.
+        vector: The technical channel.
+        requires: Which security property mitigates it — a predicate on
+            the deployment's :class:`SecurityProfile` (and device flags).
+    """
+
+    name: str
+    attacker: Attacker
+    asset: Asset
+    vector: str
+    description: str
+
+
+#: The attack catalogue.  Mitigation logic lives in :func:`mitigates`.
+THREATS: tuple[Threat, ...] = (
+    Threat("memory-scrape", Attacker.HOST_ADMIN, Asset.MODEL_WEIGHTS,
+           "dram-read",
+           "Dump guest DRAM (or cold-boot/DMA) to steal weights and KV "
+           "state."),
+    Threat("prompt-snoop", Attacker.CLOUD_PROVIDER, Asset.USER_PROMPTS,
+           "dram-read",
+           "Read user prompts and generations out of inference memory."),
+    Threat("hypervisor-tamper", Attacker.CLOUD_PROVIDER,
+           Asset.INFERENCE_INTEGRITY, "memory-write",
+           "Flip weights/activations from the hypervisor to steer "
+           "model outputs."),
+    Threat("storage-theft", Attacker.HOST_ADMIN, Asset.MODEL_WEIGHTS,
+           "disk-read",
+           "Copy the model from the VM image or attached volume."),
+    Threat("interconnect-snoop", Attacker.HOST_ADMIN, Asset.USER_PROMPTS,
+           "link-probe",
+           "Probe the socket/accelerator interconnect for activations "
+           "in flight."),
+    Threat("accelerator-memory-scrape", Attacker.HOST_ADMIN,
+           Asset.MODEL_WEIGHTS, "hbm-read",
+           "Read weights out of (unencrypted) accelerator HBM."),
+    Threat("fake-enclave", Attacker.CLOUD_PROVIDER, Asset.MODEL_WEIGHTS,
+           "impersonation",
+           "Present a look-alike environment to obtain the model "
+           "decryption key."),
+)
+
+
+def mitigates(backend: Backend, threat: Threat) -> bool:
+    """Whether a deployment mode mitigates a threat.
+
+    Encodes the paper's Table I logic: DRAM attacks need memory
+    encryption; link probing needs protected scale-up; HBM scraping is
+    only covered when the accelerator encrypts its memory; storage and
+    impersonation need attestation-gated provisioning (all TEE modes in
+    this repo pair attestation with encrypted weights at rest).
+    """
+    profile: SecurityProfile = backend.security_profile()
+    if threat.vector in ("dram-read", "memory-write"):
+        if backend.device == "gpu":
+            # Host-side state of a cGPU lives in the companion CVM; the
+            # GPU's own HBM is the separate hbm-read vector.
+            return backend.is_tee
+        return profile.memory_encrypted is Support.FULL
+    if threat.vector == "hbm-read":
+        if backend.device != "gpu":
+            return profile.memory_encrypted is Support.FULL
+        return profile.memory_encrypted is Support.FULL
+    if threat.vector == "link-probe":
+        return profile.scale_up_protected is Support.FULL
+    if threat.vector == "disk-read":
+        # All our TEE deployments pair attestation with encrypted
+        # weights at rest (LUKS for TDX, Gramine encrypted mounts for
+        # SGX, CVM-disk for cGPU).
+        return profile.attestable
+    if threat.vector == "impersonation":
+        return profile.attestable
+    raise ValueError(f"unknown threat vector {threat.vector!r}")
+
+
+def coverage(backend_name: str) -> dict[str, bool]:
+    """Threat-by-threat mitigation map for a backend."""
+    backend = backend_by_name(backend_name)
+    return {threat.name: mitigates(backend, threat) for threat in THREATS}
+
+
+def coverage_score(backend_name: str) -> float:
+    """Fraction of catalogued threats the backend mitigates."""
+    values = coverage(backend_name)
+    return sum(values.values()) / len(values)
+
+
+def uncovered(backend_name: str) -> tuple[Threat, ...]:
+    """Threats the backend leaves open (the residual risk list)."""
+    backend = backend_by_name(backend_name)
+    return tuple(threat for threat in THREATS
+                 if not mitigates(backend, threat))

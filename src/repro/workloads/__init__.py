@@ -1,0 +1,6 @@
+"""Workload generation: synthetic prompts and request streams."""
+
+from .prompts import Request, request_stream, synthetic_prompt, verify_prompt_length
+
+__all__ = ["Request", "request_stream", "synthetic_prompt",
+           "verify_prompt_length"]

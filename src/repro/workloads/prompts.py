@@ -1,0 +1,79 @@
+"""Synthetic prompt and request-stream generation.
+
+The paper's workloads are defined by token counts, not content; the
+generators here produce deterministic prompts of exact token lengths
+(for the functional pipeline) and request streams with realistic length
+mixes (for the examples' capacity planning).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..llm.tokenizer import HashTokenizer
+
+_DOMAINS = {
+    "healthcare": ["patient", "diagnosis", "treatment", "record", "clinical",
+                   "insurance", "symptom", "dosage"],
+    "finance": ["portfolio", "ledger", "transaction", "earnings", "audit",
+                "compliance", "forecast", "risk"],
+    "legal": ["contract", "clause", "liability", "precedent", "statute",
+              "filing", "counsel", "verdict"],
+}
+
+
+def synthetic_prompt(num_tokens: int, domain: str = "healthcare",
+                     seed: int = 0) -> str:
+    """A prompt that tokenizes to exactly ``num_tokens`` word pieces.
+
+    Raises:
+        KeyError: For unknown domains.
+        ValueError: For non-positive lengths.
+    """
+    if num_tokens < 1:
+        raise ValueError("num_tokens must be >= 1")
+    if domain not in _DOMAINS:
+        raise KeyError(f"unknown domain {domain!r}; known: {sorted(_DOMAINS)}")
+    rng = random.Random(seed)
+    words = [rng.choice(_DOMAINS[domain]) for _ in range(num_tokens)]
+    return " ".join(words)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of a serving trace."""
+
+    prompt_tokens: int
+    output_tokens: int
+    domain: str
+
+
+def request_stream(count: int, mean_prompt: int = 512, mean_output: int = 128,
+                   seed: int = 0) -> list[Request]:
+    """A deterministic request mix with lognormal-ish length spread.
+
+    Lengths are clamped to [16, 4x mean] so downstream workloads stay
+    within model context windows.
+    """
+    if count < 1 or mean_prompt < 16 or mean_output < 16:
+        raise ValueError("count >= 1 and means >= 16 required")
+    rng = random.Random(seed)
+    domains = sorted(_DOMAINS)
+    requests = []
+    for _ in range(count):
+        prompt = int(rng.lognormvariate(0.0, 0.6) * mean_prompt)
+        output = int(rng.lognormvariate(0.0, 0.5) * mean_output)
+        requests.append(Request(
+            prompt_tokens=max(16, min(prompt, 4 * mean_prompt)),
+            output_tokens=max(16, min(output, 4 * mean_output)),
+            domain=rng.choice(domains),
+        ))
+    return requests
+
+
+def verify_prompt_length(prompt: str, expected_tokens: int,
+                         tokenizer: HashTokenizer | None = None) -> bool:
+    """Check a prompt's token count against the workload definition."""
+    tokenizer = tokenizer or HashTokenizer()
+    return tokenizer.count(prompt) == expected_tokens

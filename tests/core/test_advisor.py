@@ -1,0 +1,71 @@
+"""Deployment advisor logic."""
+
+import pytest
+
+from repro.core.advisor import Recommendation, Requirements, recommend
+from repro.engine.placement import Workload
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+
+def workload(batch=1, input_tokens=128):
+    return Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                    input_tokens=input_tokens, output_tokens=16)
+
+
+class TestRequirements:
+    def test_defaults_use_reading_speed_sla(self):
+        assert Requirements().max_latency_s == pytest.approx(0.200)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Requirements(max_latency_s=0.0)
+        with pytest.raises(ValueError):
+            Requirements(max_dev_effort=5)
+
+
+class TestRecommend:
+    def test_small_workload_picks_cpu_tee(self):
+        """Insight 11: small batch/input -> CPU TEE wins on cost."""
+        result = recommend(workload(batch=1))
+        assert result.best.backend in ("sgx", "tdx")
+        assert result.best.meets_sla
+
+    def test_large_workload_picks_cgpu(self):
+        """High intensity -> the cGPU wins on $/Mtok."""
+        result = recommend(workload(batch=64, input_tokens=1024))
+        assert result.best.backend == "cgpu"
+
+    def test_hard_security_requirement_excludes_cgpu(self):
+        result = recommend(
+            workload(batch=64, input_tokens=1024),
+            Requirements(require_encrypted_accelerator_memory=True))
+        assert result.best.backend in ("sgx", "tdx")
+        cgpu = next(c for c in result.candidates if c.backend == "cgpu")
+        assert cgpu.disqualified == "accelerator memory unencrypted"
+
+    def test_dev_effort_cap_excludes_sgx(self):
+        result = recommend(workload(), Requirements(max_dev_effort=1))
+        sgx_candidates = [c for c in result.candidates
+                          if c.backend == "sgx"]
+        assert all(c.disqualified for c in sgx_candidates)
+        assert result.best.backend != "sgx"
+
+    def test_all_candidates_reported(self):
+        result = recommend(workload())
+        backends = {c.backend for c in result.candidates}
+        assert backends == {"sgx", "tdx", "cgpu"}
+        # Several core counts evaluated per CPU backend.
+        assert sum(1 for c in result.candidates if c.backend == "tdx") == 3
+
+    def test_rationale_mentions_winner(self):
+        result = recommend(workload())
+        assert result.best.backend in result.rationale
+
+    def test_security_coverage_populated(self):
+        result = recommend(workload())
+        for candidate in result.candidates:
+            if candidate.backend in ("sgx", "tdx"):
+                assert candidate.security_coverage == 1.0
+            else:
+                assert candidate.security_coverage < 1.0

@@ -1,0 +1,61 @@
+"""Deployment builder helpers."""
+
+import pytest
+
+from repro.core.experiment import cpu_deployment, gpu_deployment
+from repro.frameworks.base import IPEX, VLLM_GPU
+from repro.hardware.cpu import EMR1, EMR2
+from repro.hardware.gpu import B100, H100_NVL
+from repro.memsim.pages import HugepagePolicy
+
+
+class TestCpuDeployment:
+    def test_defaults(self):
+        deployment = cpu_deployment()
+        assert deployment.backend.name == "baremetal"
+        assert deployment.framework is IPEX
+        assert deployment.placement.cpu is EMR2
+
+    def test_placement_kwargs_forwarded(self):
+        deployment = cpu_deployment(
+            "tdx", cpu=EMR1, sockets_used=2, cores_per_socket_used=16,
+            hugepages=HugepagePolicy.RESERVED_1G, snc_clusters=2,
+            amx_enabled=False)
+        placement = deployment.placement
+        assert placement.cpu is EMR1
+        assert placement.cores == 32
+        assert placement.snc_clusters == 2
+        assert not placement.amx_enabled
+
+    def test_framework_instance_accepted(self):
+        deployment = cpu_deployment(framework=IPEX)
+        assert deployment.framework is IPEX
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError):
+            cpu_deployment("sev-snp")
+
+    def test_bad_placement_kwarg(self):
+        with pytest.raises(TypeError):
+            cpu_deployment(gpu_count=2)
+
+
+class TestGpuDeployment:
+    def test_confidential_flag(self):
+        assert gpu_deployment(confidential=True).backend.name == "cgpu"
+        assert gpu_deployment(confidential=False).backend.name == "gpu"
+
+    def test_explicit_backend_overrides_flag(self):
+        deployment = gpu_deployment(confidential=False, backend="cgpu-b100")
+        assert deployment.backend.name == "cgpu-b100"
+
+    def test_gpu_selection(self):
+        assert gpu_deployment(gpu=B100).placement.gpu is B100
+        assert gpu_deployment().placement.gpu is H100_NVL
+
+    def test_framework_default(self):
+        assert gpu_deployment().framework is VLLM_GPU
+
+    def test_cpu_backend_rejected_on_gpu(self):
+        with pytest.raises(ValueError, match="backend"):
+            gpu_deployment(backend="tdx")

@@ -1,0 +1,29 @@
+"""CLI entry point (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_threats_matrix(self, capsys):
+        assert main(["threats"]) == 0
+        out = capsys.readouterr().out
+        assert "memory-scrape" in out
+        assert "cgpu" in out
+
+    def test_insights_exit_code(self, capsys):
+        assert main(["insights"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok  ]" in out
+        assert "FAIL" not in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--output-tokens", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "tdx" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

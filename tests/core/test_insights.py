@@ -1,0 +1,41 @@
+"""The 12 paper insights must hold in this reproduction."""
+
+import pytest
+
+from repro.core import insights
+
+
+@pytest.fixture(scope="module")
+def all_checks():
+    return insights.verify_all_insights()
+
+
+class TestAllInsights:
+    def test_twelve_checks(self, all_checks):
+        assert len(all_checks) == 12
+        assert [check.number for check in all_checks] == list(range(1, 13))
+
+    def test_every_insight_holds(self, all_checks):
+        failures = [f"#{check.number}: {check.statement} [{check.evidence}]"
+                    for check in all_checks if not check.holds]
+        assert not failures, "\n".join(failures)
+
+    def test_evidence_is_populated(self, all_checks):
+        assert all(check.evidence for check in all_checks)
+
+
+class TestSelectedEvidence:
+    """Spot checks on the quantitative evidence of key insights."""
+
+    def test_insight_4_band(self, all_checks):
+        evidence = all_checks[3].evidence
+        assert "SGX" in evidence and "TDX" in evidence
+
+    def test_insight_7_mechanism(self):
+        check = insights.check_insight_7()
+        assert "thp-2m" in check.evidence
+
+    def test_insight_10_decreasing(self):
+        check = insights.check_insight_10()
+        assert check.holds
+        assert "bs=1" in check.evidence

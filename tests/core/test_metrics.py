@@ -1,0 +1,109 @@
+"""Measurement metrics: Z-score filter, latency stats, throughput."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.metrics import (
+    HUMAN_READING_LATENCY_S,
+    geometric_mean,
+    latency_stats,
+    outlier_fraction,
+    throughput_from_latencies,
+    zscore_filter,
+)
+
+positive_samples = hnp.arrays(
+    dtype=np.float64, shape=st.integers(min_value=2, max_value=200),
+    elements=st.floats(min_value=0.001, max_value=10.0, allow_nan=False))
+
+
+class TestZscoreFilter:
+    def test_keeps_clean_data(self):
+        samples = np.array([1.0, 1.1, 0.9, 1.05, 0.95])
+        assert zscore_filter(samples).size == 5
+
+    def test_drops_spike(self):
+        samples = np.concatenate([np.full(200, 1.0)
+                                  + np.linspace(-0.01, 0.01, 200), [50.0]])
+        kept = zscore_filter(samples)
+        assert kept.size == 200
+        assert 50.0 not in kept
+
+    def test_constant_data_kept(self):
+        samples = np.full(10, 2.0)
+        assert zscore_filter(samples).size == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            zscore_filter(np.array([]))
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            zscore_filter(np.ones(3), threshold=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(positive_samples)
+    def test_filter_is_idempotent_on_survivors_mean(self, samples):
+        """Filtering never removes more than it should: survivors are a
+        subset and their mean is finite."""
+        kept = zscore_filter(samples)
+        assert 0 < kept.size <= samples.size
+        assert np.isfinite(kept.mean())
+
+    def test_outlier_fraction_matches(self):
+        samples = np.concatenate([np.full(999, 1.0)
+                                  + np.linspace(-0.01, 0.01, 999), [100.0]])
+        assert outlier_fraction(samples) == pytest.approx(1 / 1000)
+
+
+class TestLatencyStats:
+    def test_summary_fields(self):
+        samples = np.array([0.05, 0.06, 0.055, 0.052])
+        stats = latency_stats(samples)
+        assert stats.mean_s == pytest.approx(samples.mean(), rel=1e-6)
+        assert stats.samples == 4
+        assert stats.p95_s >= stats.median_s
+
+    def test_meets_reading_speed(self):
+        fast = latency_stats(np.full(10, 0.08))
+        slow = latency_stats(np.full(10, 0.5))
+        assert fast.meets_reading_speed
+        assert not slow.meets_reading_speed
+        assert HUMAN_READING_LATENCY_S == 0.2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            latency_stats(np.array([0.1, -0.1]))
+
+    def test_outliers_removed_recorded(self):
+        samples = np.concatenate([np.full(500, 0.05)
+                                  + np.linspace(0, 0.001, 500), [5.0]])
+        stats = latency_stats(samples)
+        assert stats.outliers_removed > 0
+        assert stats.mean_s < 0.06
+
+
+class TestThroughput:
+    def test_inverse_of_latency_times_batch(self):
+        samples = np.full(100, 0.05)
+        assert throughput_from_latencies(samples, sequences=6) == \
+            pytest.approx(120.0)
+
+    def test_sequences_positive(self):
+        with pytest.raises(ValueError):
+            throughput_from_latencies(np.ones(3), sequences=0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

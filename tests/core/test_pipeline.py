@@ -1,0 +1,102 @@
+"""End-to-end confidential pipeline: config, attestation, serving."""
+
+import pytest
+
+from repro.core.experiment import cpu_deployment
+from repro.core.pipeline import ConfidentialPipeline, stream_cipher
+from repro.engine.placement import Workload
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+from repro.tee.gramine import GramineManifest
+from repro.tee.qemu import TdxVmConfig
+
+
+@pytest.fixture
+def workload():
+    return Workload(LLAMA2_7B, BFLOAT16, batch_size=1, input_tokens=64,
+                    output_tokens=8)
+
+
+def make_pipeline(backend, workload, **kwargs):
+    return ConfidentialPipeline(
+        cpu_deployment(backend, sockets_used=1, **kwargs), workload)
+
+
+class TestStreamCipher:
+    def test_round_trip(self):
+        data = b"confidential model weights" * 10
+        key = b"k" * 32
+        assert stream_cipher(stream_cipher(data, key), key) == data
+
+    def test_wrong_key_garbles(self):
+        data = b"secret"
+        assert stream_cipher(stream_cipher(data, b"a"), b"b") != data
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            stream_cipher(b"x", b"")
+
+    def test_ciphertext_differs_from_plaintext(self):
+        data = b"0" * 256
+        assert stream_cipher(data, b"key") != data
+
+
+class TestConfigArtifacts:
+    def test_sgx_gets_manifest(self, workload):
+        config = make_pipeline("sgx", workload).build_config()
+        assert isinstance(config, GramineManifest)
+        config.validate()
+
+    def test_tdx_gets_vm_definition(self, workload):
+        config = make_pipeline("tdx", workload,
+                               cores_per_socket_used=32).build_config()
+        assert isinstance(config, TdxVmConfig)
+        assert config.vcpus == 32
+        assert config.luks_encrypted
+
+    def test_baremetal_needs_none(self, workload):
+        assert make_pipeline("baremetal", workload).build_config() is None
+
+
+class TestProvisioning:
+    def test_tdx_provisions(self, workload):
+        pipeline = make_pipeline("tdx", workload)
+        report = pipeline.provision()
+        assert report.attested
+        assert report.backend == "tdx"
+        assert "<launchSecurity type='tdx'/>" in report.config_artifact
+
+    def test_sgx_provisions_with_manifest_artifact(self, workload):
+        report = make_pipeline("sgx", workload).provision()
+        assert "sgx.enclave_size" in report.config_artifact
+
+    def test_non_tee_refused(self, workload):
+        with pytest.raises(PermissionError, match="cannot attest"):
+            make_pipeline("baremetal", workload).provision()
+
+    def test_wrong_measurement_refused(self, workload):
+        pipeline = make_pipeline("tdx", workload)
+        with pytest.raises(PermissionError):
+            pipeline.provision(expected_measurement="0" * 96)
+
+
+class TestServing:
+    def test_generate_before_provision_rejected(self, workload):
+        with pytest.raises(RuntimeError, match="provision"):
+            make_pipeline("tdx", workload).generate("hello")
+
+    def test_generate_end_to_end(self, workload):
+        pipeline = make_pipeline("tdx", workload)
+        pipeline.provision()
+        response = pipeline.generate("summarize the patient record",
+                                     max_new_tokens=4)
+        assert len(response.text_tokens) == 4
+        assert response.estimated_latency_ms > 0
+        assert response.performance.backend_name == "tdx"
+
+    def test_generation_deterministic(self, workload):
+        pipeline = make_pipeline("tdx", workload)
+        pipeline.provision()
+        a = pipeline.generate("same prompt", max_new_tokens=3)
+        b = pipeline.generate("same prompt", max_new_tokens=3)
+        assert a.text_tokens == b.text_tokens

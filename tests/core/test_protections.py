@@ -1,0 +1,76 @@
+"""§II protection-mechanism comparison as checkable logic."""
+
+import pytest
+
+from repro.core.protections import (
+    PROTECTIONS,
+    Family,
+    Protection,
+    only_practical_family,
+    overhead_gap_vs_he,
+    practical_mechanisms,
+)
+
+
+class TestCatalogue:
+    def test_three_families_present(self):
+        assert {p.family for p in PROTECTIONS} == set(Family)
+
+    def test_ml_methods_are_passive(self):
+        """§II: ML methods are post-hoc detection, not active protection."""
+        for protection in PROTECTIONS:
+            if protection.family is Family.ML_METHOD:
+                assert not protection.active_protection
+                assert not protection.protects_prompts
+
+    def test_crypto_lacks_integrity(self):
+        """§II: HE/MPC do not provide integrity protection; TEEs do."""
+        for protection in PROTECTIONS:
+            if protection.family is Family.CRYPTOGRAPHIC:
+                assert not protection.integrity
+            if protection.family is Family.CONFIDENTIAL_COMPUTING:
+                assert protection.integrity
+
+    def test_he_overhead_orders_of_magnitude(self):
+        he = next(p for p in PROTECTIONS
+                  if p.name == "homomorphic-encryption")
+        assert he.overhead_factor >= 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Protection("bad", Family.ML_METHOD, overhead_factor=0.5,
+                       active_protection=False, protects_prompts=False,
+                       integrity=False, needs_retraining=False,
+                       general_purpose=False, composable=False)
+
+
+class TestInsight1:
+    def test_only_tees_are_practical(self):
+        """The paper's §II conclusion: TEEs are the only viable method."""
+        assert only_practical_family() is Family.CONFIDENTIAL_COMPUTING
+
+    def test_practical_set_is_the_two_tees(self):
+        names = {p.name for p in practical_mechanisms()}
+        assert names == {"cpu-tee", "gpu-tee"}
+
+    def test_gap_vs_he_with_measured_overhead(self):
+        """Plugging this reproduction's measured TDX overhead into the
+        comparison: TEEs are thousands of times cheaper than HE."""
+        from repro.core.experiment import cpu_deployment
+        from repro.core.overhead import throughput_overhead
+        from repro.engine.placement import Workload
+        from repro.engine.simulator import simulate_generation
+        from repro.llm.config import LLAMA2_7B
+        from repro.llm.datatypes import BFLOAT16
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1,
+                            input_tokens=128, output_tokens=8)
+        base = simulate_generation(workload, cpu_deployment(
+            "baremetal", sockets_used=1))
+        tdx = simulate_generation(workload, cpu_deployment(
+            "tdx", sockets_used=1))
+        gap = overhead_gap_vs_he(throughput_overhead(tdx, base))
+        assert gap > 5000.0
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            overhead_gap_vs_he(-0.1)

@@ -1,0 +1,52 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.core.experiment import Experiment, cpu_deployment
+from repro.core.report import (
+    experiment_section,
+    insights_section,
+    markdown_table,
+)
+from repro.engine.placement import Workload
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = markdown_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.25}])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "2.50" in lines[2]
+
+    def test_column_selection(self):
+        table = markdown_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table([])
+
+
+class TestSections:
+    def test_experiment_section(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1,
+                            input_tokens=128, output_tokens=8)
+        outcome = Experiment(
+            name="report-test", workload=workload,
+            deployments={
+                "baremetal": cpu_deployment("baremetal", sockets_used=1),
+                "tdx": cpu_deployment("tdx", sockets_used=1),
+            }).run()
+        section = experiment_section(outcome)
+        assert "### report-test" in section
+        assert "| label |" in section
+        assert "tdx" in section
+
+    def test_insights_section_lists_all_twelve(self):
+        section = insights_section()
+        for number in range(1, 13):
+            assert f"\n{number}. " in section or section.startswith(f"{number}. ")
+        assert "FAILS" not in section

@@ -1,0 +1,73 @@
+"""Table I rendering."""
+
+import pytest
+
+from repro.core.summary import (
+    ALL_SUMMARIES,
+    CGPU_SUMMARY,
+    SGX_SUMMARY,
+    TDX_SUMMARY,
+    Trend,
+    render_summary_table,
+)
+
+
+class TestTrend:
+    def test_valid_symbols(self):
+        assert str(Trend(Trend.DOWN)) == "v"
+        assert str(Trend(Trend.UP_STRONG)) == "^^"
+        assert str(Trend(Trend.DOWN_THEN_UP)) == "v^"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Trend("sideways")
+
+
+class TestSummaries:
+    def test_paper_overhead_bands(self):
+        assert SGX_SUMMARY.overhead_band == (0.04, 0.05)
+        assert TDX_SUMMARY.overhead_band == (0.05, 0.10)
+        assert CGPU_SUMMARY.overhead_band == (0.04, 0.08)
+
+    def test_batch_size_lowers_all_overheads(self):
+        for summary in ALL_SUMMARIES:
+            assert summary.batch_size_trend.symbol == Trend.DOWN
+
+    def test_amx_irrelevant_on_gpu(self):
+        assert CGPU_SUMMARY.amx_trend.symbol == Trend.NEUTRAL
+
+    def test_efficiency_split(self):
+        """Table I bottom: CPU TEEs win small workloads, cGPU large."""
+        assert TDX_SUMMARY.good_for_small_workloads
+        assert not TDX_SUMMARY.good_for_large_workloads
+        assert CGPU_SUMMARY.good_for_large_workloads
+        assert not CGPU_SUMMARY.good_for_small_workloads
+
+
+class TestRender:
+    def test_contains_all_systems(self):
+        table = render_summary_table()
+        for summary in ALL_SUMMARIES:
+            assert summary.system in table
+
+    def test_contains_expected_rows(self):
+        table = render_summary_table()
+        for row in ("memory protected", "single-resource overhead",
+                    "overhead sources", "dev cost"):
+            assert row in table
+
+    def test_measured_bands_override(self):
+        table = render_summary_table(
+            measured_bands={"tdx": (0.07, 0.17)})
+        assert "~7-17%" in table
+
+    def test_hbm_gap_visible(self):
+        """cGPU's memory row must show no support."""
+        table = render_summary_table()
+        memory_row = next(line for line in table.splitlines()
+                          if line.startswith("memory protected"))
+        assert memory_row.rstrip().endswith(".")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_summary_table(())

@@ -1,0 +1,95 @@
+"""Price catalog and $/Mtok computations."""
+
+import pytest
+
+from repro.core.experiment import cpu_deployment, gpu_deployment
+from repro.cost.efficiency import (
+    best_cpu_point,
+    cost_overhead,
+    cost_per_million_tokens,
+    cpu_cost_point,
+    gpu_cost_point,
+    optimal_core_count,
+)
+from repro.cost.pricing import GCP_SPOT_US_EAST1, PAPER_MEMORY_GB, PriceCatalog
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+
+class TestCatalog:
+    def test_instance_price_composition(self):
+        price = GCP_SPOT_US_EAST1.cpu_instance_hr(16, 128.0)
+        expected = 16 * GCP_SPOT_US_EAST1.vcpu_hr + 128 * GCP_SPOT_US_EAST1.gb_hr
+        assert price == pytest.approx(expected)
+
+    def test_spr_discount(self):
+        full = GCP_SPOT_US_EAST1.cpu_instance_hr(16, 128.0)
+        spr = GCP_SPOT_US_EAST1.cpu_instance_hr(16, 128.0, spr=True)
+        assert spr == pytest.approx(full * GCP_SPOT_US_EAST1.spr_discount)
+
+    def test_memory_dominates_small_instances(self):
+        """§V-D2: memory cost is fixed and dominates at low core counts."""
+        price_8c = GCP_SPOT_US_EAST1.cpu_instance_hr(8, PAPER_MEMORY_GB)
+        memory_part = PAPER_MEMORY_GB * GCP_SPOT_US_EAST1.gb_hr
+        assert memory_part > price_8c / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriceCatalog(0.0, 0.001, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            GCP_SPOT_US_EAST1.cpu_instance_hr(0, 128.0)
+
+
+class TestCostPerMtok:
+    def test_formula(self):
+        # 1000 tok/s at $3.6/hr -> $1 per million tokens.
+        assert cost_per_million_tokens(1000.0, 3.6) == pytest.approx(1.0)
+
+    def test_throughput_must_be_positive(self):
+        with pytest.raises(ValueError):
+            cost_per_million_tokens(0.0, 1.0)
+
+
+class TestCostPoints:
+    @pytest.fixture(scope="class")
+    def tdx_result(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=4,
+                            input_tokens=128, output_tokens=32)
+        return simulate_generation(workload, cpu_deployment(
+            "tdx", sockets_used=1, cores_per_socket_used=16))
+
+    def test_cpu_point(self, tdx_result):
+        point = cpu_cost_point(tdx_result, vcpus=16,
+                               catalog=GCP_SPOT_US_EAST1)
+        assert point.vcpus == 16
+        assert point.usd_per_mtok > 0
+        assert point.label == "tdx-16c"
+
+    def test_gpu_point_confidential_premium(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=4,
+                            input_tokens=128, output_tokens=32)
+        result = simulate_generation(workload, gpu_deployment())
+        confidential = gpu_cost_point(result, GCP_SPOT_US_EAST1,
+                                      confidential=True)
+        raw = gpu_cost_point(result, GCP_SPOT_US_EAST1, confidential=False)
+        assert confidential.price_hr > raw.price_hr
+
+    def test_cost_overhead_sign(self, tdx_result):
+        cheap = cpu_cost_point(tdx_result, vcpus=8, catalog=GCP_SPOT_US_EAST1)
+        pricey = cpu_cost_point(tdx_result, vcpus=56,
+                                catalog=GCP_SPOT_US_EAST1)
+        assert cost_overhead(pricey, cheap) > 0
+
+    def test_best_point_selection(self, tdx_result):
+        points = [cpu_cost_point(tdx_result, vcpus=v,
+                                 catalog=GCP_SPOT_US_EAST1)
+                  for v in (8, 16, 56)]
+        best = best_cpu_point(points)
+        assert best.usd_per_mtok == min(p.usd_per_mtok for p in points)
+        assert optimal_core_count(points) == best.vcpus
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            best_cpu_point([])

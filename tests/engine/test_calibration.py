@@ -1,0 +1,84 @@
+"""Calibration constants: structural sanity.
+
+These tests don't pin values (the band tests do that end to end); they
+pin the *structure* — every derate is a fraction, every framework has
+the efficiency entries the cost model will ask for, and the documented
+relationships between constants hold.
+"""
+
+from repro.engine import calibration as cal
+from repro.frameworks.base import cpu_frameworks, framework_by_name
+from repro.hardware.engines import Engine
+
+
+class TestDerates:
+    def test_fractions_in_range(self):
+        for name in ("MEM_ENCRYPTION_DERATE", "SGX_MEM_ENCRYPTION_DERATE",
+                     "UPI_CRYPTO_DERATE", "CGPU_RATE_DERATE",
+                     "B100_HBM_ENCRYPTION_DERATE"):
+            value = getattr(cal, name)
+            assert 0.0 < value < 0.5, name
+
+    def test_taxes_small(self):
+        assert 0.0 < cal.VM_VIRTUALIZATION_TAX < 0.10
+        assert 0.0 < cal.TDX_EXTRA_TAX < cal.VM_VIRTUALIZATION_TAX
+
+    def test_walk_multipliers_ordered(self):
+        """Native < plain-VM EPT <= TDX secure-EPT."""
+        assert 1.0 < cal.EPT_WALK_MULTIPLIER <= cal.TDX_WALK_MULTIPLIER
+
+    def test_sgx_and_tdx_use_same_mee_generation(self):
+        """The paper: 'the cost of security is similar for SGX and TDX'."""
+        ratio = cal.SGX_MEM_ENCRYPTION_DERATE / cal.MEM_ENCRYPTION_DERATE
+        assert 0.8 < ratio < 1.3
+
+
+class TestFrameworkTables:
+    def test_every_cpu_framework_has_avx_mfu(self):
+        for framework in cpu_frameworks():
+            assert (framework.name, "avx512") in cal.FRAMEWORK_MFU
+
+    def test_only_ipex_has_amx_mfu(self):
+        amx_entries = [name for (name, engine) in cal.FRAMEWORK_MFU
+                       if engine == "amx"]
+        assert amx_entries == ["ipex"]
+
+    def test_every_framework_has_mem_eff(self):
+        for framework in cpu_frameworks():
+            assert framework.name in cal.FRAMEWORK_MEM_EFF
+        assert "vllm-gpu" in cal.FRAMEWORK_MEM_EFF
+
+    def test_mfus_are_fractions(self):
+        assert all(0.0 < value <= 1.0 for value in cal.FRAMEWORK_MFU.values())
+        assert all(0.0 < value <= 1.0
+                   for value in cal.FRAMEWORK_MEM_EFF.values())
+
+    def test_ipex_beats_others_on_memory(self):
+        """Fig. 3's root cause: IPEX sustains the most bandwidth."""
+        others = [value for name, value in cal.FRAMEWORK_MEM_EFF.items()
+                  if name not in ("ipex", "vllm-gpu")]
+        assert cal.FRAMEWORK_MEM_EFF["ipex"] > max(others)
+
+    def test_gpu_mfu_reachable_via_framework(self):
+        assert framework_by_name("vllm-gpu").mfu(Engine.CUDA_TENSOR) == \
+            cal.FRAMEWORK_MFU[("vllm-gpu", "cuda_tensor")]
+
+
+class TestNoiseModel:
+    def test_outlier_probability_matches_paper(self):
+        """The paper excludes ~0.64% of samples as Z>3 outliers."""
+        assert 0.003 < cal.TEE_OUTLIER_PROBABILITY < 0.01
+
+    def test_tee_noisier_than_base(self):
+        assert cal.TEE_NOISE_SIGMA > cal.BASE_NOISE_SIGMA
+
+    def test_outliers_are_large(self):
+        assert cal.TEE_OUTLIER_SCALE > 3.0
+
+
+class TestFallbackModel:
+    def test_inflation_reasonable(self):
+        assert 2.0 <= cal.INT8_FALLBACK_TRAFFIC_INFLATION <= 8.0
+
+    def test_fallback_remote_fraction_extreme(self):
+        assert cal.INT8_FALLBACK_REMOTE_FRACTION > 0.5

@@ -1,0 +1,122 @@
+"""Property-based invariants of the execution engine (hypothesis).
+
+These pin the cost model's physical sanity across random workloads and
+placements: TEEs never speed things up, more resources never slow the
+noise-free model down, throughput is monotone in batch, and every time
+is finite and positive.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.experiment import cpu_deployment, gpu_deployment
+from repro.engine.placement import Workload
+from repro.engine.roofline import WorkingSets, cost_model_for
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16, INT8
+from repro.llm.graph import decode_step_ops
+
+workload_shapes = st.tuples(
+    st.sampled_from([1, 2, 4, 8, 32, 128]),       # batch
+    st.sampled_from([16, 64, 256, 1024]),         # input
+    st.sampled_from([1, 2, 4]),                   # beam
+)
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+def make_workload(shape, dtype=BFLOAT16, output_tokens=4):
+    batch, input_tokens, beam = shape
+    return Workload(LLAMA2_7B, dtype, batch_size=batch,
+                    input_tokens=input_tokens, output_tokens=output_tokens,
+                    beam_size=beam)
+
+
+def step_total(deployment, workload, context=None):
+    model = cost_model_for(deployment)
+    ctx = context or workload.input_tokens
+    ops = decode_step_ops(workload.model, workload.dtype,
+                          workload.batch_size, ctx, workload.beam_size)
+    weights = workload.model.weight_bytes(workload.dtype.bytes)
+    kv = (workload.sequences * ctx
+          * workload.model.kv_bytes_per_token(workload.dtype.bytes))
+    sets = WorkingSets(weights=weights, kv=kv, activations=64e6)
+    return model.step_cost(ops, sets, workload.dtype).total_s
+
+
+class TestTeeNeverFaster:
+    @SETTINGS
+    @given(workload_shapes)
+    def test_tdx_slower_than_baremetal(self, shape):
+        workload = make_workload(shape)
+        base = step_total(cpu_deployment("baremetal", sockets_used=1),
+                          workload)
+        tdx = step_total(cpu_deployment("tdx", sockets_used=1), workload)
+        assert tdx > base
+
+    @SETTINGS
+    @given(workload_shapes)
+    def test_sgx_slower_than_baremetal(self, shape):
+        workload = make_workload(shape)
+        base = step_total(cpu_deployment("baremetal", sockets_used=1),
+                          workload)
+        sgx = step_total(cpu_deployment("sgx", sockets_used=1), workload)
+        assert sgx > base
+
+    @SETTINGS
+    @given(workload_shapes)
+    def test_cgpu_slower_than_gpu(self, shape):
+        workload = make_workload(shape)
+        gpu = step_total(gpu_deployment(confidential=False), workload)
+        cgpu = step_total(gpu_deployment(confidential=True), workload)
+        assert cgpu > gpu
+
+
+class TestResourceMonotonicity:
+    @SETTINGS
+    @given(workload_shapes)
+    def test_more_cores_never_slower(self, shape):
+        workload = make_workload(shape)
+        few = step_total(cpu_deployment("baremetal", sockets_used=1,
+                                        cores_per_socket_used=8), workload)
+        many = step_total(cpu_deployment("baremetal", sockets_used=1,
+                                         cores_per_socket_used=48), workload)
+        assert many <= few + 1e-12
+
+    @SETTINGS
+    @given(st.sampled_from([16, 64, 256, 1024]))
+    def test_throughput_monotone_in_batch(self, input_tokens):
+        deployment = cpu_deployment("baremetal", sockets_used=1)
+        previous = 0.0
+        for batch in (1, 8, 64):
+            workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                                input_tokens=input_tokens, output_tokens=4)
+            result = simulate_generation(workload, deployment)
+            assert result.decode_throughput_tok_s >= previous
+            previous = result.decode_throughput_tok_s
+
+
+class TestFiniteness:
+    @SETTINGS
+    @given(workload_shapes,
+           st.sampled_from(["baremetal", "vm", "sgx", "tdx"]),
+           st.sampled_from([BFLOAT16, INT8]))
+    def test_all_times_finite_positive(self, shape, backend, dtype):
+        workload = make_workload(shape, dtype=dtype)
+        result = simulate_generation(
+            workload, cpu_deployment(backend, sockets_used=1))
+        assert math.isfinite(result.prefill_s) and result.prefill_s > 0
+        assert result.decode_clean_s.min() > 0
+        assert math.isfinite(result.decode_time_s)
+
+    @SETTINGS
+    @given(workload_shapes)
+    def test_longer_context_never_cheaper(self, shape):
+        workload = make_workload(shape)
+        deployment = cpu_deployment("baremetal", sockets_used=1)
+        short = step_total(deployment, workload, context=64)
+        long = step_total(deployment, workload, context=2048)
+        assert long >= short

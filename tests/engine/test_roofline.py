@@ -1,0 +1,175 @@
+"""Roofline cost model: every TEE mechanism must act in the right
+direction on the right term."""
+
+import pytest
+
+from repro.core.experiment import cpu_deployment, gpu_deployment
+from repro.engine.placement import Workload
+from repro.engine.roofline import (
+    CpuCostModel,
+    GpuCostModel,
+    WorkingSets,
+    cost_model_for,
+)
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16, INT8
+from repro.llm.graph import decode_step_ops
+from repro.memsim.pages import HugepagePolicy
+
+
+def decode_ops(dtype=BFLOAT16, batch=1, ctx=256):
+    return decode_step_ops(LLAMA2_7B, dtype, batch, ctx)
+
+
+def working_sets(dtype=BFLOAT16, batch=1, ctx=256):
+    weights = LLAMA2_7B.weight_bytes(dtype.bytes)
+    kv = batch * ctx * LLAMA2_7B.kv_bytes_per_token(dtype.bytes)
+    return WorkingSets(weights=weights, kv=kv, activations=50e6)
+
+
+def step_time(deployment, dtype=BFLOAT16, batch=1, ctx=256):
+    model = cost_model_for(deployment)
+    return model.step_cost(decode_ops(dtype, batch, ctx),
+                           working_sets(dtype, batch, ctx), dtype).total_s
+
+
+class TestMechanismDirections:
+    def test_memory_encryption_slows_memory_bound_steps(self):
+        base = step_time(cpu_deployment("baremetal", sockets_used=1))
+        tdx = step_time(cpu_deployment("tdx", sockets_used=1))
+        assert tdx > base
+
+    def test_vm_between_baremetal_and_tdx(self):
+        base = step_time(cpu_deployment("baremetal", sockets_used=1))
+        vm = step_time(cpu_deployment("vm", sockets_used=1))
+        tdx = step_time(cpu_deployment("tdx", sockets_used=1))
+        assert base < vm < tdx
+
+    def test_sgx_between_baremetal_and_tdx_single_socket(self):
+        """Insight 5: SGX runs on bare metal and beats TDX."""
+        base = step_time(cpu_deployment("baremetal", sockets_used=1))
+        sgx = step_time(cpu_deployment("sgx", sockets_used=1))
+        tdx = step_time(cpu_deployment("tdx", sockets_used=1))
+        assert base < sgx < tdx
+
+    def test_more_cores_faster_until_memory_bound(self):
+        few = step_time(cpu_deployment("baremetal", sockets_used=1,
+                                       cores_per_socket_used=2))
+        many = step_time(cpu_deployment("baremetal", sockets_used=1,
+                                        cores_per_socket_used=32))
+        assert many < few
+
+    def test_two_sockets_faster_for_memory_bound(self):
+        one = step_time(cpu_deployment("baremetal", sockets_used=1))
+        two = step_time(cpu_deployment("baremetal", sockets_used=2))
+        assert two < one
+
+    def test_hugepages_help_vms(self):
+        thp = step_time(cpu_deployment(
+            "vm", sockets_used=2, hugepages=HugepagePolicy.TRANSPARENT_2M))
+        full = step_time(cpu_deployment(
+            "vm", sockets_used=2, hugepages=HugepagePolicy.RESERVED_1G))
+        assert full < thp
+
+    def test_tdx_cannot_benefit_from_1g_pages(self):
+        """Insight 7: requesting 1G pages changes nothing under TDX."""
+        thp = step_time(cpu_deployment(
+            "tdx", sockets_used=2, hugepages=HugepagePolicy.TRANSPARENT_2M))
+        requested_1g = step_time(cpu_deployment(
+            "tdx", sockets_used=2, hugepages=HugepagePolicy.RESERVED_1G))
+        assert requested_1g == pytest.approx(thp)
+
+    def test_snc_hurts_tees_only(self):
+        tee_on = step_time(cpu_deployment("tdx", sockets_used=1,
+                                          snc_clusters=2))
+        tee_off = step_time(cpu_deployment("tdx", sockets_used=1))
+        assert tee_on > tee_off * 1.2
+        bare_on = step_time(cpu_deployment("baremetal", sockets_used=1,
+                                           snc_clusters=2))
+        bare_off = step_time(cpu_deployment("baremetal", sockets_used=1))
+        assert bare_on <= bare_off
+
+    def test_hyperthreads_add_tax(self):
+        quiet = step_time(cpu_deployment("tdx", sockets_used=1))
+        noisy = step_time(cpu_deployment("tdx", sockets_used=1,
+                                         expose_hyperthreads=True))
+        assert noisy > quiet
+
+    def test_glibc_allocator_costs_traffic(self):
+        tc = step_time(cpu_deployment("baremetal", sockets_used=1,
+                                      cores_per_socket_used=60),
+                       batch=64, ctx=2048)
+        glibc = step_time(cpu_deployment("baremetal", sockets_used=1,
+                                         cores_per_socket_used=60,
+                                         tcmalloc=False),
+                          batch=64, ctx=2048)
+        assert glibc > tc
+
+    def test_amx_off_slows_compute_bound(self):
+        amx = step_time(cpu_deployment("baremetal", sockets_used=1),
+                        batch=256)
+        no_amx = step_time(cpu_deployment("baremetal", sockets_used=1,
+                                          amx_enabled=False), batch=256)
+        assert no_amx > amx
+
+    def test_int8_fallback_catastrophic(self):
+        amx = step_time(cpu_deployment("baremetal", sockets_used=1),
+                        dtype=INT8)
+        fallback = step_time(cpu_deployment("baremetal", sockets_used=1,
+                                            amx_enabled=False), dtype=INT8)
+        assert fallback > 3 * amx
+
+
+class TestStepCostStructure:
+    def test_compute_vs_memory_bound_flag(self):
+        model = CpuCostModel(cpu_deployment("baremetal", sockets_used=1))
+        small = model.step_cost(decode_ops(batch=1), working_sets(batch=1),
+                                BFLOAT16)
+        big = model.step_cost(decode_ops(batch=512), working_sets(batch=512),
+                              BFLOAT16)
+        assert not small.is_compute_bound()
+        assert big.is_compute_bound()
+
+    def test_sgx_exits_charged(self):
+        model = CpuCostModel(cpu_deployment("sgx", sockets_used=1))
+        step = model.step_cost(decode_ops(), working_sets(), BFLOAT16)
+        assert step.exits_s > 0
+
+    def test_tax_multiplier_applied(self):
+        model = CpuCostModel(cpu_deployment("tdx", sockets_used=1))
+        step = model.step_cost(decode_ops(), working_sets(), BFLOAT16)
+        raw = sum(cost.total_s for cost in step.op_costs) + step.exits_s
+        assert step.total_s == pytest.approx(raw * step.tax_multiplier
+                                             + step.fixed_s)
+
+    def test_wrong_placement_type(self):
+        with pytest.raises(TypeError):
+            CpuCostModel(gpu_deployment())
+        with pytest.raises(TypeError):
+            GpuCostModel(cpu_deployment())
+
+
+class TestGpuModel:
+    def test_cgpu_slower_than_gpu(self):
+        gpu = cost_model_for(gpu_deployment(confidential=False))
+        cgpu = cost_model_for(gpu_deployment(confidential=True))
+        ops, sets = decode_ops(batch=4), working_sets(batch=4)
+        assert (cgpu.step_cost(ops, sets, BFLOAT16).total_s
+                > gpu.step_cost(ops, sets, BFLOAT16).total_s)
+
+    def test_bounce_cost_only_with_bounce_buffer(self):
+        gpu = cost_model_for(gpu_deployment(confidential=False))
+        cgpu = cost_model_for(gpu_deployment(confidential=True))
+        ops, sets = decode_ops(), working_sets()
+        with_io = cgpu.step_cost(ops, sets, BFLOAT16, io_bytes=1e6).total_s
+        without = cgpu.step_cost(ops, sets, BFLOAT16, io_bytes=0.0).total_s
+        assert with_io > without
+        gpu_io = gpu.step_cost(ops, sets, BFLOAT16, io_bytes=1e6).total_s
+        gpu_no = gpu.step_cost(ops, sets, BFLOAT16, io_bytes=0.0).total_s
+        assert gpu_io == gpu_no
+
+    def test_gpu_has_no_translation_or_paging(self):
+        model = cost_model_for(gpu_deployment())
+        step = model.step_cost(decode_ops(), working_sets(), BFLOAT16)
+        assert all(cost.translation_s == 0.0 and cost.paging_s == 0.0
+                   for cost in step.op_costs)

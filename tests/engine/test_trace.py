@@ -1,0 +1,81 @@
+"""Trace aggregation (the Fig. 7 pipeline)."""
+
+import pytest
+
+from repro.core.experiment import cpu_deployment
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.engine.trace import (
+    TraceEvent,
+    block_layer_summary,
+    decoder_block_share,
+    events_from_step,
+    layer_overheads,
+)
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+from repro.llm.graph import BLOCK_OP_NAMES
+from repro.llm.ops import Phase
+
+
+@pytest.fixture(scope="module")
+def traces():
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=4, input_tokens=128,
+                        output_tokens=8)
+    results = {}
+    for backend in ("vm", "tdx"):
+        result = simulate_generation(
+            workload, cpu_deployment(backend, sockets_used=1),
+            record_steps=True)
+        results[backend] = result.decode_trace()
+    return results
+
+
+class TestSummary:
+    def test_every_block_op_present(self, traces):
+        summary = block_layer_summary(traces["tdx"])
+        assert set(summary) == set(BLOCK_OP_NAMES)
+
+    def test_shares_sum_to_one(self, traces):
+        summary = block_layer_summary(traces["tdx"])
+        assert sum(stat.share_of_block for stat in summary.values()) == \
+            pytest.approx(1.0)
+
+    def test_attention_and_mlp_dominate(self, traces):
+        """Fig. 7: self-attention and the SiLU MLP are the biggest costs."""
+        summary = block_layer_summary(traces["tdx"])
+        heavy = (summary["self_attention"].share_of_block
+                 + summary["gate_up_proj"].share_of_block
+                 + summary["down_proj"].share_of_block
+                 + summary["qkv_proj"].share_of_block)
+        assert heavy > 0.8
+
+    def test_layernorms_small_share(self, traces):
+        """Fig. 7: the norms form only a few percent of block time."""
+        summary = block_layer_summary(traces["tdx"])
+        norms = (summary["input_layernorm"].share_of_block
+                 + summary["post_attention_layernorm"].share_of_block)
+        assert norms < 0.08
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            block_layer_summary([])
+
+
+class TestBlockShare:
+    def test_decoder_blocks_dominate(self, traces):
+        """The paper measures 99.9% of time in decoder blocks; with the
+        LM head included in 'outside', we still expect the vast bulk."""
+        assert decoder_block_share(traces["tdx"]) > 0.9
+
+
+class TestLayerOverheads:
+    def test_all_layers_have_positive_tdx_overhead(self, traces):
+        overheads = layer_overheads(traces["tdx"], traces["vm"])
+        assert set(overheads) == set(BLOCK_OP_NAMES)
+        assert all(value > 0 for value in overheads.values())
+
+    def test_events_from_step_roundtrip(self, traces):
+        event = traces["tdx"][0]
+        assert isinstance(event, TraceEvent)
+        assert event.phase is Phase.DECODE

@@ -1,0 +1,73 @@
+"""CPU spec behaviour."""
+
+import pytest
+
+from repro.hardware.cpu import EMR1, EMR2, SPR, CpuSpec, TlbSpec, cpu_by_name
+from repro.memsim.pages import PAGE_1G, PAGE_2M, PAGE_4K
+
+
+class TestTlbSpec:
+    def test_entries_by_page_size(self):
+        tlb = EMR1.tlb
+        assert tlb.entries_for(PAGE_4K) == tlb.entries_4k
+        assert tlb.entries_for(PAGE_2M) == tlb.entries_2m
+        assert tlb.entries_for(PAGE_1G) == tlb.entries_1g
+
+    def test_unknown_page_size(self):
+        with pytest.raises(ValueError):
+            EMR1.tlb.entries_for(8192)
+
+    def test_reach_ordering(self):
+        """Hugepages extend TLB reach (Insight 7's mechanism)."""
+        tlb = EMR1.tlb
+        assert (tlb.reach_bytes(PAGE_4K) < tlb.reach_bytes(PAGE_2M)
+                < tlb.reach_bytes(PAGE_1G))
+
+
+class TestSystems:
+    def test_paper_core_counts(self):
+        assert EMR1.cores_per_socket == 32 and EMR1.sockets == 2
+        assert EMR2.cores_per_socket == 60 and EMR2.sockets == 2
+
+    def test_paper_prices(self):
+        assert EMR1.price_usd == 2130.0
+        assert EMR2.price_usd == 10710.0
+
+    def test_spr_is_slower_and_cheaper(self):
+        assert SPR.mem_bw_per_socket < EMR2.mem_bw_per_socket
+        assert SPR.clock_hz < EMR2.clock_hz
+        assert SPR.price_usd < EMR2.price_usd
+
+    def test_lookup(self):
+        assert cpu_by_name("EMR2") is EMR2
+        with pytest.raises(KeyError):
+            cpu_by_name("GNR1")
+
+    def test_total_cores(self):
+        assert EMR2.total_cores == 120
+
+
+class TestRates:
+    def test_peak_flops_scales_with_cores(self):
+        assert EMR2.peak_flops(1024, 60) == 60 * EMR2.peak_flops(1024, 1)
+
+    def test_peak_flops_bounds(self):
+        with pytest.raises(ValueError):
+            EMR2.peak_flops(1024, 0)
+        with pytest.raises(ValueError):
+            EMR2.peak_flops(1024, EMR2.total_cores + 1)
+
+    def test_mem_bw_bounds(self):
+        assert EMR2.mem_bw(2) == 2 * EMR2.mem_bw_per_socket
+        with pytest.raises(ValueError):
+            EMR2.mem_bw(3)
+
+    def test_with_sub_numa(self):
+        snc = EMR2.with_sub_numa(2)
+        assert snc.sub_numa_clusters == 2
+        assert EMR2.sub_numa_clusters == 1  # original untouched
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSpec("bad", 0, 8, 2e9, 1e11, 1e11, 1e8, EMR1.tlb, 1e-8,
+                    EMR1.upi, 1e10, 100.0)

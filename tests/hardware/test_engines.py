@@ -1,0 +1,65 @@
+"""Compute-engine selection and the int8 fallback detection."""
+
+import pytest
+
+from repro.hardware.engines import (
+    AMX_RATES,
+    AVX512_RATES,
+    CUDA_TENSOR_RATES,
+    Engine,
+    best_cpu_engine,
+    is_fallback_path,
+)
+from repro.llm.datatypes import BFLOAT16, FLOAT32, INT8
+
+
+class TestRates:
+    def test_amx_int8_doubles_bf16(self):
+        assert AMX_RATES.rate_for(INT8) == 2 * AMX_RATES.rate_for(BFLOAT16)
+
+    def test_amx_has_no_fp32(self):
+        assert not AMX_RATES.supports(FLOAT32)
+
+    def test_avx_bf16_doubles_fp32(self):
+        assert AVX512_RATES.rate_for(BFLOAT16) == 2 * AVX512_RATES.rate_for(FLOAT32)
+
+    def test_avx_int8_is_a_slow_fallback(self):
+        """IPEX ships no tuned AVX int8 kernels — the fallback must be
+        slower than the bf16 path despite int8's narrower elements."""
+        assert AVX512_RATES.rate_for(INT8) < AVX512_RATES.rate_for(BFLOAT16)
+
+    def test_cuda_rates_ordered(self):
+        assert (CUDA_TENSOR_RATES.rate_for(INT8)
+                > CUDA_TENSOR_RATES.rate_for(BFLOAT16)
+                > CUDA_TENSOR_RATES.rate_for(FLOAT32))
+
+
+class TestSelection:
+    def test_bf16_prefers_amx(self):
+        engine, rate = best_cpu_engine(BFLOAT16, amx_enabled=True)
+        assert engine is Engine.AMX
+        assert rate == 1024.0
+
+    def test_bf16_without_amx_uses_avx(self):
+        engine, _ = best_cpu_engine(BFLOAT16, amx_enabled=False)
+        assert engine is Engine.AVX512
+
+    def test_fp32_always_avx(self):
+        engine, _ = best_cpu_engine(FLOAT32, amx_enabled=True)
+        assert engine is Engine.AVX512
+
+    def test_int8_with_amx(self):
+        engine, rate = best_cpu_engine(INT8, amx_enabled=True)
+        assert engine is Engine.AMX
+        assert rate == 2048.0
+
+
+class TestFallback:
+    def test_int8_no_amx_is_fallback(self):
+        assert is_fallback_path(INT8, amx_enabled=False)
+
+    def test_int8_with_amx_is_not(self):
+        assert not is_fallback_path(INT8, amx_enabled=True)
+
+    def test_bf16_never_fallback(self):
+        assert not is_fallback_path(BFLOAT16, amx_enabled=False)

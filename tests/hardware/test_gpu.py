@@ -1,0 +1,69 @@
+"""GPU specs and interconnects."""
+
+import pytest
+
+from repro.hardware.gpu import B100, H100_NVL, gpu_by_name
+from repro.hardware.interconnect import (
+    CONFIDENTIAL_GPU_ROUTED_BW,
+    NONCONFIDENTIAL_GPU_ROUTED_BW,
+    NVLINK4,
+    PCIE_GEN5_X16,
+    UPI_EMR,
+    Link,
+)
+from repro.llm.datatypes import BFLOAT16, FLOAT32
+
+
+class TestGpuSpecs:
+    def test_h100_nvl_memory_is_94gb(self):
+        assert H100_NVL.hbm_bytes == 94e9
+
+    def test_h100_security_gaps(self):
+        """The paper's headline cGPU caveats: HBM and NVLink unprotected."""
+        assert not H100_NVL.hbm_encrypted
+        assert not H100_NVL.nvlink_protected
+
+    def test_b100_fixes_them(self):
+        assert B100.hbm_encrypted
+        assert B100.nvlink_protected
+
+    def test_peak_flops_order(self):
+        assert H100_NVL.peak_flops(BFLOAT16) > H100_NVL.peak_flops(FLOAT32)
+
+    def test_bf16_peak_near_spec(self):
+        # ~432 Tflop/s modeled dense bf16 (conservative vs the ~990
+        # datasheet number, which assumes boost clocks).
+        peak = H100_NVL.peak_flops(BFLOAT16)
+        assert 2e14 < peak < 1e15
+
+    def test_lookup(self):
+        assert gpu_by_name("H100-NVL") is H100_NVL
+        with pytest.raises(KeyError):
+            gpu_by_name("MI300")
+
+
+class TestLinks:
+    def test_transfer_time_includes_latency(self):
+        assert PCIE_GEN5_X16.transfer_time(0) == PCIE_GEN5_X16.latency_s
+
+    def test_transfer_scales_with_size(self):
+        small = PCIE_GEN5_X16.transfer_time(1e6)
+        large = PCIE_GEN5_X16.transfer_time(1e9)
+        assert large > small
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            PCIE_GEN5_X16.transfer_time(1.0, efficiency=0.0)
+        with pytest.raises(ValueError):
+            PCIE_GEN5_X16.transfer_time(-1.0)
+
+    def test_only_upi_is_tee_protected(self):
+        """CPU socket links are transparently encrypted; PCIe/NVLink on
+        H100 are not (§V-D3)."""
+        assert UPI_EMR.encrypted_in_tee
+        assert not NVLINK4.encrypted_in_tee
+        assert not PCIE_GEN5_X16.encrypted_in_tee
+
+    def test_confidential_routing_cap(self):
+        """CC mode caps GPU-to-GPU traffic at ~3 GB/s vs ~40 GB/s."""
+        assert CONFIDENTIAL_GPU_ROUTED_BW < NONCONFIDENTIAL_GPU_ROUTED_BW / 10

@@ -1,0 +1,83 @@
+"""Cross-cutting consistency between independent code paths."""
+
+import pytest
+
+from repro.core.experiment import Experiment, cpu_deployment
+from repro.core.metrics import throughput_from_latencies
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(LLAMA2_7B, BFLOAT16, batch_size=4, input_tokens=256,
+                    output_tokens=32)
+
+
+class TestMetricIdentities:
+    def test_throughput_latency_identity(self, workload):
+        """decode throughput == user tokens / decode time by definition,
+        and matches batch/mean-latency within noise."""
+        result = simulate_generation(workload, cpu_deployment(
+            "tdx", sockets_used=1))
+        identity = workload.user_tokens / result.decode_time_s
+        assert result.decode_throughput_tok_s == pytest.approx(identity)
+        from_samples = throughput_from_latencies(result.latency_samples_s,
+                                                 workload.batch_size)
+        assert from_samples == pytest.approx(result.decode_throughput_tok_s,
+                                             rel=0.10)
+
+    def test_total_time_decomposition(self, workload):
+        result = simulate_generation(workload, cpu_deployment(
+            "baremetal", sockets_used=1))
+        assert result.total_time_s == pytest.approx(
+            result.prefill_s + result.decode_clean_s.sum())
+
+
+class TestPathEquivalence:
+    def test_experiment_equals_direct_simulation(self, workload):
+        """Experiment.run() must produce exactly what a direct
+        simulate_generation with the same seed produces."""
+        deployment = cpu_deployment("tdx", sockets_used=1)
+        outcome = Experiment(
+            name="equiv", workload=workload,
+            deployments={"baremetal": cpu_deployment("baremetal",
+                                                     sockets_used=1),
+                         "tdx": deployment},
+            seed=5).run()
+        direct = simulate_generation(workload, deployment, seed=6)
+        via_experiment = outcome.results["tdx"]
+        assert via_experiment.decode_time_s == pytest.approx(
+            direct.decode_time_s)
+        assert via_experiment.prefill_s == pytest.approx(direct.prefill_s)
+
+    def test_clean_times_backend_independent_of_seed(self, workload):
+        deployment = cpu_deployment("sgx", sockets_used=1)
+        a = simulate_generation(workload, deployment, seed=1)
+        b = simulate_generation(workload, deployment, seed=99)
+        assert a.decode_time_s == b.decode_time_s
+
+
+class TestDtypeConsistency:
+    def test_int8_weight_traffic_halves_decode_time_when_memory_bound(self):
+        from repro.llm.datatypes import INT8
+        base = Workload(LLAMA2_7B, BFLOAT16, batch_size=1, input_tokens=128,
+                        output_tokens=8)
+        deployment = cpu_deployment("baremetal", sockets_used=1)
+        bf16 = simulate_generation(base, deployment)
+        int8 = simulate_generation(base.with_(dtype=INT8), deployment)
+        ratio = bf16.next_token_latency_s / int8.next_token_latency_s
+        assert 1.6 < ratio < 2.2
+
+    def test_beam_multiplies_sequences_not_user_tokens(self):
+        plain = Workload(LLAMA2_7B, BFLOAT16, batch_size=2, input_tokens=128,
+                         output_tokens=8, beam_size=1)
+        beamed = plain.with_(beam_size=4)
+        deployment = cpu_deployment("baremetal", sockets_used=1)
+        a = simulate_generation(plain, deployment)
+        b = simulate_generation(beamed, deployment)
+        # Same user tokens, more work -> lower user throughput.
+        assert plain.user_tokens == beamed.user_tokens
+        assert b.decode_throughput_tok_s < a.decode_throughput_tok_s

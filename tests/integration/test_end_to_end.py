@@ -1,0 +1,91 @@
+"""End-to-end flows across subsystems."""
+
+import pytest
+
+from repro.core.experiment import Experiment, cpu_deployment, gpu_deployment
+from repro.core.pipeline import ConfidentialPipeline
+from repro.core.summary import render_summary_table
+from repro.cost.efficiency import cpu_cost_point, gpu_cost_point
+from repro.cost.pricing import GCP_SPOT_US_EAST1
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.engine.trace import block_layer_summary, layer_overheads
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+from repro.workloads.prompts import request_stream, synthetic_prompt
+
+
+class TestFullServiceFlow:
+    """Attest -> provision -> serve -> measure, the README scenario."""
+
+    def test_healthcare_service(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1,
+                            input_tokens=128, output_tokens=16)
+        pipeline = ConfidentialPipeline(
+            cpu_deployment("tdx", sockets_used=1), workload)
+        report = pipeline.provision()
+        assert report.attested
+
+        prompt = synthetic_prompt(30, domain="healthcare")
+        response = pipeline.generate(prompt, max_new_tokens=5)
+        assert len(response.text_tokens) == 5
+        # The performance estimate must satisfy the reading-speed SLA.
+        assert response.estimated_latency_ms < 200.0
+
+
+class TestExperimentToSummaryFlow:
+    def test_measured_bands_feed_table1(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6,
+                            input_tokens=512, output_tokens=16, beam_size=4)
+        experiment = Experiment(
+            name="tab1", workload=workload,
+            deployments={
+                "baremetal": cpu_deployment("baremetal", sockets_used=1),
+                "sgx": cpu_deployment("sgx", sockets_used=1),
+                "tdx": cpu_deployment("tdx", sockets_used=1),
+            })
+        outcome = experiment.run()
+        sgx = outcome.overhead("sgx").throughput_overhead
+        tdx = outcome.overhead("tdx").throughput_overhead
+        table = render_summary_table(measured_bands={
+            "sgx": (sgx, sgx), "tdx": (tdx, tdx)})
+        assert f"~{sgx * 100:.0f}-{sgx * 100:.0f}%" in table
+
+
+class TestTraceFlow:
+    def test_fig7_pipeline(self):
+        """Simulate -> trace -> per-layer breakdown -> TDX overheads."""
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=4,
+                            input_tokens=128, output_tokens=8)
+        traces = {}
+        for backend in ("baremetal", "tdx"):
+            result = simulate_generation(
+                workload, cpu_deployment(backend, sockets_used=1),
+                record_steps=True)
+            traces[backend] = result.decode_trace()
+        summary = block_layer_summary(traces["tdx"])
+        overheads = layer_overheads(traces["tdx"], traces["baremetal"])
+        # Attention is heavier than the layer norms in absolute time...
+        assert (summary["self_attention"].total_duration_s
+                > summary["input_layernorm"].total_duration_s)
+        # ...and every layer shows a positive TDX overhead.
+        assert min(overheads.values()) > 0
+
+
+class TestCapacityFlow:
+    def test_request_stream_costing(self):
+        """Aggregate a request mix into a cost estimate (planner flow)."""
+        requests = request_stream(20, mean_prompt=256, mean_output=64,
+                                  seed=1)
+        mean_in = sum(r.prompt_tokens for r in requests) // len(requests)
+        mean_out = sum(r.output_tokens for r in requests) // len(requests)
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=4,
+                            input_tokens=mean_in, output_tokens=mean_out)
+        tdx = simulate_generation(workload, cpu_deployment(
+            "tdx", sockets_used=1, cores_per_socket_used=16))
+        cgpu = simulate_generation(workload, gpu_deployment())
+        cpu_point = cpu_cost_point(tdx, vcpus=16, catalog=GCP_SPOT_US_EAST1)
+        gpu_point = gpu_cost_point(cgpu, catalog=GCP_SPOT_US_EAST1)
+        assert cpu_point.usd_per_mtok > 0 and gpu_point.usd_per_mtok > 0
+        # Small-batch regime: CPU TEE should be the cheaper option.
+        assert cpu_point.usd_per_mtok < gpu_point.usd_per_mtok

@@ -1,0 +1,51 @@
+"""The shipped examples must keep running end to end."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestExamples:
+    def test_confidential_service(self, capsys):
+        run_example("confidential_service")
+        out = capsys.readouterr().out
+        assert "attested:    True" in out
+        assert "PermissionError" in out  # failure path demonstrated
+
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "Overheads vs bare metal" in out
+        assert "cGPU" in out
+
+    def test_tee_advisor(self, capsys):
+        run_example("tee_advisor")
+        out = capsys.readouterr().out
+        assert "TDX — the H100's HBM is unencrypted" in out
+        assert "cGPU — compute intensity is high enough" in out
+
+    @pytest.mark.parametrize("name,marker", [
+        ("secure_rag", "Insight 12"),
+        ("capacity_planner", "Recommendation"),
+        ("serving_simulator", "preemptions"),
+        ("roofline_explorer", "Reading the table"),
+    ])
+    def test_remaining_examples(self, capsys, name, marker):
+        run_example(name)
+        assert marker in capsys.readouterr().out

@@ -1,0 +1,246 @@
+"""Fast regression versions of the paper's headline quantitative bands.
+
+The full sweeps live in benchmarks/; these tests pin the calibration so
+that a refactor cannot silently move the reproduction out of band.
+Workloads are shortened (fewer output tokens) relative to the paper's
+1024/128 runs, which shifts overheads by well under a point.
+"""
+
+import pytest
+
+from repro.core.experiment import Experiment, cpu_deployment, gpu_deployment
+from repro.core.overhead import latency_overhead, throughput_overhead
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.hardware.cpu import EMR1
+from repro.llm.config import LLAMA2_7B, LLAMA2_70B, VALIDATION_MODELS
+from repro.llm.datatypes import BFLOAT16, INT8
+from repro.memsim.pages import HugepagePolicy
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    """Single-socket EMR1 runs for both paper workloads."""
+    throughput_workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6,
+                                   input_tokens=1024, output_tokens=32,
+                                   beam_size=4)
+    latency_workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1,
+                                input_tokens=1024, output_tokens=32)
+    results = {}
+    for backend in ("baremetal", "vm", "sgx", "tdx"):
+        deployment = cpu_deployment(backend, cpu=EMR1, sockets_used=1)
+        results[backend] = (
+            simulate_generation(throughput_workload, deployment),
+            simulate_generation(latency_workload, deployment),
+        )
+    return results
+
+
+class TestFig4SingleSocket:
+    def test_sgx_band(self, fig4):
+        """Paper: Gramine-SGX overhead 4.80-6.15%."""
+        overhead = throughput_overhead(fig4["sgx"][0], fig4["baremetal"][0])
+        assert 0.035 <= overhead <= 0.075
+
+    def test_tdx_band(self, fig4):
+        """Paper: TDX overhead 5.51-10.68%."""
+        overhead = throughput_overhead(fig4["tdx"][0], fig4["baremetal"][0])
+        assert 0.055 <= overhead <= 0.11
+
+    def test_vm_band(self, fig4):
+        """Paper: raw virtualization costs 1.82-5.38%."""
+        overhead = throughput_overhead(fig4["vm"][0], fig4["baremetal"][0])
+        assert 0.018 <= overhead <= 0.054
+
+    def test_tdx_over_vm_band(self, fig4):
+        """Paper: TDX adds 3.02-7.01% over the VM."""
+        overhead = throughput_overhead(fig4["tdx"][0], fig4["vm"][0])
+        assert 0.030 <= overhead <= 0.071
+
+    def test_ordering(self, fig4):
+        tputs = {name: runs[0].decode_throughput_tok_s
+                 for name, runs in fig4.items()}
+        assert (tputs["baremetal"] > tputs["vm"] > tputs["sgx"]
+                > tputs["tdx"])
+
+    def test_latency_meets_reading_speed(self, fig4):
+        """All systems stay under the 200 ms/word service level."""
+        from repro.core.metrics import latency_stats
+        for _, latency_run in fig4.values():
+            stats = latency_stats(latency_run.latency_samples_s)
+            assert stats.meets_reading_speed
+
+    def test_int8_halves_latency(self):
+        """Paper: int8 gives similar throughput, almost half the latency."""
+        results = {}
+        for dtype in (BFLOAT16, INT8):
+            workload = Workload(LLAMA2_7B, dtype, batch_size=1,
+                                input_tokens=1024, output_tokens=16)
+            results[dtype.name] = simulate_generation(
+                workload, cpu_deployment("tdx", cpu=EMR1, sockets_used=1))
+        ratio = (results["bf16"].next_token_latency_s
+                 / results["int8"].next_token_latency_s)
+        assert 1.6 < ratio < 2.3
+
+
+class TestFig5NumaBinding:
+    def test_70b_ordering_and_sla(self):
+        """VM-bound < TDX < VM-unbound; 200 ms SLA no longer met."""
+        workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                            input_tokens=256, output_tokens=8)
+        latencies = {}
+        for label, backend in (("vm-b", "vm"), ("vm-nb", "vm-unbound"),
+                               ("tdx", "tdx")):
+            result = simulate_generation(workload, cpu_deployment(
+                backend, cpu=EMR1, sockets_used=2))
+            latencies[label] = result.next_token_latency_s
+        assert latencies["vm-b"] < latencies["tdx"] < latencies["vm-nb"]
+        assert latencies["vm-b"] > 0.200
+
+
+class TestFig6Hugepages:
+    @pytest.fixture(scope="class")
+    def two_socket(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6,
+                            input_tokens=1024, output_tokens=32, beam_size=4)
+        def run(backend, pages):
+            return simulate_generation(workload, cpu_deployment(
+                backend, cpu=EMR1, sockets_used=2, hugepages=pages))
+        return {
+            "base": run("baremetal", HugepagePolicy.RESERVED_1G),
+            "vm_fh": run("vm", HugepagePolicy.RESERVED_1G),
+            "vm_th": run("vm", HugepagePolicy.TRANSPARENT_2M),
+            "tdx": run("tdx", HugepagePolicy.RESERVED_1G),
+        }
+
+    def test_tdx_two_socket_band(self, two_socket):
+        """Paper: TDX two-socket overhead 12.11-23.81%."""
+        overhead = throughput_overhead(two_socket["tdx"], two_socket["base"])
+        assert 0.12 <= overhead <= 0.24
+
+    def test_tdx_over_vm_th_band(self, two_socket):
+        """Paper: TDX over VM-TH stays at 4-10%."""
+        overhead = throughput_overhead(two_socket["tdx"],
+                                       two_socket["vm_th"])
+        assert 0.04 <= overhead <= 0.105
+
+    def test_thp_cost_band(self, two_socket):
+        """Paper: missing 1 GB hugepages cost 3.19-5.20%."""
+        overhead = throughput_overhead(two_socket["vm_th"],
+                                       two_socket["vm_fh"])
+        assert 0.030 <= overhead <= 0.055
+
+    def test_sgx_two_socket_blows_up(self):
+        """Paper: SGX multi-socket overheads reach ~230%."""
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6,
+                            input_tokens=1024, output_tokens=16, beam_size=4)
+        base = simulate_generation(workload, cpu_deployment(
+            "baremetal", cpu=EMR1, sockets_used=2,
+            hugepages=HugepagePolicy.RESERVED_1G))
+        sgx = simulate_generation(workload, cpu_deployment(
+            "sgx", cpu=EMR1, sockets_used=2))
+        assert throughput_overhead(sgx, base) > 1.0
+
+
+class TestFig9BatchScaling:
+    def test_tdx_overhead_drops_when_compute_bound(self):
+        overheads = {}
+        for batch in (1, 64, 512):
+            workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                                input_tokens=128, output_tokens=16)
+            base = simulate_generation(workload, cpu_deployment(
+                "baremetal", sockets_used=1))
+            tdx = simulate_generation(workload, cpu_deployment(
+                "tdx", sockets_used=1))
+            overheads[batch] = throughput_overhead(tdx, base)
+        assert overheads[1] > overheads[64] >= overheads[512]
+        assert 0.07 <= overheads[1] <= 0.11   # paper: 7-10% small-batch
+        assert 0.03 <= overheads[512] <= 0.07  # paper: 4-7% saturated
+
+    def test_int8_saturation_band(self):
+        """Paper: int8 overheads drop from 9-11% to <=6% by batch 64."""
+        overheads = {}
+        for batch in (1, 64):
+            workload = Workload(LLAMA2_7B, INT8, batch_size=batch,
+                                input_tokens=128, output_tokens=16)
+            base = simulate_generation(workload, cpu_deployment(
+                "baremetal", sockets_used=1))
+            tdx = simulate_generation(workload, cpu_deployment(
+                "tdx", sockets_used=1))
+            overheads[batch] = throughput_overhead(tdx, base)
+        assert 0.08 <= overheads[1] <= 0.115
+        assert overheads[64] <= 0.065
+
+
+class TestFig11Cgpu:
+    def test_band_and_decay(self):
+        """Paper: cGPU overheads between ~7.5% and ~4.4%, shrinking with
+        batch and input size."""
+        overheads = {}
+        for batch, input_len in ((1, 128), (16, 512), (64, 2048)):
+            workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                                input_tokens=input_len, output_tokens=32)
+            gpu = simulate_generation(workload,
+                                      gpu_deployment(confidential=False))
+            cgpu = simulate_generation(workload,
+                                       gpu_deployment(confidential=True))
+            overheads[(batch, input_len)] = throughput_overhead(
+                cgpu, gpu, include_prefill=True)
+        assert 0.05 <= overheads[(1, 128)] <= 0.10
+        assert overheads[(1, 128)] > overheads[(16, 512)] \
+            > overheads[(64, 2048)]
+        assert overheads[(64, 2048)] >= 0.030
+
+
+class TestCrossModelValidation:
+    def test_all_five_models_in_band(self):
+        """Paper §III-C: Llama3/GPT-J/Falcon/Baichuan2/Qwen show
+        3.1-13.1% TDX overheads."""
+        for model in VALIDATION_MODELS:
+            workload = Workload(model, BFLOAT16, batch_size=1,
+                                input_tokens=512, output_tokens=16)
+            base = simulate_generation(workload, cpu_deployment(
+                "baremetal", sockets_used=1))
+            tdx = simulate_generation(workload, cpu_deployment(
+                "tdx", sockets_used=1))
+            overhead = throughput_overhead(tdx, base)
+            assert 0.031 <= overhead <= 0.131, model.name
+
+
+class TestSncAblation:
+    def test_snc_multiplies_tee_overhead(self):
+        """Paper §IV-A: SNC raised overhead from ~5% to ~42% (>4x)."""
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6,
+                            input_tokens=512, output_tokens=16, beam_size=4)
+        def overhead(clusters):
+            base = simulate_generation(workload, cpu_deployment(
+                "baremetal", sockets_used=1, snc_clusters=clusters))
+            tdx = simulate_generation(workload, cpu_deployment(
+                "tdx", sockets_used=1, snc_clusters=clusters))
+            return throughput_overhead(tdx, base)
+        assert overhead(2) > 3 * overhead(1)
+        assert overhead(2) > 0.30
+
+
+class TestInt8Fallback:
+    def test_latency_catastrophe_two_sockets(self):
+        """Paper: +1700% latency for int8 without AMX on two sockets."""
+        workload = Workload(LLAMA2_7B, INT8, batch_size=1, input_tokens=128,
+                            output_tokens=8)
+        amx = simulate_generation(workload, cpu_deployment(
+            "vm", sockets_used=2))
+        fallback = simulate_generation(workload, cpu_deployment(
+            "vm", sockets_used=2, amx_enabled=False))
+        overhead = latency_overhead(fallback, amx, filtered=False)
+        assert overhead > 9.0  # at least +900%
+
+    def test_throughput_collapse_one_socket(self):
+        """Paper reports +96%; our mechanistic model lands higher (the
+        fp32-temporary inflation dominates) — assert 'unusable', >=90%."""
+        workload = Workload(LLAMA2_7B, INT8, batch_size=64, input_tokens=128,
+                            output_tokens=8)
+        amx = simulate_generation(workload, cpu_deployment(
+            "vm", sockets_used=1))
+        fallback = simulate_generation(workload, cpu_deployment(
+            "vm", sockets_used=1, amx_enabled=False))
+        assert throughput_overhead(fallback, amx) > 0.9

@@ -1,0 +1,100 @@
+"""Analytical model summaries."""
+
+import pytest
+
+from repro.llm.analysis import (
+    arithmetic_intensity,
+    compute_bound_batch,
+    memory_floor_tok_s,
+    summarize,
+)
+from repro.llm.config import LLAMA2_7B, LLAMA2_70B
+from repro.llm.datatypes import BFLOAT16, INT8
+
+
+class TestSummarize:
+    def test_weight_footprint(self):
+        summary = summarize(LLAMA2_7B, BFLOAT16)
+        assert summary.weight_gb == pytest.approx(13.5, rel=0.02)
+
+    def test_decode_flops_near_2x_params(self):
+        summary = summarize(LLAMA2_7B, BFLOAT16, context_len=1)
+        assert summary.decode_flops_per_token == pytest.approx(
+            2 * LLAMA2_7B.num_parameters, rel=0.1)
+
+    def test_batch1_decode_is_memory_heavy(self):
+        """AI of batch-1 decode ~ 1 flop/byte: deeply memory-bound."""
+        summary = summarize(LLAMA2_7B, BFLOAT16)
+        assert summary.decode_intensity < 2.0
+
+    def test_int8_doubles_intensity(self):
+        bf16 = summarize(LLAMA2_7B, BFLOAT16)
+        int8 = summarize(LLAMA2_7B, INT8)
+        ratio = int8.decode_intensity / bf16.decode_intensity
+        assert 1.7 < ratio < 2.1
+
+
+class TestArithmeticIntensity:
+    def test_grows_with_batch(self):
+        values = [arithmetic_intensity(LLAMA2_7B, BFLOAT16, batch)
+                  for batch in (1, 8, 64)]
+        assert values == sorted(values)
+
+    def test_long_context_lowers_intensity(self):
+        """KV reads scale with context but add no amortizable FLOPs."""
+        short = arithmetic_intensity(LLAMA2_7B, BFLOAT16, 64,
+                                     context_len=128)
+        long = arithmetic_intensity(LLAMA2_7B, BFLOAT16, 64,
+                                    context_len=3000)
+        assert long < short
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            arithmetic_intensity(LLAMA2_7B, BFLOAT16, 0)
+
+
+class TestComputeBoundBatch:
+    def test_crossover_for_cpu_like_balance(self):
+        """An EMR-like sustained balance (~60 flop/byte) crosses at a
+        realistic batch size."""
+        batch = compute_bound_batch(LLAMA2_7B, BFLOAT16,
+                                    flops_per_s=12e12, bytes_per_s=200e9,
+                                    context_len=192)
+        assert batch is not None
+        assert 32 <= batch <= 512
+
+    def test_no_crossover_at_extreme_balance(self):
+        batch = compute_bound_batch(LLAMA2_7B, BFLOAT16,
+                                    flops_per_s=1e15, bytes_per_s=100e9,
+                                    context_len=4000 - 520, max_batch=256)
+        assert batch is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_bound_batch(LLAMA2_7B, BFLOAT16, 0.0, 1.0)
+
+
+class TestMemoryFloor:
+    def test_h100_floor_for_7b(self):
+        """~3.3 TB/s over 13.5 GB of weights -> ~245 tok/s hard ceiling
+        at batch 1 — why even H100s serve 7B at only ~170 tok/s."""
+        floor = memory_floor_tok_s(LLAMA2_7B, BFLOAT16, 3.3e12)
+        assert 200 < floor < 280
+
+    def test_cpu_floor_explains_simulated_latency(self):
+        from repro.core.experiment import cpu_deployment
+        from repro.engine.placement import Workload
+        from repro.engine.simulator import simulate_generation
+        floor = memory_floor_tok_s(LLAMA2_7B, BFLOAT16, 230e9)
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1,
+                            input_tokens=128, output_tokens=8)
+        result = simulate_generation(workload, cpu_deployment(
+            "baremetal", sockets_used=1))
+        # The simulator can never exceed the physical floor.
+        assert result.decode_throughput_tok_s < floor
+
+    def test_70b_floor_below_sla(self):
+        """70B on two sockets cannot reach 5 tok/s — the Fig. 5 SLA
+        violation is physical, not a tuning artifact."""
+        floor = memory_floor_tok_s(LLAMA2_70B, BFLOAT16, 2 * 230e9)
+        assert floor < 5.0

@@ -1,0 +1,103 @@
+"""Model registry and parameter accounting."""
+
+import pytest
+
+from repro.llm.config import (
+    FALCON_7B,
+    GPTJ_6B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA3_8B,
+    SBERT_BASE,
+    VALIDATION_MODELS,
+    ModelConfig,
+    all_models,
+    model_by_name,
+    tiny_llama,
+)
+
+
+class TestParameterCounts:
+    """Parameter totals must land near the models' advertised sizes."""
+
+    @pytest.mark.parametrize("config,billions,tolerance", [
+        (LLAMA2_7B, 6.74, 0.05),
+        (LLAMA2_13B, 13.0, 0.05),
+        (LLAMA2_70B, 69.0, 0.05),
+        (LLAMA3_8B, 8.0, 0.08),
+        (GPTJ_6B, 6.05, 0.08),
+        (FALCON_7B, 6.9, 0.10),
+    ])
+    def test_total_parameters(self, config, billions, tolerance):
+        measured = config.num_parameters / 1e9
+        assert measured == pytest.approx(billions, rel=tolerance)
+
+    def test_weight_bytes_scale_with_dtype(self):
+        bf16 = LLAMA2_7B.weight_bytes(2.0)
+        int8 = LLAMA2_7B.weight_bytes(1.0)
+        assert bf16 == 2 * int8
+
+    def test_kv_bytes_per_token_llama2_7b(self):
+        # 2 (K+V) * 4096 * 32 layers * 2 bytes = 512 KiB/token at bf16.
+        assert LLAMA2_7B.kv_bytes_per_token(2.0) == 2 * 4096 * 32 * 2
+
+    def test_gqa_shrinks_kv(self):
+        # Llama2-70B uses 8 KV heads for 64 query heads.
+        assert LLAMA2_70B.kv_dim == LLAMA2_70B.hidden_size // 8
+        per_token_70b = LLAMA2_70B.kv_bytes_per_token(2.0)
+        per_token_7b = LLAMA2_7B.kv_bytes_per_token(2.0)
+        # Despite 2.5x layers and 2x hidden, GQA keeps KV growth modest.
+        assert per_token_70b < 2 * per_token_7b
+
+
+class TestValidation:
+    def test_hidden_not_divisible_by_heads(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            ModelConfig("bad", 2, 100, 3, 3, 50, 10)
+
+    def test_heads_not_divisible_by_kv_heads(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            ModelConfig("bad", 2, 64, 4, 3, 50, 10)
+
+    def test_unknown_mlp(self):
+        with pytest.raises(ValueError, match="mlp"):
+            ModelConfig("bad", 2, 64, 4, 4, 50, 10, mlp="swiglu2")
+
+    def test_unknown_norm(self):
+        with pytest.raises(ValueError, match="norm"):
+            ModelConfig("bad", 2, 64, 4, 4, 50, 10, norm="batchnorm")
+
+
+class TestRegistry:
+    def test_lookup_roundtrip(self):
+        for config in all_models():
+            assert model_by_name(config.name) is config
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="llama9"):
+            model_by_name("llama9-1t")
+
+    def test_validation_models_are_the_papers_five(self):
+        names = {m.name for m in VALIDATION_MODELS}
+        assert names == {"llama3-8b", "gptj-6b", "falcon-7b",
+                         "baichuan2-7b", "qwen-7b"}
+
+    def test_encoders_marked(self):
+        assert SBERT_BASE.encoder_only
+        assert not LLAMA2_7B.encoder_only
+
+
+class TestTinyLlama:
+    def test_defaults_are_small(self):
+        tiny = tiny_llama()
+        assert tiny.num_parameters < 1_000_000
+
+    def test_gqa_variant(self):
+        tiny = tiny_llama(num_heads=4, num_kv_heads=2)
+        assert tiny.kv_dim == tiny.hidden_size // 2
+
+    def test_scaled_depth(self):
+        deeper = tiny_llama().scaled("deeper", num_layers=5)
+        assert deeper.num_layers == 5
+        assert deeper.hidden_size == tiny_llama().hidden_size

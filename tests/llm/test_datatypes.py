@@ -1,0 +1,50 @@
+"""Datatype registry behaviour."""
+
+import pytest
+
+from repro.llm.datatypes import (
+    BFLOAT16,
+    FLOAT32,
+    INT8,
+    all_dtypes,
+    dtype_by_name,
+)
+
+
+class TestDtypeProperties:
+    def test_bytes_widths(self):
+        assert FLOAT32.bytes == 4.0
+        assert BFLOAT16.bytes == 2.0
+        assert INT8.bytes == 1.0
+
+    def test_amx_support_matrix(self):
+        assert not FLOAT32.amx_supported
+        assert BFLOAT16.amx_supported
+        assert INT8.amx_supported
+
+    def test_int8_has_no_optimized_avx_path(self):
+        # The root cause of the paper's no-AMX int8 collapse (Fig. 8).
+        assert not INT8.avx_optimized
+        assert FLOAT32.avx_optimized
+        assert BFLOAT16.avx_optimized
+
+    def test_str_is_name(self):
+        assert str(BFLOAT16) == "bf16"
+
+
+class TestLookup:
+    @pytest.mark.parametrize("alias,expected", [
+        ("bf16", BFLOAT16), ("bfloat16", BFLOAT16),
+        ("f32", FLOAT32), ("fp32", FLOAT32), ("float32", FLOAT32),
+        ("int8", INT8), ("i8", INT8),
+        ("BF16", BFLOAT16),
+    ])
+    def test_aliases(self, alias, expected):
+        assert dtype_by_name(alias) is expected
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="fp8"):
+            dtype_by_name("fp8")
+
+    def test_all_dtypes_complete(self):
+        assert set(all_dtypes()) == {FLOAT32, BFLOAT16, INT8}

@@ -1,0 +1,114 @@
+"""KV cache bookkeeping, including PagedKVCache invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm.config import LLAMA2_7B
+from repro.llm.kvcache import KVCacheState, PagedKVCache
+
+
+class TestKVCacheState:
+    def make(self):
+        return KVCacheState(LLAMA2_7B, dtype_bytes=2.0)
+
+    def test_bytes_track_tokens(self):
+        cache = self.make()
+        cache.add_sequences(2, prompt_len=100)
+        per_token = LLAMA2_7B.kv_bytes_per_token(2.0)
+        assert cache.bytes == 200 * per_token
+
+    def test_append_extends_every_sequence(self):
+        cache = self.make()
+        cache.add_sequences(3, prompt_len=10)
+        cache.append_token()
+        assert cache.lengths == [11, 11, 11]
+
+    def test_evict(self):
+        cache = self.make()
+        cache.add_sequences(2, prompt_len=5)
+        cache.evict(0)
+        assert cache.total_tokens == 5
+
+    def test_write_bytes_per_step(self):
+        cache = self.make()
+        cache.add_sequences(4, prompt_len=1)
+        per_token = LLAMA2_7B.kv_bytes_per_token(2.0)
+        assert cache.write_bytes_per_step() == 4 * per_token
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().add_sequences(-1, 5)
+
+
+class TestPagedKVCache:
+    def test_allocation_math(self):
+        cache = PagedKVCache(num_blocks=10, block_size=16)
+        cache.allocate(1, prompt_len=33)  # needs ceil(33/16) = 3 blocks
+        assert cache.allocated_blocks == 3
+        assert cache.free_blocks == 7
+
+    def test_append_grows_at_block_boundary(self):
+        cache = PagedKVCache(num_blocks=4, block_size=4)
+        cache.allocate(1, prompt_len=4)
+        assert cache.allocated_blocks == 1
+        cache.append_token(1)
+        assert cache.allocated_blocks == 2
+
+    def test_out_of_memory(self):
+        cache = PagedKVCache(num_blocks=2, block_size=4)
+        with pytest.raises(MemoryError):
+            cache.allocate(1, prompt_len=100)
+
+    def test_oom_on_growth(self):
+        cache = PagedKVCache(num_blocks=1, block_size=2)
+        cache.allocate(1, prompt_len=2)
+        with pytest.raises(MemoryError):
+            cache.append_token(1)
+
+    def test_double_allocate_rejected(self):
+        cache = PagedKVCache(num_blocks=4, block_size=4)
+        cache.allocate(7, prompt_len=1)
+        with pytest.raises(KeyError):
+            cache.allocate(7, prompt_len=1)
+
+    def test_free_recycles(self):
+        cache = PagedKVCache(num_blocks=2, block_size=4)
+        cache.allocate(1, prompt_len=8)
+        cache.free(1)
+        assert cache.free_blocks == 2
+        cache.allocate(2, prompt_len=8)  # must succeed after recycle
+
+    def test_utilization(self):
+        cache = PagedKVCache(num_blocks=10, block_size=10)
+        cache.allocate(1, prompt_len=15)  # 2 blocks for 15 tokens
+        assert cache.utilization() == pytest.approx(0.75)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2),
+                  st.integers(min_value=0, max_value=30)),
+        max_size=40))
+    def test_block_conservation_invariant(self, actions):
+        """free + allocated == total through any operation sequence, and
+        no block is owned by two sequences."""
+        cache = PagedKVCache(num_blocks=16, block_size=4)
+        live = set()
+        next_id = 0
+        for kind, arg in actions:
+            try:
+                if kind == 0:
+                    cache.allocate(next_id, prompt_len=arg)
+                    live.add(next_id)
+                    next_id += 1
+                elif kind == 1 and live:
+                    cache.append_token(sorted(live)[arg % len(live)])
+                elif kind == 2 and live:
+                    victim = sorted(live)[arg % len(live)]
+                    cache.free(victim)
+                    live.discard(victim)
+            except MemoryError:
+                pass
+            assert cache.free_blocks + cache.allocated_blocks == 16
+            owned = [block for seq in live for block in cache.block_table(seq)]
+            assert len(owned) == len(set(owned))
+            assert len(owned) == cache.allocated_blocks

@@ -1,0 +1,71 @@
+"""Operator accounting invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.llm.ops import Operator, OpCategory, Phase, group_by_name, merge_totals
+
+
+def make_op(**overrides):
+    base = dict(name="gemm0", category=OpCategory.GEMM, phase=Phase.DECODE,
+                layer=0, flops=100.0, weight_bytes=10.0,
+                activation_bytes=5.0, kv_read_bytes=2.0, kv_write_bytes=1.0)
+    base.update(overrides)
+    return Operator(**base)
+
+
+class TestOperator:
+    def test_bytes_total_sums_streams(self):
+        assert make_op().bytes_total == 18.0
+
+    def test_arithmetic_intensity(self):
+        assert make_op().arithmetic_intensity == pytest.approx(100.0 / 18.0)
+
+    def test_zero_byte_op_has_infinite_intensity(self):
+        op = make_op(weight_bytes=0, activation_bytes=0, kv_read_bytes=0,
+                     kv_write_bytes=0)
+        assert op.arithmetic_intensity == math.inf
+
+    @pytest.mark.parametrize("field", ["flops", "weight_bytes",
+                                       "activation_bytes", "kv_read_bytes",
+                                       "kv_write_bytes"])
+    def test_negative_cost_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            make_op(**{field: -1.0})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            make_op(flops=float("nan"))
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_scaled_is_linear(self, factor):
+        op = make_op()
+        scaled = op.scaled(factor)
+        assert scaled.flops == pytest.approx(op.flops * factor)
+        assert scaled.bytes_total == pytest.approx(op.bytes_total * factor)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_op().scaled(-0.5)
+
+
+class TestAggregation:
+    def test_merge_totals(self):
+        ops = [make_op(), make_op(flops=50.0)]
+        totals = merge_totals(ops)
+        assert totals["flops"] == 150.0
+        assert totals["weight_bytes"] == 20.0
+
+    def test_merge_totals_empty(self):
+        assert merge_totals([]) == {
+            "flops": 0.0, "weight_bytes": 0.0, "activation_bytes": 0.0,
+            "kv_read_bytes": 0.0, "kv_write_bytes": 0.0}
+
+    def test_group_by_name_preserves_order(self):
+        ops = [make_op(name="a", layer=0), make_op(name="b"),
+               make_op(name="a", layer=1)]
+        groups = group_by_name(ops)
+        assert list(groups) == ["a", "b"]
+        assert [op.layer for op in groups["a"]] == [0, 1]

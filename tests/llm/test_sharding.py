@@ -1,0 +1,73 @@
+"""Tensor-parallel shard planning."""
+
+import pytest
+
+from repro.llm.config import LLAMA2_7B, LLAMA2_70B, FALCON_7B, tiny_llama
+from repro.llm.sharding import max_degree, plan_tensor_parallel
+
+
+class TestPlanBasics:
+    def test_degree_one_is_whole_model(self):
+        plan = plan_tensor_parallel(LLAMA2_7B, 1)
+        assert plan.params_per_device == pytest.approx(
+            LLAMA2_7B.num_parameters, rel=0.001)
+        assert plan.efficiency == pytest.approx(1.0, rel=0.001)
+
+    def test_shards_partition_the_model(self):
+        """degree * sharded + replicated ~= total parameters."""
+        plan = plan_tensor_parallel(LLAMA2_7B, 4)
+        reconstructed = (plan.degree * plan.sharded_params_per_device
+                         + plan.replicated_params)
+        assert reconstructed == pytest.approx(LLAMA2_7B.num_parameters,
+                                              rel=0.001)
+
+    def test_memory_shrinks_with_degree(self):
+        plans = [plan_tensor_parallel(LLAMA2_7B, d) for d in (1, 2, 4, 8)]
+        footprints = [plan.params_per_device for plan in plans]
+        assert footprints == sorted(footprints, reverse=True)
+
+    def test_efficiency_degrades_with_degree(self):
+        """Replicated embeddings/norms hurt more at higher degrees."""
+        low = plan_tensor_parallel(LLAMA2_7B, 2)
+        high = plan_tensor_parallel(LLAMA2_7B, 8)
+        assert high.efficiency < low.efficiency < 1.0
+
+
+class TestGqaAndMqa:
+    def test_70b_gqa_shards_kv_up_to_8(self):
+        plan = plan_tensor_parallel(LLAMA2_70B, 8)
+        assert plan.kv_heads_per_device == 1
+        assert plan.kv_replication == 1
+
+    def test_70b_beyond_kv_heads_replicates(self):
+        plan = plan_tensor_parallel(LLAMA2_70B, 16)
+        assert plan.kv_heads_per_device == 1
+        assert plan.kv_replication == 2
+
+    def test_falcon_mqa_replicates_its_single_kv_head(self):
+        # Falcon-7B: 71 query heads, 1 KV head.
+        plan = plan_tensor_parallel(FALCON_7B, 71)
+        assert plan.kv_replication == 71
+
+    def test_replication_lowers_efficiency(self):
+        sharded_kv = plan_tensor_parallel(LLAMA2_70B, 8)
+        replicated_kv = plan_tensor_parallel(LLAMA2_70B, 16)
+        # Per-device memory halves less than 2x when KV replicates.
+        ratio = (sharded_kv.params_per_device
+                 / replicated_kv.params_per_device)
+        assert ratio < 2.0
+
+
+class TestConstraints:
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError, match="heads"):
+            plan_tensor_parallel(LLAMA2_7B, 3)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            plan_tensor_parallel(LLAMA2_7B, 0)
+
+    def test_max_degree(self):
+        assert max_degree(LLAMA2_7B, limit=64) == 32
+        tiny = tiny_llama(num_heads=4, intermediate_size=128)
+        assert max_degree(tiny, limit=8) == 4

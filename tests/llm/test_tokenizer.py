@@ -1,0 +1,57 @@
+"""Hash tokenizer behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.llm.tokenizer import HashTokenizer
+
+
+class TestHashTokenizer:
+    def test_deterministic(self):
+        tok = HashTokenizer()
+        assert tok.encode("hello world") == tok.encode("hello world")
+
+    def test_bos_prepended(self):
+        tok = HashTokenizer()
+        assert tok.encode("hi")[0] == HashTokenizer.BOS_ID
+
+    def test_no_bos(self):
+        tok = HashTokenizer()
+        ids = tok.encode("hi there", add_bos=False)
+        assert len(ids) == 2
+
+    def test_ids_in_range(self):
+        tok = HashTokenizer(vocab_size=100)
+        ids = tok.encode("many different words appear here today")
+        assert all(0 <= i < 100 for i in ids)
+
+    def test_reserved_ids_not_produced(self):
+        tok = HashTokenizer(vocab_size=50)
+        ids = tok.encode("a b c d e f g", add_bos=False)
+        assert all(i >= 4 for i in ids)
+
+    def test_case_insensitive(self):
+        tok = HashTokenizer()
+        assert tok.encode("Hello") == tok.encode("hello")
+
+    def test_punctuation_separated(self):
+        tok = HashTokenizer()
+        assert tok.count("hello, world!") == 4  # hello , world !
+
+    def test_count_excludes_bos(self):
+        tok = HashTokenizer()
+        assert tok.count("three short words") == 3
+
+    def test_empty_text(self):
+        tok = HashTokenizer()
+        assert tok.encode("") == [HashTokenizer.BOS_ID]
+        assert tok.count("") == 0
+
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            HashTokenizer(vocab_size=4)
+
+    @given(st.text(max_size=60))
+    def test_encode_never_crashes_and_stays_in_vocab(self, text):
+        tok = HashTokenizer(vocab_size=64)
+        assert all(0 <= i < 64 for i in tok.encode(text))

@@ -1,0 +1,70 @@
+"""LLC working-set model and hugepage policies."""
+
+import pytest
+
+from repro.memsim.cache import CacheModel
+from repro.memsim.pages import (
+    GB,
+    MB,
+    PAGE_1G,
+    PAGE_2M,
+    PAGE_4K,
+    HugepagePolicy,
+    effective_policy,
+)
+
+
+class TestCacheModel:
+    def test_fitting_set_never_hits_dram(self):
+        cache = CacheModel(llc_bytes=100 * MB)
+        assert cache.dram_fraction(10 * MB) == 0.0
+
+    def test_oversized_set_leaks(self):
+        cache = CacheModel(llc_bytes=100 * MB, residency_share=1.0)
+        assert cache.dram_fraction(200 * MB) == pytest.approx(0.5)
+
+    def test_residency_share_reduces_capacity(self):
+        generous = CacheModel(llc_bytes=100 * MB, residency_share=1.0)
+        contended = CacheModel(llc_bytes=100 * MB, residency_share=0.5)
+        ws = 80 * MB
+        assert contended.dram_fraction(ws) > generous.dram_fraction(ws)
+
+    def test_dram_bytes(self):
+        cache = CacheModel(llc_bytes=100 * MB, residency_share=1.0)
+        assert cache.dram_bytes(1000.0, 200 * MB) == pytest.approx(500.0)
+
+    def test_monotone_in_working_set(self):
+        cache = CacheModel(llc_bytes=64 * MB)
+        fractions = [cache.dram_fraction(ws * MB) for ws in (1, 50, 100, 400)]
+        assert fractions == sorted(fractions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheModel(llc_bytes=-1)
+        with pytest.raises(ValueError):
+            CacheModel(llc_bytes=1, residency_share=0.0)
+        with pytest.raises(ValueError):
+            CacheModel(llc_bytes=1).dram_fraction(-1)
+
+
+class TestHugepagePolicies:
+    def test_page_sizes(self):
+        assert HugepagePolicy.BASE_4K.page_bytes == PAGE_4K
+        assert HugepagePolicy.TRANSPARENT_2M.page_bytes == PAGE_2M
+        assert HugepagePolicy.RESERVED_1G.page_bytes == PAGE_1G
+
+    def test_constants(self):
+        assert PAGE_1G == GB == 1024 * MB
+
+    def test_tdx_downgrades_reserved_1g(self):
+        """Insight 7: TDX silently uses THP instead of reserved pages."""
+        resolved = effective_policy(HugepagePolicy.RESERVED_1G, tdx=True)
+        assert resolved is HugepagePolicy.TRANSPARENT_2M
+
+    def test_non_tdx_honours_request(self):
+        resolved = effective_policy(HugepagePolicy.RESERVED_1G, tdx=False)
+        assert resolved is HugepagePolicy.RESERVED_1G
+
+    def test_tdx_leaves_thp_alone(self):
+        resolved = effective_policy(HugepagePolicy.TRANSPARENT_2M, tdx=True)
+        assert resolved is HugepagePolicy.TRANSPARENT_2M

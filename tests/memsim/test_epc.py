@@ -1,0 +1,80 @@
+"""SGX EPC pager: functional LRU and analytical agreement."""
+
+import pytest
+
+from repro.memsim.epc import (
+    EPC_FAULT_S,
+    EpcPager,
+    paging_fraction,
+    paging_overhead_s,
+)
+from repro.memsim.pages import MB, PAGE_4K
+
+
+class TestEpcPager:
+    def test_first_touch_faults(self):
+        pager = EpcPager(epc_bytes=16 * PAGE_4K)
+        assert pager.touch(0)
+        assert not pager.touch(0)
+
+    def test_capacity_never_exceeded(self):
+        pager = EpcPager(epc_bytes=4 * PAGE_4K)
+        for page in range(20):
+            pager.touch(page)
+        assert pager.resident_pages <= 4
+
+    def test_evictions_counted(self):
+        pager = EpcPager(epc_bytes=2 * PAGE_4K)
+        for page in range(5):
+            pager.touch(page)
+        assert pager.evictions == 3
+
+    def test_touch_range_spans_pages(self):
+        pager = EpcPager(epc_bytes=MB)
+        faults = pager.touch_range(0, 3 * PAGE_4K)
+        assert faults == 3
+
+    def test_touch_range_partial_page(self):
+        pager = EpcPager(epc_bytes=MB)
+        assert pager.touch_range(100, 10) == 1
+
+    def test_cyclic_thrash_matches_analytical(self):
+        """A cyclic scan larger than the EPC defeats LRU entirely."""
+        capacity_pages = 64
+        pager = EpcPager(epc_bytes=capacity_pages * PAGE_4K)
+        scan_pages = 96
+        for _ in range(2):  # warmup
+            for page in range(scan_pages):
+                pager.touch(page)
+        pager.faults = pager.accesses = 0
+        for page in range(scan_pages):
+            pager.touch(page)
+        assert pager.fault_rate == pytest.approx(1.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            EpcPager(epc_bytes=0)
+
+
+class TestAnalytical:
+    def test_fraction_zero_when_fits(self):
+        assert paging_fraction(1e9, 2e9) == 0.0
+
+    def test_fraction_excess(self):
+        assert paging_fraction(2e9, 1e9) == pytest.approx(0.5)
+
+    def test_overhead_scales_with_traffic(self):
+        one = paging_overhead_s(1e9, 2e9, 1e9)
+        two = paging_overhead_s(2e9, 2e9, 1e9)
+        assert two == pytest.approx(2 * one)
+
+    def test_overhead_uses_fault_cost(self):
+        overhead = paging_overhead_s(PAGE_4K, 2e9, 1e9)
+        assert overhead == pytest.approx(0.5 * EPC_FAULT_S)
+
+    def test_llama7b_fits_emr_epc(self):
+        """The paper uses the largest possible EPC so 7B never pages."""
+        from repro.hardware.cpu import EMR1
+        from repro.llm.config import LLAMA2_7B
+        weights = LLAMA2_7B.weight_bytes(2.0)
+        assert paging_fraction(weights, EMR1.sgx_epc_per_socket) == 0.0

@@ -1,0 +1,129 @@
+"""NUMA placement: analytical fractions and the functional allocator."""
+
+import pytest
+
+from repro.hardware.interconnect import UPI_EMR
+from repro.memsim.numa import (
+    NumaAllocator,
+    NumaPolicy,
+    effective_bandwidth,
+    remote_fraction,
+    sub_numa_misplacement,
+)
+
+
+class TestRemoteFraction:
+    def test_single_socket_is_local(self):
+        for policy in NumaPolicy:
+            assert remote_fraction(policy, 1) == 0.0
+
+    def test_two_socket_ordering(self):
+        """Bound < TDX-default < interleaved: the Fig. 5 ordering."""
+        bound = remote_fraction(NumaPolicy.BOUND, 2)
+        tdx = remote_fraction(NumaPolicy.TDX_DEFAULT, 2)
+        interleaved = remote_fraction(NumaPolicy.INTERLEAVED, 2)
+        assert bound < tdx < interleaved
+
+    def test_invalid_sockets(self):
+        with pytest.raises(ValueError):
+            remote_fraction(NumaPolicy.BOUND, 0)
+
+
+class TestSubNuma:
+    def test_disabled_means_no_penalty(self):
+        assert sub_numa_misplacement(1, tee=True) == 0.0
+
+    def test_non_tee_unaffected(self):
+        """SNC only hurts TEEs (their drivers ignore the sub-domains)."""
+        assert sub_numa_misplacement(2, tee=False) == 0.0
+
+    def test_tee_penalty_grows_with_clusters(self):
+        assert (sub_numa_misplacement(2, tee=True)
+                < sub_numa_misplacement(4, tee=True))
+
+
+class TestEffectiveBandwidth:
+    def test_all_local_is_identity(self):
+        assert effective_bandwidth(400e9, UPI_EMR, 0.0) == pytest.approx(400e9)
+
+    def test_remote_traffic_lowers_bandwidth(self):
+        local = effective_bandwidth(400e9, UPI_EMR, 0.0)
+        mixed = effective_bandwidth(400e9, UPI_EMR, 0.3)
+        assert mixed < local
+
+    def test_upi_crypto_derate_compounds(self):
+        plain = effective_bandwidth(400e9, UPI_EMR, 0.5)
+        encrypted = effective_bandwidth(400e9, UPI_EMR, 0.5,
+                                        upi_crypto_derate=0.10)
+        assert encrypted < plain
+
+    def test_cluster_penalty(self):
+        clean = effective_bandwidth(400e9, UPI_EMR, 0.0)
+        misplaced = effective_bandwidth(400e9, UPI_EMR, 0.0,
+                                        cluster_penalty=0.5)
+        assert misplaced < clean
+
+    def test_all_remote_is_upi_bound(self):
+        bw = effective_bandwidth(400e9, UPI_EMR, 1.0)
+        assert bw == pytest.approx(UPI_EMR.bandwidth_bytes_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_bandwidth(1e9, UPI_EMR, 1.5)
+        with pytest.raises(ValueError):
+            effective_bandwidth(1e9, UPI_EMR, 0.5, upi_crypto_derate=1.0)
+
+
+class TestAllocator:
+    def test_bound_stays_on_node(self):
+        alloc = NumaAllocator([100, 100])
+        pages = alloc.allocate(50, NumaPolicy.BOUND, preferred_node=1)
+        assert all(alloc.page_home(p) == 1 for p in pages)
+
+    def test_bound_overflow_raises(self):
+        alloc = NumaAllocator([10, 10])
+        with pytest.raises(MemoryError):
+            alloc.allocate(11, NumaPolicy.BOUND, preferred_node=0)
+
+    def test_interleaved_stripes(self):
+        alloc = NumaAllocator([100, 100])
+        pages = alloc.allocate(10, NumaPolicy.INTERLEAVED)
+        homes = [alloc.page_home(p) for p in pages]
+        assert homes == [0, 1] * 5
+
+    def test_single_node_spills_when_full(self):
+        alloc = NumaAllocator([5, 100])
+        pages = alloc.allocate(10, NumaPolicy.SINGLE_NODE, preferred_node=0)
+        homes = [alloc.page_home(p) for p in pages]
+        assert homes[:5] == [0] * 5
+        assert all(h == 1 for h in homes[5:])
+
+    def test_measured_remote_fraction_interleaved(self):
+        """A thread on either node scanning interleaved memory sees 50%
+        remote — the analytical table's INTERLEAVED entry."""
+        alloc = NumaAllocator([1000, 1000])
+        pages = alloc.allocate(1000, NumaPolicy.INTERLEAVED)
+        assert alloc.measured_remote_fraction(pages, [0]) == pytest.approx(0.5)
+        assert alloc.measured_remote_fraction(pages, [1]) == pytest.approx(0.5)
+
+    def test_measured_remote_fraction_bound_local(self):
+        alloc = NumaAllocator([1000, 1000])
+        pages = alloc.allocate(500, NumaPolicy.BOUND, preferred_node=0)
+        assert alloc.measured_remote_fraction(pages, [0]) == 0.0
+
+    def test_single_node_remote_for_far_socket(self):
+        """SGX's unified node: the second socket's threads are 100%
+        remote, averaging ~50% across both — the table's 0.5."""
+        alloc = NumaAllocator([1000, 1000])
+        pages = alloc.allocate(400, NumaPolicy.SINGLE_NODE, preferred_node=0)
+        assert alloc.measured_remote_fraction(pages, [1]) == 1.0
+        assert alloc.measured_remote_fraction(pages, [0, 1]) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumaAllocator([])
+        alloc = NumaAllocator([4])
+        with pytest.raises(ValueError):
+            alloc.allocate(1, NumaPolicy.BOUND, preferred_node=5)
+        with pytest.raises(ValueError):
+            alloc.measured_remote_fraction([], [0])

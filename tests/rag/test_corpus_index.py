@@ -1,0 +1,89 @@
+"""Synthetic corpora and the inverted index."""
+
+import pytest
+
+from repro.rag.corpus import Document, generate_corpus
+from repro.rag.inverted_index import POSTING_ENTRY_BYTES, InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_docs=120, num_topics=6, num_queries=12,
+                           seed=0)
+
+
+class TestCorpus:
+    def test_sizes(self, corpus):
+        assert corpus.num_documents == 120
+        assert len(corpus.queries) == 12
+
+    def test_deterministic(self):
+        a = generate_corpus(num_docs=30, seed=5)
+        b = generate_corpus(num_docs=30, seed=5)
+        assert [d.text for d in a.documents] == [d.text for d in b.documents]
+
+    def test_topics_round_robin(self, corpus):
+        assert corpus.documents[0].topic == 0
+        assert corpus.documents[6].topic == 0
+
+    def test_qrels_point_to_same_topic(self, corpus):
+        for query_id, grades in corpus.qrels.items():
+            topic = int(query_id[1:]) % 6
+            for doc_id in grades:
+                assert corpus.document(doc_id).topic == topic
+
+    def test_every_query_has_relevant_docs(self, corpus):
+        assert all(grades for grades in corpus.qrels.values())
+
+    def test_grades_in_range(self, corpus):
+        grades = {g for q in corpus.qrels.values() for g in q.values()}
+        assert grades <= {1, 2}
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate_corpus(num_docs=3, num_topics=10)
+
+    def test_unknown_document(self, corpus):
+        with pytest.raises(KeyError):
+            corpus.document("d99999")
+
+
+class TestInvertedIndex:
+    @pytest.fixture
+    def index(self):
+        idx = InvertedIndex()
+        idx.index_document(Document("a", "apple banana apple", 0))
+        idx.index_document(Document("b", "banana cherry", 0))
+        return idx
+
+    def test_postings_with_frequencies(self, index):
+        assert index.postings("apple") == [("a", 2)]
+        assert sorted(index.postings("banana")) == [("a", 1), ("b", 1)]
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("banana") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_lengths(self, index):
+        assert index.doc_length("a") == 3
+        assert index.average_doc_length == pytest.approx(2.5)
+
+    def test_doc_text_stored(self, index):
+        assert index.doc_text("b") == "banana cherry"
+
+    def test_duplicate_rejected(self, index):
+        with pytest.raises(KeyError):
+            index.index_document(Document("a", "again", 0))
+
+    def test_empty_index_average_raises(self):
+        with pytest.raises(ValueError):
+            InvertedIndex().average_doc_length
+
+    def test_scan_cost_accounting(self, index):
+        cost = index.scan_cost(["banana", "apple"])
+        assert cost.postings_scanned == 3
+        assert cost.bytes_touched == 3 * POSTING_ENTRY_BYTES
+        assert cost.score_ops > 0
+
+    def test_vocabulary_size(self, index):
+        assert index.vocabulary_size == 3

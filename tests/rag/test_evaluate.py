@@ -1,0 +1,93 @@
+"""RAG evaluation under TEE envelopes (Fig. 14 pipeline)."""
+
+import pytest
+
+from repro.core.experiment import cpu_deployment
+from repro.rag.corpus import generate_corpus
+from repro.rag.evaluate import (
+    RAG_METHODS,
+    build_retrievers,
+    evaluate_pipeline,
+    rag_tdx_overheads,
+    time_query,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_docs=150, num_queries=6, seed=4)
+
+
+@pytest.fixture(scope="module")
+def retrievers(corpus):
+    return build_retrievers(corpus)
+
+
+@pytest.fixture(scope="module")
+def tdx():
+    return cpu_deployment("tdx", sockets_used=1)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return cpu_deployment("baremetal", sockets_used=1)
+
+
+class TestTimeQuery:
+    def test_all_methods_priced(self, retrievers, tdx, corpus):
+        index = retrievers["_index"]
+        query = next(iter(corpus.queries.values()))
+        for method in RAG_METHODS:
+            timing = time_query(method, index, query, tdx,
+                                dense_docs=corpus.num_documents)
+            assert timing.total_s > 0
+
+    def test_rerank_slowest(self, retrievers, tdx, corpus):
+        """50 cross-encoder passes dominate a single BM25 scan."""
+        index = retrievers["_index"]
+        query = next(iter(corpus.queries.values()))
+        times = {method: time_query(method, index, query, tdx,
+                                    dense_docs=corpus.num_documents).total_s
+                 for method in RAG_METHODS}
+        assert times["bm25-reranked"] > times["bm25"]
+        assert times["bm25-reranked"] > times["sbert"]
+
+    def test_unknown_method(self, retrievers, tdx):
+        with pytest.raises(ValueError, match="unknown method"):
+            time_query("colbert", retrievers["_index"], "q", tdx)
+
+
+class TestEvaluatePipeline:
+    def test_returns_quality_and_cost(self, corpus, retrievers, baseline):
+        evaluation = evaluate_pipeline(corpus, "bm25", baseline,
+                                       retrievers=retrievers)
+        assert evaluation.queries == 6
+        assert evaluation.mean_query_time_s > 0
+        assert 0.0 <= evaluation.mean_ndcg_at_10 <= 1.0
+
+    def test_tdx_slower_than_baseline(self, corpus, retrievers, baseline,
+                                      tdx):
+        for method in RAG_METHODS:
+            base = evaluate_pipeline(corpus, method, baseline,
+                                     retrievers=retrievers)
+            secure = evaluate_pipeline(corpus, method, tdx,
+                                       retrievers=retrievers, seed=99)
+            assert secure.mean_query_time_s > base.mean_query_time_s
+
+    def test_quality_independent_of_backend(self, corpus, retrievers,
+                                            baseline, tdx):
+        """TEEs change time, never rankings."""
+        base = evaluate_pipeline(corpus, "sbert", baseline,
+                                 retrievers=retrievers)
+        secure = evaluate_pipeline(corpus, "sbert", tdx,
+                                   retrievers=retrievers)
+        assert base.mean_ndcg_at_10 == secure.mean_ndcg_at_10
+
+
+class TestFig14Band:
+    def test_overheads_in_llm_like_band(self):
+        """Insight 12: RAG overheads land near LLM inference overheads."""
+        overheads = rag_tdx_overheads(num_docs=200, num_queries=6, seed=7)
+        assert set(overheads) == set(RAG_METHODS)
+        for method, value in overheads.items():
+            assert 0.02 < value < 0.14, (method, value)

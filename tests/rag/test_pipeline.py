@@ -1,0 +1,73 @@
+"""End-to-end RAG + generation service."""
+
+import pytest
+
+from repro.core.experiment import cpu_deployment
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+from repro.rag.corpus import generate_corpus
+from repro.rag.pipeline import RagService
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_docs=150, num_queries=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def service(corpus):
+    return RagService(corpus, cpu_deployment("tdx", sockets_used=1),
+                      LLAMA2_7B, BFLOAT16, output_tokens=32)
+
+
+class TestRagService:
+    def test_answer_structure(self, service, corpus):
+        query = next(iter(corpus.queries.values()))
+        answer = service.answer(query)
+        assert len(answer.retrieved) == 3
+        assert answer.prompt_tokens > len(query.split())
+        assert answer.generation_s > answer.retrieval_s
+        assert 0.0 <= answer.retrieval_fraction < 0.5
+
+    def test_prompt_grows_with_top_k(self, corpus):
+        query = next(iter(corpus.queries.values()))
+        deployment = cpu_deployment("tdx", sockets_used=1)
+        small = RagService(corpus, deployment, LLAMA2_7B, BFLOAT16,
+                           top_k=1, output_tokens=16).answer(query)
+        big = RagService(corpus, deployment, LLAMA2_7B, BFLOAT16,
+                         top_k=5, output_tokens=16).answer(query)
+        assert big.prompt_tokens > small.prompt_tokens
+        assert big.generation_s > small.generation_s
+
+    def test_retrieved_docs_are_topical(self, service, corpus):
+        query_id, query = next(iter(sorted(corpus.queries.items())))
+        answer = service.answer(query)
+        relevant = corpus.qrels[query_id]
+        hits = sum(1 for doc in answer.retrieved if doc.doc_id in relevant)
+        assert hits >= 2  # at least 2 of top-3 on topic
+
+    def test_tee_overhead_on_whole_pipeline(self, corpus):
+        query = next(iter(corpus.queries.values()))
+        base = RagService(corpus, cpu_deployment("baremetal", sockets_used=1),
+                          LLAMA2_7B, BFLOAT16, output_tokens=32).answer(query)
+        tdx = RagService(corpus, cpu_deployment("tdx", sockets_used=1),
+                         LLAMA2_7B, BFLOAT16, output_tokens=32).answer(query)
+        overhead = tdx.total_s / base.total_s - 1
+        assert 0.02 < overhead < 0.15
+
+    def test_empty_query_rejected(self, service):
+        with pytest.raises(ValueError, match="empty"):
+            service.answer("  ")
+
+    def test_unknown_retriever(self, corpus):
+        with pytest.raises(ValueError, match="unknown retriever"):
+            RagService(corpus, cpu_deployment("tdx", sockets_used=1),
+                       LLAMA2_7B, BFLOAT16, retriever="splade")
+
+    def test_invalid_params(self, corpus):
+        deployment = cpu_deployment("tdx", sockets_used=1)
+        with pytest.raises(ValueError):
+            RagService(corpus, deployment, LLAMA2_7B, BFLOAT16, top_k=0)
+        with pytest.raises(ValueError):
+            RagService(corpus, deployment, LLAMA2_7B, BFLOAT16,
+                       output_tokens=0)

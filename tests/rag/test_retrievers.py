@@ -1,0 +1,179 @@
+"""BM25, dense, and reranked retrieval: correctness and quality."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rag.bm25 import Bm25Retriever
+from repro.rag.corpus import Document, generate_corpus
+from repro.rag.dense import DenseRetriever, HashingSentenceEncoder
+from repro.rag.inverted_index import InvertedIndex
+from repro.rag.metrics import mean_metric, ndcg_at_k, recall_at_k
+from repro.rag.rerank import CrossEncoderScorer, RerankedBm25Retriever
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_docs=200, num_topics=8, num_queries=16,
+                           seed=2)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    idx = InvertedIndex()
+    idx.index_all(corpus.documents)
+    return idx
+
+
+class TestBm25:
+    def test_exact_term_match_ranks_first(self):
+        idx = InvertedIndex()
+        idx.index_all([
+            Document("hit", "quantum entanglement experiment results", 0),
+            Document("miss", "cooking pasta with tomato sauce", 1),
+            Document("partial", "experiment with sauce", 2),
+        ])
+        top = Bm25Retriever(idx).retrieve("quantum entanglement", k=3)
+        assert top[0].doc_id == "hit"
+
+    def test_idf_downweights_common_terms(self):
+        idx = InvertedIndex()
+        idx.index_all([Document(f"d{i}", "common filler words", 0)
+                       for i in range(9)]
+                      + [Document("rare", "common unicorn", 1)])
+        scores = Bm25Retriever(idx).score_all("common unicorn")
+        assert scores["rare"] > max(scores[f"d{i}"] for i in range(9))
+
+    def test_scores_positive(self, corpus, index):
+        retriever = Bm25Retriever(index)
+        for query in list(corpus.queries.values())[:5]:
+            assert all(hit.score > 0 for hit in retriever.retrieve(query))
+
+    def test_k_limits_results(self, corpus, index):
+        query = next(iter(corpus.queries.values()))
+        assert len(Bm25Retriever(index).retrieve(query, k=3)) == 3
+
+    def test_deterministic_tie_break(self, index):
+        retriever = Bm25Retriever(index)
+        query = "nonexistentterm " + index.doc_text("d0").split()[0]
+        assert (retriever.retrieve(query, k=5)
+                == retriever.retrieve(query, k=5))
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(ValueError):
+            Bm25Retriever(index).score_all("")
+
+    def test_parameter_validation(self, index):
+        with pytest.raises(ValueError):
+            Bm25Retriever(index, k1=-1)
+        with pytest.raises(ValueError):
+            Bm25Retriever(index, b=2.0)
+
+    def test_quality_on_synthetic_corpus(self, corpus, index):
+        """BM25 must find topical documents (nDCG well above random)."""
+        retriever = Bm25Retriever(index)
+        ndcgs = [ndcg_at_k(retriever.retrieve(query, k=10),
+                           corpus.qrels[query_id], k=10)
+                 for query_id, query in corpus.queries.items()]
+        assert mean_metric(ndcgs) > 0.5
+
+
+class TestDense:
+    def test_encoder_unit_norm(self):
+        encoder = HashingSentenceEncoder()
+        import numpy as np
+        assert np.linalg.norm(encoder.encode("hello world")) == \
+            pytest.approx(1.0)
+
+    def test_identical_texts_identical_vectors(self):
+        encoder = HashingSentenceEncoder()
+        import numpy as np
+        np.testing.assert_array_equal(encoder.encode("a b c"),
+                                      encoder.encode("a b c"))
+
+    def test_shared_vocabulary_is_closer(self):
+        encoder = HashingSentenceEncoder()
+        base = encoder.encode("socket memory encryption overhead")
+        near = encoder.encode("memory encryption cost socket")
+        far = encoder.encode("banana smoothie recipe blender")
+        assert float(base @ near) > float(base @ far)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            HashingSentenceEncoder().encode("   ")
+
+    def test_retrieval_quality(self, corpus):
+        retriever = DenseRetriever()
+        retriever.index_all(corpus.documents)
+        ndcgs = [ndcg_at_k(retriever.retrieve(query, k=10),
+                           corpus.qrels[query_id], k=10)
+                 for query_id, query in corpus.queries.items()]
+        assert mean_metric(ndcgs) > 0.3
+
+    def test_double_index_rejected(self, corpus):
+        retriever = DenseRetriever()
+        retriever.index_all(corpus.documents)
+        with pytest.raises(ValueError):
+            retriever.index_all(corpus.documents)
+
+    def test_retrieve_before_index_rejected(self):
+        with pytest.raises(ValueError):
+            DenseRetriever().retrieve("query")
+
+
+class TestRerank:
+    def test_reranked_at_least_as_good_as_bm25(self, corpus, index):
+        bm25 = Bm25Retriever(index)
+        reranked = RerankedBm25Retriever(index)
+        def quality(retriever):
+            return mean_metric([
+                ndcg_at_k(retriever.retrieve(query, k=10),
+                          corpus.qrels[query_id], k=10)
+                for query_id, query in corpus.queries.items()])
+        assert quality(reranked) >= quality(bm25) - 0.05
+
+    def test_candidates_scored(self, index):
+        reranked = RerankedBm25Retriever(index, first_stage_k=37)
+        assert reranked.candidates_scored() == 37
+
+    def test_scorer_prefers_overlap(self):
+        scorer = CrossEncoderScorer()
+        query = "memory encryption overhead"
+        assert (scorer.score(query, "memory encryption overhead analysis")
+                > scorer.score(query, "pasta sauce recipe"))
+
+    def test_scorer_empty_query(self):
+        with pytest.raises(ValueError):
+            CrossEncoderScorer().score("", "doc")
+
+    def test_invalid_first_stage(self, index):
+        with pytest.raises(ValueError):
+            RerankedBm25Retriever(index, first_stage_k=0)
+
+
+class TestRagMetrics:
+    def test_perfect_ranking_ndcg_one(self):
+        from repro.rag.bm25 import RankedDoc
+        ranking = [RankedDoc("a", 3.0), RankedDoc("b", 2.0)]
+        assert ndcg_at_k(ranking, {"a": 2, "b": 1}, k=2) == pytest.approx(1.0)
+
+    def test_inverted_ranking_below_one(self):
+        from repro.rag.bm25 import RankedDoc
+        ranking = [RankedDoc("b", 3.0), RankedDoc("a", 2.0)]
+        assert ndcg_at_k(ranking, {"a": 2, "b": 1}, k=2) < 1.0
+
+    def test_no_relevant_docs_zero(self):
+        from repro.rag.bm25 import RankedDoc
+        assert ndcg_at_k([RankedDoc("a", 1.0)], {}, k=5) == 0.0
+
+    def test_recall(self):
+        from repro.rag.bm25 import RankedDoc
+        ranking = [RankedDoc("a", 1.0), RankedDoc("x", 0.5)]
+        assert recall_at_k(ranking, {"a": 1, "b": 1}, k=2) == 0.5
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_ndcg_bounded(self, k):
+        from repro.rag.bm25 import RankedDoc
+        ranking = [RankedDoc(f"d{i}", float(-i)) for i in range(10)]
+        qrels = {f"d{i}": (i % 3) for i in range(10)}
+        value = ndcg_at_k(ranking, qrels, k=k)
+        assert 0.0 <= value <= 1.0

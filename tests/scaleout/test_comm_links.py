@@ -1,0 +1,92 @@
+"""Communication volumes and confidential link selection."""
+
+import pytest
+
+from repro.hardware.gpu import B100, H100_NVL
+from repro.llm.config import LLAMA2_7B, LLAMA2_70B
+from repro.llm.datatypes import BFLOAT16
+from repro.scaleout.comm import (
+    Parallelism,
+    pipeline_parallel_volume,
+    tensor_parallel_volume,
+    volume_for,
+)
+from repro.scaleout.links import (
+    IPSEC_EFFICIENCY,
+    LinkKind,
+    gpu_link,
+    routed_bandwidth,
+)
+
+
+class TestTensorParallelVolume:
+    def test_degree_one_is_free(self):
+        volume = tensor_parallel_volume(LLAMA2_7B, BFLOAT16, 1, 8.0)
+        assert volume.bytes_per_step == 0.0
+        assert volume.messages_per_step == 0
+
+    def test_two_allreduces_per_layer(self):
+        volume = tensor_parallel_volume(LLAMA2_7B, BFLOAT16, 2, 1.0)
+        payload = LLAMA2_7B.hidden_size * 2  # bf16 bytes per token
+        expected = 2 * LLAMA2_7B.num_layers * payload * (2 * 1 / 2)
+        assert volume.bytes_per_step == pytest.approx(expected)
+
+    def test_volume_scales_with_tokens(self):
+        one = tensor_parallel_volume(LLAMA2_7B, BFLOAT16, 4, 1.0)
+        many = tensor_parallel_volume(LLAMA2_7B, BFLOAT16, 4, 32.0)
+        assert many.bytes_per_step == pytest.approx(32 * one.bytes_per_step)
+
+    def test_ring_factor_saturates(self):
+        """Per-device ring volume approaches 2x payload as degree grows."""
+        d2 = tensor_parallel_volume(LLAMA2_7B, BFLOAT16, 2, 1.0)
+        d8 = tensor_parallel_volume(LLAMA2_7B, BFLOAT16, 8, 1.0)
+        assert d2.bytes_per_step < d8.bytes_per_step < 2 * d2.bytes_per_step
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tensor_parallel_volume(LLAMA2_7B, BFLOAT16, 0, 1.0)
+        with pytest.raises(ValueError):
+            tensor_parallel_volume(LLAMA2_7B, BFLOAT16, 2, 0.0)
+
+
+class TestPipelineVolume:
+    def test_much_lighter_than_tensor(self):
+        """Pipeline ships boundary activations only — far less traffic."""
+        tensor = tensor_parallel_volume(LLAMA2_70B, BFLOAT16, 2, 8.0)
+        pipeline = pipeline_parallel_volume(LLAMA2_70B, BFLOAT16, 2, 8.0)
+        assert pipeline.bytes_per_step < tensor.bytes_per_step / 10
+
+    def test_dispatch(self):
+        tensor = volume_for(Parallelism.TENSOR, LLAMA2_7B, BFLOAT16, 2, 4.0)
+        pipe = volume_for(Parallelism.PIPELINE, LLAMA2_7B, BFLOAT16, 2, 4.0)
+        assert tensor.bytes_per_step > pipe.bytes_per_step
+
+
+class TestLinks:
+    def test_nonconfidential_uses_nvlink(self):
+        link = gpu_link(H100_NVL, confidential=False)
+        assert link.kind is LinkKind.NVLINK
+
+    def test_confidential_h100_routes_through_cpu(self):
+        """§V-D4: no RDMA/GPUDirect in CC mode -> ~3 GB/s CPU routing."""
+        link = gpu_link(H100_NVL, confidential=True)
+        assert link.kind is LinkKind.CPU_ROUTED
+        assert link.bandwidth_bytes_s == pytest.approx(3e9)
+
+    def test_confidential_b100_keeps_nvlink(self):
+        link = gpu_link(B100, confidential=True)
+        assert link.kind is LinkKind.NVLINK
+        assert link.bandwidth_bytes_s > 100e9
+
+    def test_cross_host_pays_ipsec(self):
+        plain = gpu_link(H100_NVL, confidential=False, same_host=False)
+        secure = gpu_link(H100_NVL, confidential=True, same_host=False)
+        assert secure.bandwidth_bytes_s == pytest.approx(
+            plain.bandwidth_bytes_s * IPSEC_EFFICIENCY)
+
+    def test_ipsec_costs_most_of_the_link(self):
+        """Paper cites up to 90% overhead for IPsec-protected traffic."""
+        assert IPSEC_EFFICIENCY < 0.60
+
+    def test_routed_bandwidth_gap(self):
+        assert routed_bandwidth(True) < routed_bandwidth(False) / 10

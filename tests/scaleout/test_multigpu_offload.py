@@ -1,0 +1,135 @@
+"""Multi-GPU scaling and hybrid offload under confidential compute."""
+
+import pytest
+
+from repro.engine.placement import Workload
+from repro.hardware.gpu import B100, H100_NVL
+from repro.llm.config import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B
+from repro.llm.datatypes import BFLOAT16, INT8
+from repro.scaleout.multigpu import (
+    confidential_scaling_penalty,
+    fits,
+    simulate_multi_gpu,
+)
+from repro.scaleout.offload import (
+    OffloadResult,
+    required_host_fraction,
+    simulate_offloaded,
+)
+
+
+class TestFits:
+    def test_7b_fits_one_gpu(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1,
+                            input_tokens=512, output_tokens=128)
+        assert fits(workload, H100_NVL, 1)
+
+    def test_70b_needs_two_gpus(self):
+        """§V-D4: a single H100 fits ~30B class models, not 70B."""
+        workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                            input_tokens=512, output_tokens=128)
+        assert not fits(workload, H100_NVL, 1)
+        assert fits(workload, H100_NVL, 2)
+
+
+class TestMultiGpu:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return Workload(LLAMA2_70B, BFLOAT16, batch_size=16,
+                        input_tokens=512, output_tokens=128)
+
+    def test_does_not_fit_raises(self):
+        workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                            input_tokens=512, output_tokens=128)
+        with pytest.raises(ValueError, match="does not fit"):
+            simulate_multi_gpu(workload, 1, confidential=False)
+
+    def test_nonconfidential_comm_negligible(self, workload):
+        result = simulate_multi_gpu(workload, 2, confidential=False)
+        assert result.comm_fraction < 0.10
+
+    def test_confidential_comm_dominates(self, workload):
+        """CPU-routed 3 GB/s turns the all-reduces into the bottleneck."""
+        result = simulate_multi_gpu(workload, 2, confidential=True)
+        assert result.comm_fraction > 0.3
+
+    def test_penalty_grows_with_batch(self):
+        small = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                         input_tokens=512, output_tokens=128)
+        large = Workload(LLAMA2_70B, BFLOAT16, batch_size=32,
+                         input_tokens=512, output_tokens=128)
+        assert (confidential_scaling_penalty(large, 2)
+                > confidential_scaling_penalty(small, 2))
+
+    def test_b100_restores_scaling(self, workload):
+        """Protected NVLink makes confidential multi-GPU viable again."""
+        h100 = simulate_multi_gpu(workload, 2, confidential=True,
+                                  gpu=H100_NVL)
+        b100 = simulate_multi_gpu(workload, 2, confidential=True, gpu=B100)
+        assert b100.comm_fraction < h100.comm_fraction / 4
+        assert b100.throughput_tok_s > h100.throughput_tok_s
+
+    def test_sharding_speeds_up_plain_gpus(self):
+        workload = Workload(LLAMA2_13B, BFLOAT16, batch_size=8,
+                            input_tokens=512, output_tokens=128)
+        one = simulate_multi_gpu(workload, 1, confidential=False)
+        two = simulate_multi_gpu(workload, 2, confidential=False)
+        assert two.throughput_tok_s > one.throughput_tok_s
+
+    def test_invalid_devices(self, workload):
+        with pytest.raises(ValueError):
+            simulate_multi_gpu(workload, 0, confidential=False)
+
+
+class TestOffload:
+    def test_no_offload_needed_when_model_fits(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1,
+                            input_tokens=256, output_tokens=64)
+        assert required_host_fraction(workload) == 0.0
+
+    def test_70b_requires_offload(self):
+        workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                            input_tokens=256, output_tokens=64)
+        fraction = required_host_fraction(workload)
+        assert 0.2 < fraction < 0.6
+
+    def test_offload_is_transfer_bound(self):
+        workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                            input_tokens=256, output_tokens=64)
+        fraction = required_host_fraction(workload)
+        result = simulate_offloaded(workload, fraction, confidential=False)
+        assert result.transfer_bound
+
+    def test_confidential_offload_far_worse(self):
+        """The encrypted bounce buffer throttles the weight stream."""
+        workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                            input_tokens=256, output_tokens=64)
+        fraction = required_host_fraction(workload)
+        plain = simulate_offloaded(workload, fraction, confidential=False)
+        secure = simulate_offloaded(workload, fraction, confidential=True)
+        assert secure.step_s > 3 * plain.step_s
+
+    def test_cpu_tee_beats_confidential_offloaded_gpu(self):
+        """§V-D1: once weights spill to the host, AMX CPUs win — more so
+        confidentially."""
+        from repro.core.experiment import cpu_deployment
+        from repro.engine.simulator import simulate_generation
+        workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                            input_tokens=256, output_tokens=16)
+        fraction = required_host_fraction(workload)
+        offloaded = simulate_offloaded(workload, fraction, confidential=True)
+        tdx = simulate_generation(workload, cpu_deployment(
+            "tdx", sockets_used=2))
+        assert tdx.decode_throughput_tok_s > offloaded.throughput_tok_s
+
+    def test_zero_fraction_is_pure_gpu(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1,
+                            input_tokens=256, output_tokens=64)
+        result = simulate_offloaded(workload, 0.0, confidential=False)
+        assert result.transfer_s == 0.0
+        assert not result.transfer_bound
+
+    def test_fraction_bounds(self):
+        workload = Workload(LLAMA2_7B, BFLOAT16)
+        with pytest.raises(ValueError):
+            simulate_offloaded(workload, 1.5, confidential=False)

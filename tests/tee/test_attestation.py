@@ -1,0 +1,112 @@
+"""Remote attestation flow: measurement, quotes, secret release."""
+
+import dataclasses
+
+import pytest
+
+from repro.tee.attestation import AttestationService, RelyingParty, measure
+
+
+@pytest.fixture
+def artifacts():
+    return {"manifest": b"sgx.enclave_size = \"64G\"", "binary": b"\x7fELF..."}
+
+
+class TestMeasurement:
+    def test_deterministic(self, artifacts):
+        assert measure(artifacts) == measure(artifacts)
+
+    def test_order_independent(self, artifacts):
+        reordered = dict(reversed(list(artifacts.items())))
+        assert measure(artifacts) == measure(reordered)
+
+    def test_content_sensitive(self, artifacts):
+        tampered = dict(artifacts, manifest=b"sgx.enclave_size = \"1G\"")
+        assert measure(artifacts) != measure(tampered)
+
+    def test_name_sensitive(self, artifacts):
+        renamed = {"manifest2": artifacts["manifest"],
+                   "binary": artifacts["binary"]}
+        assert measure(artifacts) != measure(renamed)
+
+    def test_no_concatenation_collision(self):
+        """Name/content boundaries must be unambiguous."""
+        a = measure({"ab": b"c"})
+        b = measure({"a": b"bc"})
+        assert a != b
+
+
+class TestQuoteFlow:
+    def test_happy_path(self, artifacts):
+        measurement = measure(artifacts)
+        service = AttestationService()
+        service.provision_platform("fmspc-001")
+        quote = service.generate_quote("fmspc-001", measurement)
+
+        party = RelyingParty(expected_measurement=measurement)
+        assert party.verify(quote)
+
+    def test_unprovisioned_platform(self):
+        service = AttestationService()
+        with pytest.raises(KeyError):
+            service.generate_quote("rogue", "deadbeef")
+
+    def test_wrong_measurement_rejected(self, artifacts):
+        service = AttestationService()
+        service.provision_platform("p1")
+        quote = service.generate_quote("p1", measure(artifacts))
+        party = RelyingParty(expected_measurement="0" * 96)
+        assert not party.verify(quote)
+
+    def test_forged_signature_rejected(self, artifacts):
+        service = AttestationService()
+        service.provision_platform("p1")
+        quote = service.generate_quote("p1", measure(artifacts))
+        forged = dataclasses.replace(quote, signature="00" * 32)
+        party = RelyingParty(expected_measurement=quote.measurement)
+        assert not party.verify(forged)
+
+    def test_replayed_quote_from_other_platform(self, artifacts):
+        """A quote signed by platform A fails when platform id is swapped."""
+        service = AttestationService()
+        service.provision_platform("A")
+        quote = service.generate_quote("A", measure(artifacts))
+        swapped = dataclasses.replace(quote, platform_id="B")
+        party = RelyingParty(expected_measurement=quote.measurement)
+        assert not party.verify(swapped)
+
+    def test_report_data_binding(self, artifacts):
+        service = AttestationService()
+        service.provision_platform("p1")
+        quote = service.generate_quote("p1", measure(artifacts),
+                                       report_data="kex-pubkey-hash")
+        tampered = dataclasses.replace(quote, report_data="other")
+        party = RelyingParty(expected_measurement=quote.measurement)
+        assert party.verify(quote)
+        assert not party.verify(tampered)
+
+
+class TestSecretRelease:
+    def test_released_only_after_attestation(self, artifacts):
+        measurement = measure(artifacts)
+        service = AttestationService()
+        service.provision_platform("p1")
+        party = RelyingParty(expected_measurement=measurement)
+        party.register_secret("model-key", b"k" * 32)
+
+        good = service.generate_quote("p1", measurement)
+        assert party.release_secret("model-key", good) == b"k" * 32
+
+        bad = dataclasses.replace(good, measurement="f" * 96,
+                                  signature=good.signature)
+        with pytest.raises(PermissionError):
+            party.release_secret("model-key", bad)
+
+    def test_unknown_secret(self, artifacts):
+        measurement = measure(artifacts)
+        service = AttestationService()
+        service.provision_platform("p1")
+        party = RelyingParty(expected_measurement=measurement)
+        quote = service.generate_quote("p1", measurement)
+        with pytest.raises(KeyError):
+            party.release_secret("nope", quote)

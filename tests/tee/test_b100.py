@@ -1,0 +1,71 @@
+"""Projected B100 confidential mode (§V-D3)."""
+
+import pytest
+
+from repro.core.experiment import gpu_deployment
+from repro.core.overhead import throughput_overhead
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.hardware.gpu import B100
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+from repro.tee.base import backend_by_name
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(LLAMA2_7B, BFLOAT16, batch_size=16, input_tokens=512,
+                    output_tokens=32)
+
+
+class TestB100Backend:
+    def test_registered(self):
+        backend = backend_by_name("cgpu-b100")
+        assert backend.is_tee
+        assert backend.device == "gpu"
+
+    def test_profile_adds_hbm_encryption(self):
+        h100 = backend_by_name("cgpu").cost_profile()
+        b100 = backend_by_name("cgpu-b100").cost_profile()
+        assert h100.mem_encryption_derate == 0.0
+        assert b100.mem_encryption_derate > 0.0
+
+    def test_security_gaps_closed(self):
+        profile = backend_by_name("cgpu-b100").security_profile()
+        from repro.tee.security import Support
+        assert profile.memory_encrypted is Support.FULL
+        assert profile.scale_up_protected is Support.FULL
+
+    def test_tdx_not_stricter_than_b100(self):
+        tdx = backend_by_name("tdx").security_profile()
+        b100 = backend_by_name("cgpu-b100").security_profile()
+        assert not tdx.stricter_than(b100)
+
+
+class TestB100Projection:
+    def test_b100_cc_overhead_exceeds_h100_cc_at_scale(self, workload):
+        """The paper expects B100's memory encryption to add a
+        non-negligible overhead on top of H100's CC results."""
+        gpu = simulate_generation(
+            workload, gpu_deployment(confidential=False, gpu=B100))
+        cc_no_hbm = simulate_generation(
+            workload, gpu_deployment(gpu=B100, backend="cgpu"))
+        cc_full = simulate_generation(
+            workload, gpu_deployment(gpu=B100, backend="cgpu-b100"))
+        without = throughput_overhead(cc_no_hbm, gpu, include_prefill=True)
+        with_hbm = throughput_overhead(cc_full, gpu, include_prefill=True)
+        assert with_hbm > without + 0.008
+
+    def test_b100_still_practical(self, workload):
+        gpu = simulate_generation(
+            workload, gpu_deployment(confidential=False, gpu=B100))
+        cc = simulate_generation(
+            workload, gpu_deployment(gpu=B100, backend="cgpu-b100"))
+        assert throughput_overhead(cc, gpu, include_prefill=True) < 0.20
+
+    def test_b100_faster_than_h100(self, workload):
+        h100 = simulate_generation(workload, gpu_deployment())
+        b100 = simulate_generation(
+            workload, gpu_deployment(gpu=B100, backend="cgpu-b100"))
+        assert (b100.decode_throughput_tok_s
+                > h100.decode_throughput_tok_s)

@@ -1,0 +1,126 @@
+"""Backend registry, cost profiles, and mechanism toggles."""
+
+import pytest
+
+from repro.memsim.numa import NumaPolicy
+from repro.memsim.pages import HugepagePolicy
+from repro.tee.base import (
+    CostProfile,
+    MechanismToggles,
+    all_backends,
+    backend_by_name,
+    register_backend,
+)
+from repro.tee.backends import BAREMETAL, CGPU, GPU, SGX, TDX, VM, VM_UNBOUND
+
+
+class TestRegistry:
+    def test_all_paper_backends_registered(self):
+        names = set(all_backends())
+        assert {"baremetal", "vm", "vm-unbound", "tdx", "sgx", "gpu",
+                "cgpu"} <= names
+
+    def test_lookup(self):
+        assert backend_by_name("tdx") is TDX
+        with pytest.raises(KeyError):
+            backend_by_name("sev-snp")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register_backend(TDX)
+
+    def test_tee_flags(self):
+        assert TDX.is_tee and SGX.is_tee and CGPU.is_tee
+        assert not (BAREMETAL.is_tee or VM.is_tee or GPU.is_tee)
+
+    def test_devices(self):
+        assert TDX.device == "cpu"
+        assert CGPU.device == "gpu"
+
+
+class TestCostProfiles:
+    def test_baremetal_is_free(self):
+        profile = BAREMETAL.cost_profile()
+        assert profile.mem_encryption_derate == 0.0
+        assert profile.walk_multiplier == 1.0
+        assert profile.virtualization_tax == 0.0
+
+    def test_vm_pays_virtualization_only(self):
+        profile = VM.cost_profile()
+        assert profile.virtualization_tax > 0.0
+        assert profile.walk_multiplier > 1.0
+        assert profile.mem_encryption_derate == 0.0
+
+    def test_tdx_stacks_on_vm(self):
+        vm, tdx = VM.cost_profile(), TDX.cost_profile()
+        assert tdx.virtualization_tax > vm.virtualization_tax
+        assert tdx.walk_multiplier >= vm.walk_multiplier
+        assert tdx.mem_encryption_derate > 0.0
+        assert tdx.hugepage_force_thp
+
+    def test_sgx_is_bare_metal_with_crypto(self):
+        profile = SGX.cost_profile()
+        assert profile.virtualization_tax == 0.0
+        assert profile.walk_multiplier == 1.0
+        assert profile.mem_encryption_derate > 0.0
+        assert profile.exits_per_step > 0
+        assert profile.epc_limited
+
+    def test_cgpu_pays_fixed_and_rate_costs(self):
+        gpu, cgpu = GPU.cost_profile(), CGPU.cost_profile()
+        assert cgpu.step_fixed_s > gpu.step_fixed_s
+        assert cgpu.bounce_bw is not None
+        assert cgpu.gpu_rate_derate > 0.0
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CostProfile(mem_encryption_derate=1.5)
+        with pytest.raises(ValueError):
+            CostProfile(walk_multiplier=0.5)
+
+
+class TestPolicyResolution:
+    def test_tdx_ignores_numa_binding(self):
+        assert TDX.resolve_numa_policy(NumaPolicy.BOUND) is NumaPolicy.TDX_DEFAULT
+
+    def test_sgx_single_node(self):
+        assert SGX.resolve_numa_policy(NumaPolicy.BOUND) is NumaPolicy.SINGLE_NODE
+
+    def test_vm_honours_binding(self):
+        assert VM.resolve_numa_policy(NumaPolicy.BOUND) is NumaPolicy.BOUND
+
+    def test_vm_unbound_interleaves(self):
+        assert VM_UNBOUND.resolve_numa_policy(
+            NumaPolicy.BOUND) is NumaPolicy.INTERLEAVED
+
+    def test_tdx_downgrades_1g_pages(self):
+        assert TDX.resolve_hugepages(
+            HugepagePolicy.RESERVED_1G) is HugepagePolicy.TRANSPARENT_2M
+
+    def test_vm_keeps_1g_pages(self):
+        assert VM.resolve_hugepages(
+            HugepagePolicy.RESERVED_1G) is HugepagePolicy.RESERVED_1G
+
+
+class TestToggles:
+    def test_default_toggles_are_identity(self):
+        profile = TDX.cost_profile()
+        assert MechanismToggles().apply(profile) == profile
+
+    def test_disable_memory_encryption(self):
+        toggled = MechanismToggles(memory_encryption=False).apply(
+            TDX.cost_profile())
+        assert toggled.mem_encryption_derate == 0.0
+        assert toggled.walk_multiplier > 1.0  # others untouched
+
+    def test_disable_nested_walks(self):
+        toggled = MechanismToggles(nested_walks=False).apply(TDX.cost_profile())
+        assert toggled.walk_multiplier == 1.0
+
+    def test_disable_exits(self):
+        toggled = MechanismToggles(enclave_exits=False).apply(SGX.cost_profile())
+        assert toggled.exits_per_step == 0.0
+
+    def test_disable_step_fixed(self):
+        toggled = MechanismToggles(step_fixed=False).apply(CGPU.cost_profile())
+        assert toggled.step_fixed_s == 0.0

@@ -1,0 +1,108 @@
+"""Gramine manifest generation, parsing, and validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.pages import GB, MB
+from repro.tee.gramine import GramineManifest, inference_manifest, parse_manifest
+
+
+def make_manifest(**overrides):
+    base = dict(entrypoint="/usr/bin/python3",
+                enclave_size_bytes=16 * GB, max_threads=32,
+                trusted_files=["/usr/bin/python3"],
+                encrypted_files=["/models/w.bin"],
+                allowed_files=["/tmp/out"],
+                env={"OMP_NUM_THREADS": "16"})
+    base.update(overrides)
+    return GramineManifest(**base)
+
+
+class TestValidation:
+    def test_valid_manifest_passes(self):
+        make_manifest().validate()
+
+    def test_enclave_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            make_manifest(enclave_size_bytes=3 * GB).validate()
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError, match="minimum"):
+            make_manifest(enclave_size_bytes=128 * MB).validate()
+
+    def test_empty_entrypoint(self):
+        with pytest.raises(ValueError, match="entrypoint"):
+            make_manifest(entrypoint="").validate()
+
+    def test_file_cannot_be_trusted_and_encrypted(self):
+        with pytest.raises(ValueError, match="both"):
+            make_manifest(trusted_files=["/a"],
+                          encrypted_files=["/a"]).validate()
+
+    def test_protected_file_cannot_be_allowed(self):
+        with pytest.raises(ValueError, match="allowed"):
+            make_manifest(trusted_files=["/a"],
+                          allowed_files=["/a"]).validate()
+
+    def test_unknown_attestation_mode(self):
+        with pytest.raises(ValueError, match="attestation"):
+            make_manifest(remote_attestation="epid").validate()
+
+
+class TestRender:
+    def test_render_contains_core_keys(self):
+        text = make_manifest().render()
+        assert 'libos.entrypoint = "/usr/bin/python3"' in text
+        assert 'sgx.enclave_size = "16G"' in text
+        assert "sgx.max_threads = 32" in text
+
+    def test_render_lists_files(self):
+        text = make_manifest().render()
+        assert 'file:/usr/bin/python3' in text
+        assert 'type = "encrypted"' in text
+
+    def test_render_validates_first(self):
+        with pytest.raises(ValueError):
+            make_manifest(enclave_size_bytes=5 * GB).render()
+
+
+class TestRoundTrip:
+    def test_basic_round_trip(self):
+        manifest = make_manifest()
+        assert parse_manifest(manifest.render()) == manifest
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        size_g=st.sampled_from([1, 2, 4, 8, 64, 128]),
+        threads=st.integers(min_value=1, max_value=512),
+        preheat=st.booleans(),
+        attestation=st.sampled_from(["dcap", "none"]),
+        n_trusted=st.integers(min_value=0, max_value=4),
+    )
+    def test_round_trip_property(self, size_g, threads, preheat,
+                                 attestation, n_trusted):
+        manifest = GramineManifest(
+            entrypoint="/bin/app",
+            enclave_size_bytes=size_g * GB,
+            max_threads=threads,
+            trusted_files=[f"/lib/t{i}" for i in range(n_trusted)],
+            encrypted_files=["/models/weights"],
+            remote_attestation=attestation,
+            preheat_enclave=preheat,
+            env={"K": "v"},
+        )
+        assert parse_manifest(manifest.render()) == manifest
+
+
+class TestInferenceManifest:
+    def test_paper_shape(self):
+        manifest = inference_manifest("/models/llama2-7b.safetensors")
+        manifest.validate()
+        assert "/models/llama2-7b.safetensors" in manifest.encrypted_files
+        assert manifest.remote_attestation == "dcap"
+        assert manifest.preheat_enclave  # EPC warmup (§IV-A)
+
+    def test_tcmalloc_preloaded(self):
+        """§IV-D: TCMalloc reduces memory pressure."""
+        manifest = inference_manifest("/models/w.bin")
+        assert "tcmalloc" in manifest.env.get("LD_PRELOAD", "")

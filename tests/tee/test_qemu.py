@@ -1,0 +1,111 @@
+"""QEMU/libvirt TDX guest configuration and LUKS plans."""
+
+import pytest
+
+from repro.memsim.pages import GB, HugepagePolicy
+from repro.tee.qemu import LuksPlan, TdxVmConfig, paper_tdx_guest
+
+
+def make_config(**overrides):
+    base = dict(name="td0", vcpus=32, memory_bytes=128 * GB)
+    base.update(overrides)
+    return TdxVmConfig(**base)
+
+
+class TestValidation:
+    def test_valid(self):
+        make_config().validate()
+
+    def test_tdx_requires_luks(self):
+        """§III-B: TDX does not protect storage; users must add LUKS."""
+        with pytest.raises(ValueError, match="LUKS"):
+            make_config(luks_encrypted=False).validate()
+
+    def test_plain_vm_may_skip_luks(self):
+        make_config(tdx_enabled=False, luks_encrypted=False).validate()
+
+    def test_tiny_memory_rejected(self):
+        with pytest.raises(ValueError):
+            make_config(memory_bytes=GB // 2).validate()
+
+
+class TestQemuArgs:
+    def test_tdx_objects_present(self):
+        args = " ".join(make_config().qemu_args())
+        assert "tdx-guest,id=tdx0" in args
+        assert "confidential-guest-support=tdx0" in args
+        assert "OVMF_TDX.fd" in args
+
+    def test_plain_vm_has_no_tdx(self):
+        args = " ".join(make_config(tdx_enabled=False).qemu_args())
+        assert "tdx" not in args
+
+    def test_hugepage_backend(self):
+        args = " ".join(make_config(
+            hugepages=HugepagePolicy.RESERVED_1G,
+            numa_nodes=(0,)).qemu_args())
+        assert "/dev/hugepages-1G" in args
+        assert "policy=bind" in args
+
+    def test_luks_drive(self):
+        args = " ".join(make_config().qemu_args())
+        assert "encrypt.format=luks" in args
+
+    def test_memory_size(self):
+        args = make_config(memory_bytes=64 * GB).qemu_args()
+        assert "64G" in args[args.index("-m") + 1]
+
+
+class TestLibvirtXml:
+    def test_launch_security_element(self):
+        xml = make_config().libvirt_xml()
+        assert "<launchSecurity type='tdx'/>" in xml
+
+    def test_cpu_pinning(self):
+        xml = make_config(cpu_pin=("0-31",)).libvirt_xml()
+        assert "cpuset='0-31'" in xml
+
+    def test_hugepage_nodeset(self):
+        xml = make_config(hugepages=HugepagePolicy.RESERVED_1G,
+                          numa_nodes=(0, 1)).libvirt_xml()
+        assert "nodeset=\"0,1\"" in xml
+        assert "size='1048576'" in xml
+
+
+class TestPaperGuest:
+    def test_single_socket_shape(self):
+        config = paper_tdx_guest(cpu_cores=60, memory_gib=128)
+        config.validate()
+        assert config.vcpus == 60
+        assert config.numa_nodes == (0,)
+        assert config.hugepages is HugepagePolicy.RESERVED_1G
+        assert config.luks_encrypted
+
+    def test_two_socket_pinning(self):
+        config = paper_tdx_guest(cpu_cores=32, memory_gib=256, sockets=(0, 1))
+        assert config.vcpus == 64
+        assert config.cpu_pin == ("0-31", "32-63")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            paper_tdx_guest(cpu_cores=0, memory_gib=128)
+
+
+class TestLuksPlan:
+    def test_commands_ordered(self):
+        commands = LuksPlan("/dev/vda").commands()
+        assert commands[0].startswith("cryptsetup luksFormat")
+        assert "cryptsetup open" in commands[1]
+        assert commands[2].startswith("mkfs")
+
+    def test_bad_device(self):
+        with pytest.raises(ValueError):
+            LuksPlan("vda").validate()
+
+    def test_bad_cipher(self):
+        with pytest.raises(ValueError):
+            LuksPlan("/dev/vda", cipher="rot13").validate()
+
+    def test_key_bits(self):
+        with pytest.raises(ValueError):
+            LuksPlan("/dev/vda", key_bits=128).validate()

@@ -1,0 +1,70 @@
+"""Security property matrix (Table I rows)."""
+
+import pytest
+
+from repro.tee.security import (
+    B100_SECURITY,
+    CGPU_SECURITY,
+    SGX_SECURITY,
+    TDX_SECURITY,
+    VM_SECURITY,
+    SecurityProfile,
+    Support,
+)
+
+
+class TestMatrix:
+    def test_cpu_tees_encrypt_memory(self):
+        assert SGX_SECURITY.memory_encrypted is Support.FULL
+        assert TDX_SECURITY.memory_encrypted is Support.FULL
+
+    def test_h100_hbm_unencrypted(self):
+        """The paper's headline cGPU security gap."""
+        assert CGPU_SECURITY.memory_encrypted is Support.NONE
+
+    def test_b100_closes_the_gaps(self):
+        assert B100_SECURITY.memory_encrypted is Support.FULL
+        assert B100_SECURITY.scale_up_protected is Support.FULL
+
+    def test_sgx_smallest_tcb(self):
+        """SGX trusts only a libOS; TDX trusts the whole guest stack."""
+        assert SGX_SECURITY.tcb_size_rank < TDX_SECURITY.tcb_size_rank
+
+    def test_dev_cost_ordering(self):
+        """Insight 2: SGX hardest to use; cGPU runs unmodified CUDA."""
+        assert (SGX_SECURITY.development_cost
+                > TDX_SECURITY.development_cost
+                >= CGPU_SECURITY.development_cost)
+
+    def test_only_tees_attest(self):
+        assert SGX_SECURITY.attestable and TDX_SECURITY.attestable
+        assert not VM_SECURITY.attestable
+
+
+class TestStricterThan:
+    def test_cpu_tees_stricter_than_cgpu(self):
+        """Insight 11's security half."""
+        assert TDX_SECURITY.stricter_than(CGPU_SECURITY)
+        assert SGX_SECURITY.stricter_than(CGPU_SECURITY)
+
+    def test_cgpu_not_stricter_than_cpu(self):
+        assert not CGPU_SECURITY.stricter_than(TDX_SECURITY)
+
+    def test_not_stricter_than_self(self):
+        assert not TDX_SECURITY.stricter_than(TDX_SECURITY)
+
+    def test_b100_matches_tdx_hardware_protections(self):
+        assert not TDX_SECURITY.stricter_than(B100_SECURITY)
+
+
+class TestGlyphs:
+    def test_support_glyphs(self):
+        assert Support.FULL.glyph == "#"
+        assert Support.PARTIAL.glyph == "="
+        assert Support.NONE.glyph == "."
+
+    def test_dev_cost_bounds(self):
+        with pytest.raises(ValueError):
+            SecurityProfile("x", Support.NONE, Support.NONE, Support.FULL,
+                            Support.FULL, Support.FULL, False,
+                            development_cost=9)

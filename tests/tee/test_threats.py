@@ -1,0 +1,65 @@
+"""Threat taxonomy and mitigation logic (paper Fig. 1)."""
+
+import pytest
+
+from repro.tee.base import backend_by_name
+from repro.tee.threats import (
+    THREATS,
+    Asset,
+    Attacker,
+    coverage,
+    coverage_score,
+    mitigates,
+    uncovered,
+)
+
+
+class TestCatalogue:
+    def test_covers_paper_assets(self):
+        assets = {threat.asset for threat in THREATS}
+        assert assets == {Asset.MODEL_WEIGHTS, Asset.USER_PROMPTS,
+                          Asset.INFERENCE_INTEGRITY}
+
+    def test_privileged_adversaries(self):
+        attackers = {threat.attacker for threat in THREATS}
+        assert Attacker.CLOUD_PROVIDER in attackers
+        assert Attacker.HOST_ADMIN in attackers
+
+    def test_names_unique(self):
+        names = [threat.name for threat in THREATS]
+        assert len(names) == len(set(names))
+
+
+class TestMitigation:
+    def test_baremetal_mitigates_nothing(self):
+        assert coverage_score("baremetal") == 0.0
+
+    def test_vm_mitigates_nothing(self):
+        """A plain VM gives no protection against the host (§II)."""
+        assert coverage_score("vm") == 0.0
+
+    def test_cpu_tees_cover_everything(self):
+        assert coverage_score("tdx") == 1.0
+        assert coverage_score("sgx") == 1.0
+
+    def test_cgpu_leaves_hbm_and_links_open(self):
+        """The paper's cGPU caveats: HBM unencrypted, NVLink unprotected."""
+        open_threats = {threat.name for threat in uncovered("cgpu")}
+        assert open_threats == {"interconnect-snoop",
+                                "accelerator-memory-scrape"}
+
+    def test_b100_closes_the_gpu_gaps(self):
+        assert coverage_score("cgpu-b100") == 1.0
+
+    def test_ordering_matches_insight_11(self):
+        """CPU TEEs strictly dominate the H100 cGPU on coverage."""
+        assert coverage_score("tdx") > coverage_score("cgpu")
+        assert coverage_score("cgpu") > coverage_score("baremetal")
+
+    def test_memory_scrape_needs_encryption(self):
+        scrape = next(t for t in THREATS if t.name == "memory-scrape")
+        assert mitigates(backend_by_name("tdx"), scrape)
+        assert not mitigates(backend_by_name("baremetal"), scrape)
+
+    def test_coverage_map_complete(self):
+        assert set(coverage("tdx")) == {t.name for t in THREATS}

@@ -1,0 +1,68 @@
+"""Synthetic prompts and request streams."""
+
+import pytest
+
+from repro.llm.tokenizer import HashTokenizer
+from repro.workloads.prompts import (
+    request_stream,
+    synthetic_prompt,
+    verify_prompt_length,
+)
+
+
+class TestSyntheticPrompt:
+    def test_exact_token_count(self):
+        prompt = synthetic_prompt(137)
+        assert HashTokenizer().count(prompt) == 137
+
+    def test_verify_helper(self):
+        prompt = synthetic_prompt(64, domain="finance")
+        assert verify_prompt_length(prompt, 64)
+        assert not verify_prompt_length(prompt, 65)
+
+    def test_deterministic(self):
+        assert synthetic_prompt(32, seed=3) == synthetic_prompt(32, seed=3)
+
+    def test_domains_differ(self):
+        health = synthetic_prompt(32, domain="healthcare", seed=1)
+        legal = synthetic_prompt(32, domain="legal", seed=1)
+        assert health != legal
+
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError):
+            synthetic_prompt(8, domain="astrology")
+
+    def test_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            synthetic_prompt(0)
+
+
+class TestRequestStream:
+    def test_count(self):
+        assert len(request_stream(25)) == 25
+
+    def test_deterministic(self):
+        a = request_stream(10, seed=9)
+        b = request_stream(10, seed=9)
+        assert a == b
+
+    def test_lengths_clamped(self):
+        requests = request_stream(200, mean_prompt=256, mean_output=64)
+        assert all(16 <= r.prompt_tokens <= 1024 for r in requests)
+        assert all(16 <= r.output_tokens <= 256 for r in requests)
+
+    def test_mean_roughly_respected(self):
+        requests = request_stream(500, mean_prompt=512, seed=0)
+        mean = sum(r.prompt_tokens for r in requests) / len(requests)
+        assert 300 < mean < 900
+
+    def test_domains_assigned(self):
+        domains = {r.domain for r in request_stream(100)}
+        assert domains <= {"healthcare", "finance", "legal"}
+        assert len(domains) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            request_stream(0)
+        with pytest.raises(ValueError):
+            request_stream(5, mean_prompt=4)
