@@ -8,12 +8,11 @@ a nonnegative share and (b) memory encryption is the dominant TEE cost
 for the memory-bound decode — the paper's §IV-B conclusion.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment, gpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.engine.placement import Deployment, Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
 from repro.tee.base import MechanismToggles
@@ -33,9 +32,9 @@ def with_toggles(deployment: Deployment, **off: bool) -> Deployment:
 def regenerate() -> dict:
     workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1, input_tokens=1024,
                         output_tokens=64)
-    base = simulate_generation(workload, cpu_deployment(
+    base = simulate_cached(workload, cpu_deployment(
         "baremetal", sockets_used=1))
-    tdx_full = simulate_generation(workload, cpu_deployment(
+    tdx_full = simulate_cached(workload, cpu_deployment(
         "tdx", sockets_used=1))
     full_overhead = throughput_overhead(tdx_full, base)
 
@@ -43,7 +42,7 @@ def regenerate() -> dict:
     contributions = {}
     for mechanism in ("memory_encryption", "nested_walks",
                       "virtualization_tax"):
-        ablated = simulate_generation(workload, with_toggles(
+        ablated = simulate_cached(workload, with_toggles(
             cpu_deployment("tdx", sockets_used=1), **{mechanism: True}))
         remaining = throughput_overhead(ablated, base)
         contributions[mechanism] = full_overhead - remaining
@@ -55,9 +54,9 @@ def regenerate() -> dict:
 
     # cGPU: fixed step tax vs proportional rate derate.
     gpu_workload = workload.with_(batch_size=4)
-    gpu = simulate_generation(gpu_workload, gpu_deployment(confidential=False))
-    cgpu = simulate_generation(gpu_workload, gpu_deployment(confidential=True))
-    cgpu_no_fixed = simulate_generation(gpu_workload, with_toggles(
+    gpu = simulate_cached(gpu_workload, gpu_deployment(confidential=False))
+    cgpu = simulate_cached(gpu_workload, gpu_deployment(confidential=True))
+    cgpu_no_fixed = simulate_cached(gpu_workload, with_toggles(
         gpu_deployment(confidential=True), step_fixed=True))
     cgpu_full = throughput_overhead(cgpu, gpu, include_prefill=True)
     cgpu_wo_fixed = throughput_overhead(cgpu_no_fixed, gpu,

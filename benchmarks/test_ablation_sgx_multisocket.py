@@ -7,12 +7,11 @@ prohibitively large, up to ~230%, predominantly due to the missing NUMA
 support rather than the interconnect encryption itself.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.hardware.cpu import EMR1
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
@@ -27,10 +26,10 @@ def regenerate() -> dict:
     rows = []
     runs = {}
     for sockets in (1, 2):
-        base = simulate_generation(workload, cpu_deployment(
+        base = simulate_cached(workload, cpu_deployment(
             "baremetal", cpu=EMR1, sockets_used=sockets,
             hugepages=HugepagePolicy.RESERVED_1G))
-        sgx = simulate_generation(workload, cpu_deployment(
+        sgx = simulate_cached(workload, cpu_deployment(
             "sgx", cpu=EMR1, sockets_used=sockets))
         runs[sockets] = (base, sgx)
         rows.append({
@@ -46,7 +45,7 @@ def regenerate() -> dict:
         placement=sgx_no_crypto.placement, backend=sgx_no_crypto.backend,
         framework=sgx_no_crypto.framework,
         toggles=MechanismToggles(upi_crypto=False, memory_encryption=False))
-    no_crypto = simulate_generation(workload, sgx_no_crypto)
+    no_crypto = simulate_cached(workload, sgx_no_crypto)
     numa_only = throughput_overhead(no_crypto, runs[2][0])
     return {"rows": rows, "runs": runs, "numa_only_overhead": numa_only}
 

@@ -7,12 +7,11 @@ more than eight times, from ~5% to ~42%; the paper therefore disables
 SNC for all other experiments.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
 
@@ -22,9 +21,9 @@ def regenerate() -> list[dict]:
                         output_tokens=64, beam_size=4)
     rows = []
     for clusters in (1, 2):
-        base = simulate_generation(workload, cpu_deployment(
+        base = simulate_cached(workload, cpu_deployment(
             "baremetal", sockets_used=1, snc_clusters=clusters))
-        tdx = simulate_generation(workload, cpu_deployment(
+        tdx = simulate_cached(workload, cpu_deployment(
             "tdx", sockets_used=1, snc_clusters=clusters))
         rows.append({
             "snc_clusters": clusters,

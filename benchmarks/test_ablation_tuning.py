@@ -11,12 +11,11 @@ Three configuration findings the paper reports while tuning the TEEs:
 
 import dataclasses
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import throughput_overhead
-from repro.engine.placement import Deployment, Workload
-from repro.engine.simulator import simulate_generation
+from repro.engine.placement import Workload
 from repro.hardware.cpu import EMR2
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
@@ -25,20 +24,20 @@ from repro.llm.datatypes import BFLOAT16
 def regenerate() -> dict:
     workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=16,
                         input_tokens=1024, output_tokens=64)
-    base = simulate_generation(workload, cpu_deployment(
+    base = simulate_cached(workload, cpu_deployment(
         "tdx", sockets_used=1))
 
-    hyperthreads = simulate_generation(workload, cpu_deployment(
+    hyperthreads = simulate_cached(workload, cpu_deployment(
         "tdx", sockets_used=1, expose_hyperthreads=True))
-    glibc = simulate_generation(workload, cpu_deployment(
+    glibc = simulate_cached(workload, cpu_deployment(
         "tdx", sockets_used=1, tcmalloc=False))
 
     # Undersized EPC: shrink the spec's enclave page cache below the
     # model's working set and watch SGX start paging.
     small_epc_cpu = dataclasses.replace(EMR2, sgx_epc_per_socket=8 * 2**30)
-    sgx_ok = simulate_generation(workload, cpu_deployment(
+    sgx_ok = simulate_cached(workload, cpu_deployment(
         "sgx", sockets_used=1))
-    sgx_small = simulate_generation(workload, cpu_deployment(
+    sgx_small = simulate_cached(workload, cpu_deployment(
         "sgx", cpu=small_epc_cpu, sockets_used=1))
 
     rows = [

@@ -7,12 +7,11 @@ bench projects exactly that: the CPU-measured memory-encryption derate
 applied to B100 HBM, swept over batch size.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import gpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.hardware.gpu import B100
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
@@ -26,11 +25,11 @@ def regenerate() -> dict:
     for batch in BATCHES:
         workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
                             input_tokens=512, output_tokens=64)
-        raw = simulate_generation(
+        raw = simulate_cached(
             workload, gpu_deployment(confidential=False, gpu=B100))
-        cc_h100_style = simulate_generation(
+        cc_h100_style = simulate_cached(
             workload, gpu_deployment(gpu=B100, backend="cgpu"))
-        cc_full = simulate_generation(
+        cc_full = simulate_cached(
             workload, gpu_deployment(gpu=B100, backend="cgpu-b100"))
         without_hbm = throughput_overhead(cc_h100_style, raw,
                                           include_prefill=True)

@@ -7,11 +7,10 @@ This bench runs Llama2-70B (which does not fit one H100) offloaded vs a
 two-socket TDX deployment.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_70B
 from repro.llm.datatypes import BFLOAT16
 from repro.scaleout.offload import required_host_fraction, simulate_offloaded
@@ -23,7 +22,7 @@ def regenerate() -> dict:
     fraction = required_host_fraction(workload)
     plain = simulate_offloaded(workload, fraction, confidential=False)
     secure = simulate_offloaded(workload, fraction, confidential=True)
-    tdx = simulate_generation(workload, cpu_deployment("tdx",
+    tdx = simulate_cached(workload, cpu_deployment("tdx",
                                                        sockets_used=2))
     rows = [
         {"config": "gpu+offload", "tput_tok_s": plain.throughput_tok_s,

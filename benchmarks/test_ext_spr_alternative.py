@@ -6,13 +6,12 @@ provides an even more affordable alternative".  This bench runs the
 Fig. 12 cost analysis on the SPR spec with the discounted rate.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.cost.efficiency import cpu_cost_point
 from repro.cost.pricing import GCP_SPOT_US_EAST1
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.hardware.cpu import EMR2, SPR
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
@@ -27,9 +26,9 @@ def regenerate() -> dict:
     for batch in BATCHES:
         workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
                             input_tokens=128, output_tokens=128)
-        emr = simulate_generation(workload, cpu_deployment(
+        emr = simulate_cached(workload, cpu_deployment(
             "tdx", cpu=EMR2, sockets_used=1, cores_per_socket_used=CORES))
-        spr = simulate_generation(workload, cpu_deployment(
+        spr = simulate_cached(workload, cpu_deployment(
             "tdx", cpu=SPR, sockets_used=1, cores_per_socket_used=CORES))
         emr_point = cpu_cost_point(emr, vcpus=CORES,
                                    catalog=GCP_SPOT_US_EAST1, label="emr")

@@ -4,12 +4,11 @@
 Paper: TEEs for LLMs incur only 4-7% throughput reduction.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import Experiment, cpu_deployment, gpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.hardware.cpu import EMR1
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
@@ -26,8 +25,8 @@ def regenerate() -> list[dict]:
             "tdx": cpu_deployment("tdx", cpu=EMR1, sockets_used=1),
         }).run()
     gpu_workload = workload.with_(beam_size=1)
-    gpu = simulate_generation(gpu_workload, gpu_deployment(confidential=False))
-    cgpu = simulate_generation(gpu_workload, gpu_deployment(confidential=True))
+    gpu = simulate_cached(gpu_workload, gpu_deployment(confidential=False))
+    cgpu = simulate_cached(gpu_workload, gpu_deployment(confidential=True))
 
     rows = []
     for label in ("sgx", "tdx"):

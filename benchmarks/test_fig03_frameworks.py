@@ -6,11 +6,10 @@ IPEX is the fastest (AMX + oneCCL); vLLM is ~50% slower; Hugging Face
 behind IPEX.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.hardware.cpu import EMR1
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16, FLOAT32
@@ -30,7 +29,7 @@ def regenerate() -> list[dict]:
                         output_tokens=128)
     rows = []
     for label, framework, dtype in CASES:
-        result = simulate_generation(
+        result = simulate_cached(
             workload.with_(dtype=dtype),
             cpu_deployment("baremetal", cpu=EMR1, framework=framework,
                            sockets_used=1))

@@ -7,13 +7,12 @@ int8 roughly halves latency at similar throughput; all systems stay
 under the 200 ms/word reading-speed bar.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.metrics import latency_stats
 from repro.core.overhead import latency_overhead, throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.hardware.cpu import EMR1
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16, INT8
@@ -28,10 +27,10 @@ def regenerate() -> list[dict]:
         latency_runs = {}
         for backend in BACKENDS:
             deployment = cpu_deployment(backend, cpu=EMR1, sockets_used=1)
-            throughput_runs[backend] = simulate_generation(
+            throughput_runs[backend] = simulate_cached(
                 Workload(LLAMA2_7B, dtype, 6, 1024, 128, beam_size=4),
                 deployment)
-            latency_runs[backend] = simulate_generation(
+            latency_runs[backend] = simulate_cached(
                 Workload(LLAMA2_7B, dtype, 1, 1024, 128), deployment)
         for backend in BACKENDS:
             stats = latency_stats(latency_runs[backend].latency_samples_s)

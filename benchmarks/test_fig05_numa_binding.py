@@ -7,12 +7,11 @@ with considerable latency overhead over VM-B; the 200 ms service level
 is no longer upheld by any of them.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import latency_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.hardware.cpu import EMR1
 from repro.llm.config import LLAMA2_70B
 from repro.llm.datatypes import BFLOAT16
@@ -24,7 +23,7 @@ def regenerate() -> list[dict]:
     runs = {}
     for label, backend in (("vm-bound", "vm"), ("vm-unbound", "vm-unbound"),
                            ("tdx", "tdx")):
-        runs[label] = simulate_generation(workload, cpu_deployment(
+        runs[label] = simulate_cached(workload, cpu_deployment(
             backend, cpu=EMR1, sockets_used=2))
     rows = []
     for label, result in runs.items():

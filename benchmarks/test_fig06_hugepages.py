@@ -6,12 +6,11 @@ Paper bands: TDX 12.11-23.81% over bare metal, TDX over VM-TH 4-10%,
 VM-TH over VM-FH 3.19-5.20%.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import latency_overhead, throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.hardware.cpu import EMR1
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
@@ -32,8 +31,8 @@ def regenerate() -> dict:
     for label, (backend, pages) in configs.items():
         deployment = cpu_deployment(backend, cpu=EMR1, sockets_used=2,
                                     hugepages=pages)
-        runs[label] = (simulate_generation(throughput_workload, deployment),
-                       simulate_generation(latency_workload, deployment))
+        runs[label] = (simulate_cached(throughput_workload, deployment),
+                       simulate_cached(latency_workload, deployment))
     rows = []
     for label, (tput_run, lat_run) in runs.items():
         rows.append({

@@ -7,11 +7,10 @@ and the linear-SiLU MLP dominate raw cost and carry the memory-
 encryption overhead.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.engine.trace import (
     block_layer_summary,
     decoder_block_share,
@@ -26,7 +25,7 @@ def regenerate() -> dict:
                         output_tokens=128)
     traces = {}
     for backend in ("baremetal", "tdx"):
-        result = simulate_generation(
+        result = simulate_cached(
             workload, cpu_deployment(backend, sockets_used=1),
             record_steps=True)
         traces[backend] = result.decode_trace()

@@ -9,12 +9,11 @@ latency on two sockets — our mechanistic model reproduces the latency
 collapse and overshoots the throughput one; see EXPERIMENTS.md).
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import latency_overhead, throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16, INT8
 
@@ -28,13 +27,13 @@ def regenerate() -> dict:
     for batch in BATCHES:
         workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
                             input_tokens=128, output_tokens=128)
-        vm_amx = simulate_generation(workload, cpu_deployment(
+        vm_amx = simulate_cached(workload, cpu_deployment(
             "vm", sockets_used=1))
-        vm_noamx = simulate_generation(workload, cpu_deployment(
+        vm_noamx = simulate_cached(workload, cpu_deployment(
             "vm", sockets_used=1, amx_enabled=False))
-        tdx_amx = simulate_generation(workload, cpu_deployment(
+        tdx_amx = simulate_cached(workload, cpu_deployment(
             "tdx", sockets_used=1))
-        tdx_noamx = simulate_generation(workload, cpu_deployment(
+        tdx_noamx = simulate_cached(workload, cpu_deployment(
             "tdx", sockets_used=1, amx_enabled=False))
         advantage[batch] = (vm_amx.decode_throughput_tok_s
                             / vm_noamx.decode_throughput_tok_s)
@@ -52,15 +51,15 @@ def regenerate() -> dict:
     # int8 fallback anchors.
     int8_tput = Workload(LLAMA2_7B, INT8, batch_size=64, input_tokens=128,
                          output_tokens=64)
-    amx_t = simulate_generation(int8_tput, cpu_deployment("vm",
+    amx_t = simulate_cached(int8_tput, cpu_deployment("vm",
                                                           sockets_used=1))
-    no_t = simulate_generation(int8_tput, cpu_deployment(
+    no_t = simulate_cached(int8_tput, cpu_deployment(
         "vm", sockets_used=1, amx_enabled=False))
     int8_lat = Workload(LLAMA2_7B, INT8, batch_size=1, input_tokens=128,
                         output_tokens=64)
-    amx_l = simulate_generation(int8_lat, cpu_deployment("vm",
+    amx_l = simulate_cached(int8_lat, cpu_deployment("vm",
                                                          sockets_used=2))
-    no_l = simulate_generation(int8_lat, cpu_deployment(
+    no_l = simulate_cached(int8_lat, cpu_deployment(
         "vm", sockets_used=2, amx_enabled=False))
     int8 = {
         "tput_overhead": throughput_overhead(no_t, amx_t),

@@ -7,12 +7,11 @@ overhead (memory encryption) shrinks — int8 from 9-11% to <=6% by batch
 correlation (socket-interconnect traffic grows too).
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import latency_overhead, throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16, INT8
 
@@ -26,13 +25,13 @@ def regenerate() -> dict:
         for batch in BATCHES:
             workload = Workload(LLAMA2_7B, dtype, batch_size=batch,
                                 input_tokens=128, output_tokens=128)
-            base_1s = simulate_generation(workload, cpu_deployment(
+            base_1s = simulate_cached(workload, cpu_deployment(
                 "baremetal", sockets_used=1))
-            tdx_1s = simulate_generation(workload, cpu_deployment(
+            tdx_1s = simulate_cached(workload, cpu_deployment(
                 "tdx", sockets_used=1))
-            base_2s = simulate_generation(workload, cpu_deployment(
+            base_2s = simulate_cached(workload, cpu_deployment(
                 "baremetal", sockets_used=2))
-            tdx_2s = simulate_generation(workload, cpu_deployment(
+            tdx_2s = simulate_cached(workload, cpu_deployment(
                 "tdx", sockets_used=2))
             tput_overhead = throughput_overhead(tdx_1s, base_1s)
             series[(dtype.name, batch)] = tput_overhead

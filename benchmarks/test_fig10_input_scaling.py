@@ -12,12 +12,11 @@ decode-only overhead rises at large inputs (the terminal-regime signal).
 EXPERIMENTS.md discusses the blend difference with the paper's plot.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16, INT8
 
@@ -31,9 +30,9 @@ def regenerate() -> dict:
         for input_len in INPUTS:
             workload = Workload(LLAMA2_7B, dtype, batch_size=64,
                                 input_tokens=input_len, output_tokens=128)
-            base = simulate_generation(workload, cpu_deployment(
+            base = simulate_cached(workload, cpu_deployment(
                 "baremetal", sockets_used=1))
-            tdx = simulate_generation(workload, cpu_deployment(
+            tdx = simulate_cached(workload, cpu_deployment(
                 "tdx", sockets_used=1))
             overall = throughput_overhead(tdx, base, include_prefill=True)
             decode_only = throughput_overhead(tdx, base)

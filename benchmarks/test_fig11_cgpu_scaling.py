@@ -5,12 +5,11 @@ batch and input sizes grow (fixed CC costs — encrypted command buffers,
 kernel-launch path, bounce-buffer staging — amortize over more work).
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import gpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
 
@@ -25,9 +24,9 @@ def regenerate() -> dict:
         for input_len in INPUTS:
             workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
                                 input_tokens=input_len, output_tokens=128)
-            gpu = simulate_generation(workload,
+            gpu = simulate_cached(workload,
                                       gpu_deployment(confidential=False))
-            cgpu = simulate_generation(workload,
+            cgpu = simulate_cached(workload,
                                        gpu_deployment(confidential=True))
             overhead = throughput_overhead(cgpu, gpu, include_prefill=True)
             series[(batch, input_len)] = overhead

@@ -9,7 +9,7 @@ more expensive at batch 1 and the CPU advantage fades as batch grows
 earlier — see EXPERIMENTS.md).
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment, gpu_deployment
 from repro.core.overhead import throughput_overhead
@@ -17,7 +17,6 @@ from repro.cost.efficiency import best_cpu_point, cpu_cost_point, gpu_cost_point
 from repro.cost.pricing import GCP_SPOT_US_EAST1
 from repro.engine.placement import Workload
 from repro.engine.roofline import cost_model_for
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
 from repro.llm.graph import decode_step_ops
@@ -40,8 +39,8 @@ def regenerate() -> dict:
                                         cores_per_socket_used=cores)
             base = cpu_deployment("baremetal", sockets_used=1,
                                   cores_per_socket_used=cores)
-            tdx = simulate_generation(workload, deployment)
-            baseline = simulate_generation(workload, base)
+            tdx = simulate_cached(workload, deployment)
+            baseline = simulate_cached(workload, base)
             point = cpu_cost_point(tdx, vcpus=cores,
                                    catalog=GCP_SPOT_US_EAST1)
             points.append(point)
@@ -54,7 +53,7 @@ def regenerate() -> dict:
                 "usd_per_mtok": point.usd_per_mtok,
             })
         best_points[batch] = best_cpu_point(points)
-        cgpu = simulate_generation(workload, gpu_deployment())
+        cgpu = simulate_cached(workload, gpu_deployment())
         gpu_points[batch] = gpu_cost_point(cgpu, GCP_SPOT_US_EAST1)
 
         # Locate the compute/memory-bound knee for this batch.

@@ -7,13 +7,12 @@ quadratically with input — so the CPU cost advantage collapses from a
 large positive margin to negative within a few doublings of the input.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment, gpu_deployment
 from repro.cost.efficiency import best_cpu_point, cpu_cost_point, gpu_cost_point
 from repro.cost.pricing import GCP_SPOT_US_EAST1
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
 
@@ -29,12 +28,12 @@ def regenerate() -> dict:
                             input_tokens=input_len, output_tokens=128)
         points = []
         for cores in CORES:
-            tdx = simulate_generation(workload, cpu_deployment(
+            tdx = simulate_cached(workload, cpu_deployment(
                 "tdx", sockets_used=1, cores_per_socket_used=cores))
             points.append(cpu_cost_point(tdx, vcpus=cores,
                                          catalog=GCP_SPOT_US_EAST1))
         best = best_cpu_point(points)
-        cgpu = simulate_generation(workload, gpu_deployment())
+        cgpu = simulate_cached(workload, gpu_deployment())
         gpu_point = gpu_cost_point(cgpu, GCP_SPOT_US_EAST1)
         advantage[input_len] = gpu_point.usd_per_mtok / best.usd_per_mtok - 1
         rows.append({

@@ -8,12 +8,11 @@ variability in memory encryption."  This bench regenerates the
 distribution summaries and checks the outlier process.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.metrics import latency_stats, outlier_fraction
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
 
@@ -27,7 +26,7 @@ def regenerate() -> dict:
     rows = []
     stats = {}
     for backend in BACKENDS:
-        result = simulate_generation(
+        result = simulate_cached(
             workload, cpu_deployment(backend, sockets_used=1), seed=21)
         samples = result.latency_samples_s
         summary = latency_stats(samples)

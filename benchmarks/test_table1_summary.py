@@ -5,13 +5,12 @@ H100 cGPU, with the single-resource overhead bands measured by this
 reproduction substituted into the table.
 """
 
-from helpers import run_once
+from helpers import run_once, simulate_cached
 
 from repro.core.experiment import Experiment, cpu_deployment, gpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.core.summary import ALL_SUMMARIES, render_summary_table
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16, INT8
 from repro.tee.security import CGPU_SECURITY, SGX_SECURITY, TDX_SECURITY
@@ -34,8 +33,8 @@ def regenerate() -> dict:
     for batch in (1, 64):
         workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
                             input_tokens=512, output_tokens=64)
-        gpu = simulate_generation(workload, gpu_deployment(confidential=False))
-        cgpu = simulate_generation(workload, gpu_deployment(confidential=True))
+        gpu = simulate_cached(workload, gpu_deployment(confidential=False))
+        cgpu = simulate_cached(workload, gpu_deployment(confidential=True))
         bands["cgpu"].append(throughput_overhead(cgpu, gpu,
                                                  include_prefill=True))
     measured = {name: (min(values), max(values))

@@ -5,12 +5,11 @@ transformers — Llama3 8B, GPT-J 6B, Falcon 7B, Baichuan2 7B, Qwen 7B —
 reporting TDX overheads of 3.1-13.1%, in line with the Llama2 results.
 """
 
-from helpers import print_rows, run_once
+from helpers import print_rows, run_once, simulate_cached
 
 from repro.core.experiment import cpu_deployment
 from repro.core.overhead import throughput_overhead
 from repro.engine.placement import Workload
-from repro.engine.simulator import simulate_generation
 from repro.llm.config import LLAMA2_7B, VALIDATION_MODELS
 from repro.llm.datatypes import BFLOAT16
 
@@ -20,9 +19,9 @@ def regenerate() -> list[dict]:
     for model in (LLAMA2_7B,) + VALIDATION_MODELS:
         workload = Workload(model, BFLOAT16, batch_size=1,
                             input_tokens=1024, output_tokens=64)
-        base = simulate_generation(workload, cpu_deployment(
+        base = simulate_cached(workload, cpu_deployment(
             "baremetal", sockets_used=1))
-        tdx = simulate_generation(workload, cpu_deployment(
+        tdx = simulate_cached(workload, cpu_deployment(
             "tdx", sockets_used=1))
         rows.append({
             "model": model.name,

@@ -1,0 +1,161 @@
+"""Simulator performance benchmark: hot paths, caches, suite wall-clock.
+
+Times the simulator's hot paths (cold vs. warm, vectorized vs. reference
+loop, a representative sweep), collects the memo-cache counters from
+``repro.core.profiling``, and optionally times the tier-1 test suite
+against a wall-clock budget.  Results are written as JSON so the numbers
+can be committed (``BENCH_sim.json``) and compared across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py                 # micro benches
+    PYTHONPATH=src python scripts/bench.py --suite         # + pytest timing
+    PYTHONPATH=src python scripts/bench.py --suite --budget-s 40
+    PYTHONPATH=src python scripts/bench.py --out BENCH_sim.json
+
+With ``--budget-s`` the script exits non-zero when the suite exceeds the
+budget — CI uses this to fail if the suite regresses past 2x the
+post-optimization baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.experiment import cpu_deployment, gpu_deployment
+from repro.core.profiling import cache_stats, reset_caches
+from repro.core.sweep import sweep_workload
+from repro.engine.placement import Workload
+from repro.engine.simulator import simulate_generation
+from repro.llm.config import LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WORKLOAD = Workload(LLAMA2_7B, BFLOAT16, batch_size=4, input_tokens=128,
+                    output_tokens=128)
+DEPLOYMENTS = {
+    "baremetal": cpu_deployment("baremetal", sockets_used=1),
+    "tdx": cpu_deployment("tdx", sockets_used=1),
+    "sgx": cpu_deployment("sgx", sockets_used=1),
+    "cgpu": gpu_deployment(confidential=True),
+}
+
+
+def _time(func, repeats: int = 5) -> dict:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return {
+        "best_s": min(samples),
+        "mean_s": statistics.fmean(samples),
+        "repeats": repeats,
+    }
+
+
+def micro_benchmarks() -> dict:
+    tdx = DEPLOYMENTS["tdx"]
+    results = {}
+
+    # Cold: every graph, engine and step cost built from scratch.
+    reset_caches()
+    start = time.perf_counter()
+    simulate_generation(WORKLOAD, tdx)
+    results["simulate_7b_cold"] = {"best_s": time.perf_counter() - start,
+                                   "repeats": 1}
+
+    # Warm: everything but the noise draw comes out of the caches.
+    results["simulate_7b_warm"] = _time(
+        lambda: simulate_generation(WORKLOAD, tdx))
+
+    # Engine comparison at exact stride-1 resolution (parity-tested).
+    results["decode_vectorized_stride1"] = _time(
+        lambda: simulate_generation(WORKLOAD, tdx, context_stride=1,
+                                    engine="vectorized"))
+    results["decode_loop_stride1"] = _time(
+        lambda: simulate_generation(WORKLOAD, tdx, context_stride=1,
+                                    engine="loop"), repeats=3)
+
+    # A representative sweep (warm caches; what figures actually run).
+    results["sweep_batch_4pts"] = _time(
+        lambda: sweep_workload("bench", WORKLOAD, DEPLOYMENTS, "batch_size",
+                               [1, 4, 16, 64]), repeats=3)
+    return results
+
+
+def suite_benchmark() -> dict:
+    """Wall-clock of the tier-1 suite in a fresh interpreter."""
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    cmd = [sys.executable, "-m", "pytest", "-x", "-q",
+           "-p", "no:cacheprovider"]
+    start = time.perf_counter()
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True,
+                          env=env)
+    wall_s = time.perf_counter() - start
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    return {"wall_s": wall_s, "returncode": proc.returncode, "summary": tail}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", action="store_true",
+                        help="also time the tier-1 pytest suite")
+    parser.add_argument("--budget-s", type=float, default=None,
+                        help="fail (exit 1) if the suite exceeds this budget")
+    parser.add_argument("--baseline-s", type=float, default=None,
+                        help="pre-optimization suite wall-clock to record "
+                             "alongside the measurement")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": "repro-bench/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "micro": micro_benchmarks(),
+        "caches": {name: {"hits": s.hits, "misses": s.misses,
+                          "hit_rate": round(s.hit_rate, 4),
+                          "size": s.size, "evictions": s.evictions}
+                   for name, s in sorted(cache_stats().items())},
+    }
+    micro = report["micro"]
+    speedup = (micro["decode_loop_stride1"]["best_s"]
+               / micro["decode_vectorized_stride1"]["best_s"])
+    report["vectorized_speedup_x"] = round(speedup, 1)
+
+    if args.suite or args.budget_s is not None:
+        report["suite"] = suite_benchmark()
+        if args.baseline_s is not None:
+            report["suite"]["baseline_wall_s"] = args.baseline_s
+            report["suite"]["speedup_vs_baseline_x"] = round(
+                args.baseline_s / report["suite"]["wall_s"], 1)
+
+    out = json.dumps(report, indent=2, sort_keys=False)
+    print(out)
+    if args.out:
+        args.out.write_text(out + "\n")
+
+    suite = report.get("suite")
+    if suite and suite["returncode"] != 0:
+        print("FAIL: test suite failed", file=sys.stderr)
+        return suite["returncode"]
+    if suite and args.budget_s is not None and suite["wall_s"] > args.budget_s:
+        print(f"FAIL: suite took {suite['wall_s']:.1f}s "
+              f"> budget {args.budget_s:.1f}s", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

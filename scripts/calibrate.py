@@ -1,12 +1,11 @@
 """Calibration sweep: print every paper anchor vs the simulator."""
 
 from repro import Workload, cpu_deployment, gpu_deployment, simulate_generation
-from repro.core.overhead import compare, latency_overhead, throughput_overhead
-from repro.cost import GCP_SPOT_US_EAST1, cost_per_million_tokens, cpu_cost_point, gpu_cost_point
-from repro.frameworks import cpu_frameworks, framework_by_name
+from repro.core.overhead import latency_overhead, throughput_overhead
+from repro.cost import GCP_SPOT_US_EAST1, cpu_cost_point, gpu_cost_point
 from repro.hardware import EMR1, EMR2
 from repro.llm import BFLOAT16, FLOAT32, INT8, LLAMA2_7B, LLAMA2_70B, VALIDATION_MODELS
-from repro.memsim import HugepagePolicy, NumaPolicy
+from repro.memsim import HugepagePolicy
 
 
 def sim(w, d, **kw):

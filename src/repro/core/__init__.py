@@ -42,6 +42,16 @@ from .pipeline import (
     ProvisioningReport,
     stream_cipher,
 )
+from .profiling import (
+    CacheStats,
+    TimerStat,
+    cache_report,
+    cache_stats,
+    reset_caches,
+    reset_timers,
+    timed,
+    timer_stats,
+)
 from .summary import (
     ALL_SUMMARIES,
     CGPU_SUMMARY,
@@ -73,6 +83,8 @@ __all__ = [
     "practical_mechanisms",
     "ConfidentialPipeline", "PipelineResponse", "ProvisioningReport",
     "stream_cipher",
+    "CacheStats", "TimerStat", "cache_report", "cache_stats",
+    "reset_caches", "reset_timers", "timed", "timer_stats",
     "ALL_SUMMARIES", "CGPU_SUMMARY", "SGX_SUMMARY", "TDX_SUMMARY",
     "SystemSummary", "Trend", "render_summary_table",
     "is_monotonic", "metric_series", "overhead_series",

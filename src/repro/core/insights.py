@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..engine.placement import Workload
-from ..hardware.cpu import EMR2
 from ..llm.config import LLAMA2_7B, LLAMA2_70B
 from ..llm.datatypes import BFLOAT16
 from ..memsim.pages import HugepagePolicy

@@ -19,7 +19,6 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..engine.placement import CpuPlacement, Deployment, Workload
 from ..engine.simulator import GenerationResult, simulate_generation

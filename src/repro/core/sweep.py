@@ -4,60 +4,108 @@ Most figures are sweeps: batch size (Figs. 8-9), input length
 (Figs. 10-11, 13), core count (Fig. 12).  A sweep runs an experiment per
 parameter value and flattens the results into rows a harness can print
 or assert on.
+
+Sweeps run serially by default; pass ``parallel=True`` to fan the
+per-value experiments out over a process pool.  Parallel execution is
+deterministic and seed-stable: each experiment carries its own derived
+seed, workers return complete :class:`ExperimentResult` objects, and the
+merge preserves the caller's value order — a parallel sweep is
+bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable
 
 from ..engine.placement import Deployment, Workload
 from .experiment import Experiment, ExperimentResult
 
 
+def _run_experiment(experiment: Experiment) -> ExperimentResult:
+    """Top-level worker entry point (must be picklable)."""
+    return experiment.run()
+
+
+def _run_all(experiments: list[Experiment], parallel: bool,
+             max_workers: int | None) -> list[ExperimentResult]:
+    """Run experiments serially or over a process pool, preserving order."""
+    if not parallel or len(experiments) < 2:
+        return [experiment.run() for experiment in experiments]
+    workers = max_workers or min(len(experiments), os.cpu_count() or 1)
+    workers = max(1, min(workers, len(experiments)))
+    if workers == 1:
+        return [experiment.run() for experiment in experiments]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_experiment, experiments))
+
+
 def sweep_workload(name: str, base: Workload,
                    deployments: dict[str, Deployment], parameter: str,
                    values: list[int], baseline_label: str = "baremetal",
-                   seed: int = 0) -> dict[int, ExperimentResult]:
+                   seed: int = 0, engine: str = "auto",
+                   parallel: bool = False,
+                   max_workers: int | None = None) -> dict[int, ExperimentResult]:
     """Run one experiment per value of a workload parameter.
 
     Args:
         parameter: Workload field to vary (``batch_size``,
             ``input_tokens``, ...).
+        engine: Decode-cost engine forwarded to each experiment.
+        parallel: Fan the per-value experiments out over a process pool.
+        max_workers: Pool size (defaults to ``min(len(values), cpus)``).
 
     Returns:
-        Mapping from parameter value to that experiment's result.
+        Mapping from parameter value to that experiment's result, in the
+        order of ``values`` regardless of execution mode.
     """
     if not values:
         raise ValueError("values must be non-empty")
-    outcomes = {}
-    for value in values:
-        workload = base.with_(**{parameter: value})
-        experiment = Experiment(
-            name=f"{name}[{parameter}={value}]", workload=workload,
-            deployments=deployments, baseline_label=baseline_label, seed=seed)
-        outcomes[value] = experiment.run()
-    return outcomes
+    experiments = [
+        Experiment(name=f"{name}[{parameter}={value}]",
+                   workload=base.with_(**{parameter: value}),
+                   deployments=deployments, baseline_label=baseline_label,
+                   seed=seed, engine=engine)
+        for value in values
+    ]
+    results = _run_all(experiments, parallel, max_workers)
+    return dict(zip(values, results))
 
 
 def sweep_deployments(name: str, workload: Workload,
                       make_deployments: Callable[[int], dict[str, Deployment]],
                       values: list[int], baseline_label: str = "baremetal",
-                      seed: int = 0) -> dict[int, ExperimentResult]:
+                      seed: int = 0, engine: str = "auto",
+                      parallel: bool = False,
+                      max_workers: int | None = None) -> dict[int, ExperimentResult]:
     """Run one experiment per deployment variant (e.g. core counts).
 
     Args:
-        make_deployments: Builds the labelled deployments for one value.
+        make_deployments: Builds the labelled deployments for one value
+            (called in the parent process; only the built experiments are
+            shipped to workers under ``parallel=True``).
     """
     if not values:
         raise ValueError("values must be non-empty")
-    outcomes = {}
-    for value in values:
-        experiment = Experiment(
-            name=f"{name}[{value}]", workload=workload,
-            deployments=make_deployments(value),
-            baseline_label=baseline_label, seed=seed)
-        outcomes[value] = experiment.run()
-    return outcomes
+    experiments = [
+        Experiment(name=f"{name}[{value}]", workload=workload,
+                   deployments=make_deployments(value),
+                   baseline_label=baseline_label, seed=seed, engine=engine)
+        for value in values
+    ]
+    results = _run_all(experiments, parallel, max_workers)
+    return dict(zip(values, results))
+
+
+def _series_result(outcomes: dict[int, ExperimentResult], value: int,
+                   label: str) -> ExperimentResult:
+    outcome = outcomes[value]
+    if label not in outcome.results:
+        raise KeyError(
+            f"label {label!r} not in sweep outcome for value {value}; "
+            f"known labels: {sorted(outcome.results)}")
+    return outcome
 
 
 def overhead_series(outcomes: dict[int, ExperimentResult], label: str,
@@ -66,11 +114,16 @@ def overhead_series(outcomes: dict[int, ExperimentResult], label: str,
 
     Args:
         metric: ``"throughput"`` or ``"latency"``.
+
+    Raises:
+        KeyError: If ``label`` is missing from any outcome (the error
+            names the offending value and the known labels).
     """
     if metric not in ("throughput", "latency"):
         raise ValueError("metric must be 'throughput' or 'latency'")
     series = {}
-    for value, outcome in outcomes.items():
+    for value in outcomes:
+        outcome = _series_result(outcomes, value, label)
         report = outcome.overhead(label)
         series[value] = (report.throughput_overhead if metric == "throughput"
                          else report.latency_overhead)
@@ -79,9 +132,14 @@ def overhead_series(outcomes: dict[int, ExperimentResult], label: str,
 
 def metric_series(outcomes: dict[int, ExperimentResult], label: str,
                   metric: str = "decode_throughput_tok_s") -> dict[int, float]:
-    """Extract a raw-metric series (attribute of GenerationResult)."""
+    """Extract a raw-metric series (attribute of GenerationResult).
+
+    Raises:
+        KeyError: If ``label`` is missing from any outcome.
+    """
     series = {}
-    for value, outcome in outcomes.items():
+    for value in outcomes:
+        outcome = _series_result(outcomes, value, label)
         series[value] = getattr(outcome.results[label], metric)
     return series
 
@@ -89,6 +147,8 @@ def metric_series(outcomes: dict[int, ExperimentResult], label: str,
 def is_monotonic(series: dict[int, float], decreasing: bool = True,
                  tolerance: float = 0.0) -> bool:
     """Whether a series moves monotonically with the parameter.
+
+    Keys are sorted before comparison, so insertion order never matters.
 
     Args:
         tolerance: Allowed counter-movement per step (absolute).

@@ -13,9 +13,19 @@ from .roofline import (
     OpCost,
     StepCost,
     WorkingSets,
+    WorkingSetsVec,
     cost_model_for,
+    gpu_io_bytes,
 )
-from .simulator import GenerationResult, simulate_encode, simulate_generation
+from .simulator import (
+    ENGINES,
+    GenerationResult,
+    decode_step_cost,
+    prefill_step_cost,
+    simulate_encode,
+    simulate_generation,
+)
+from .vectorized import DecodeCostEngine, decode_cost_engine
 from .trace import (
     LayerStat,
     TraceEvent,
@@ -29,8 +39,10 @@ __all__ = [
     "CpuPlacement", "Deployment", "GpuPlacement", "Workload",
     "weight_footprint",
     "CpuCostModel", "GpuCostModel", "OpCost", "StepCost", "WorkingSets",
-    "cost_model_for",
-    "GenerationResult", "simulate_encode", "simulate_generation",
+    "WorkingSetsVec", "cost_model_for", "gpu_io_bytes",
+    "ENGINES", "GenerationResult", "decode_step_cost", "prefill_step_cost",
+    "simulate_encode", "simulate_generation",
+    "DecodeCostEngine", "decode_cost_engine",
     "LayerStat", "TraceEvent", "block_layer_summary", "decoder_block_share",
     "events_from_step", "layer_overheads",
 ]

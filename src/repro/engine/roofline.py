@@ -15,6 +15,9 @@ This is where every mechanism from :mod:`repro.memsim` and
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..hardware.engines import (
     AVX512_RATES,
@@ -23,9 +26,9 @@ from ..hardware.engines import (
     is_fallback_path,
 )
 from ..llm.datatypes import DType
-from ..llm.ops import Operator, OpCategory
+from ..llm.ops import AffineOp, Operator, OpCategory, Phase
 from ..memsim.cache import CacheModel
-from ..memsim.epc import paging_overhead_s
+from ..memsim.epc import EPC_FAULT_S, paging_fraction_vec, paging_overhead_s
 from ..memsim.numa import (
     NumaPolicy,
     effective_bandwidth,
@@ -33,9 +36,14 @@ from ..memsim.numa import (
     sub_numa_misplacement,
 )
 from ..memsim.pages import PAGE_4K, HugepagePolicy
-from ..memsim.tlb import WalkModel, streaming_miss_rate, translation_time
+from ..memsim.tlb import (
+    WalkModel,
+    streaming_miss_rate,
+    streaming_miss_rate_vec,
+    translation_time,
+)
 from . import calibration as cal
-from .placement import CpuPlacement, Deployment, GpuPlacement
+from .placement import CpuPlacement, Deployment, GpuPlacement, Workload
 
 #: Fraction of THP-managed memory actually backed by 2 MB pages; the
 #: rest fragments to 4 KB (why reserved 1 GB pages still win, Fig. 6).
@@ -60,6 +68,27 @@ class WorkingSets:
     weights: float
     kv: float
     activations: float
+
+
+@dataclass(frozen=True)
+class WorkingSetsVec:
+    """Per-stream working sets across many contexts at once.
+
+    The vectorized decode path evaluates one step cost per entry of a
+    context vector; ``kv`` and ``activations`` are arrays aligned with
+    that vector while ``weights`` is context-independent.
+    """
+
+    weights: float
+    kv: np.ndarray
+    activations: np.ndarray
+
+
+def gpu_io_bytes(workload: Workload, phase: Phase) -> float:
+    """Host-device bytes staged through the (bounce) buffer per step."""
+    if phase is Phase.PREFILL:
+        return workload.sequences * workload.input_tokens * 4.0 + 4096.0
+    return workload.sequences * 8.0 + 1024.0
 
 
 @dataclass(frozen=True)
@@ -266,6 +295,82 @@ class CpuCostModel:
             tax_multiplier=tax,
         )
 
+    def step_costs_vec(self, affine_ops: Sequence[AffineOp],
+                       contexts: np.ndarray, sets: WorkingSetsVec,
+                       dtype: DType, io_bytes: float = 0.0) -> np.ndarray:
+        """Total step seconds at every context in one numpy pass.
+
+        Mirrors :meth:`step_cost` term for term (same traffic filtering,
+        translation and paging formulas, same accumulation order per
+        stream) over an affine operator set; parity with the scalar path
+        is enforced by the engine test suite to <1e-9 relative error.
+        """
+        del io_bytes  # CPU steps have no host-device staging
+        c = np.asarray(contexts, dtype=float)
+        fallback = is_fallback_path(dtype, self.amx_available)
+        bw = self.effective_bw(fallback)
+        allocator = 1.0 if self.placement.tcmalloc \
+            else cal.DEFAULT_ALLOCATOR_TRAFFIC_INFLATION
+        serial = cal.CPU_SERIAL_FRACTION
+        amdahl = serial + (1.0 - serial) / self.placement.cores
+
+        # Per-stream translation coefficients: seconds of page-walk time
+        # per DRAM-visible byte of the stream, summed over the page mix.
+        per_core_divisor = max(1, self.placement.cores)
+        stream_sets = {"weights": sets.weights, "kv": sets.kv,
+                       "activations": sets.activations}
+        walk_coeff = {stream: 0.0 for stream in stream_sets}
+        for page_bytes, fraction in self._page_mix():
+            entries = self.cpu.tlb.entries_for(page_bytes)
+            for stream, stream_ws in stream_sets.items():
+                per_core_ws = np.asarray(stream_ws, dtype=float) \
+                    * fraction / per_core_divisor
+                miss = streaming_miss_rate_vec(per_core_ws, page_bytes,
+                                               entries)
+                walk_coeff[stream] = (walk_coeff[stream]
+                                      + fraction / page_bytes * miss
+                                      * self.walk.walk_s)
+
+        # EPC paging: seconds per DRAM-visible byte (SGX only).
+        paging_coeff = 0.0
+        if self.profile.epc_limited:
+            epc = self.cpu.sgx_epc_per_socket * self.placement.sockets_used
+            ws_total = sets.weights + sets.kv + sets.activations
+            paging_coeff = (paging_fraction_vec(ws_total, epc)
+                            / PAGE_4K * EPC_FAULT_S)
+
+        total = np.zeros_like(c)
+        for aff in affine_ops:
+            if aff.base.flops == 0.0 and aff.slope.flops == 0.0:
+                compute = np.zeros_like(c)
+            else:
+                engine, rate = self._engine_for(aff.base, dtype)
+                per_core = rate * self.cpu.clock_hz * self.framework.mfu(engine)
+                compute = aff.flops(c) / per_core * amdahl
+            weight_traffic = (self._weight_traffic(aff.base, dtype, fallback)
+                              + self._weight_traffic(aff.slope, dtype,
+                                                     fallback) * c)
+            dram_w = self.llc.dram_bytes_vec(weight_traffic, sets.weights)
+            dram_kv = self.llc.dram_bytes_vec(
+                aff.kv_read_bytes(c) + aff.kv_write_bytes(c),
+                sets.kv) * allocator
+            dram_act = self.llc.dram_bytes_vec(aff.activation_bytes(c),
+                                               sets.activations) * allocator
+            memory = (dram_w + dram_kv + dram_act) / bw
+            translation = (dram_w * walk_coeff["weights"]
+                           + dram_kv * walk_coeff["kv"]
+                           + dram_act * walk_coeff["activations"]) \
+                * WALK_SERIAL_FRACTION
+            paging = (dram_w + dram_kv + dram_act) * paging_coeff
+            total = total + aff.multiplicity * (
+                np.maximum(compute, memory) + translation + paging)
+
+        tax = 1.0 + self.profile.virtualization_tax
+        if self.placement.expose_hyperthreads:
+            tax += HYPERTHREAD_TAX
+        exits = self.profile.exit_cost_s * self.profile.exits_per_step
+        return (total + exits) * tax + self.profile.step_fixed_s
+
 
 class GpuCostModel:
     """Operator cost model for (confidential) GPU deployments."""
@@ -313,6 +418,27 @@ class GpuCostModel:
             fixed_s=fixed,
             tax_multiplier=1.0,
         )
+
+    def step_costs_vec(self, affine_ops: Sequence[AffineOp],
+                       contexts: np.ndarray, sets: WorkingSetsVec,
+                       dtype: DType, io_bytes: float = 0.0) -> np.ndarray:
+        """Total step seconds at every context in one numpy pass.
+
+        Mirrors :meth:`step_cost`/:meth:`op_cost` over an affine operator
+        set; GPU ops pay no translation or paging terms.
+        """
+        del sets  # GPU HBM is not LLC-filtered at these working sets
+        c = np.asarray(contexts, dtype=float)
+        derate = 1.0 - self.profile.gpu_rate_derate
+        rate = (self.gpu.peak_flops(dtype)
+                * self.framework.mfu(Engine.CUDA_TENSOR) * derate)
+        bw = self.gpu.hbm_bw * self.framework.memory_efficiency() * derate
+        bw *= 1.0 - self.profile.mem_encryption_derate
+        total = np.zeros_like(c)
+        for aff in affine_ops:
+            total = total + aff.multiplicity * np.maximum(
+                aff.flops(c) / rate, aff.bytes_total(c) / bw)
+        return total + self.profile.step_fixed_s + self._bounce_time(io_bytes)
 
 
 def cost_model_for(deployment: Deployment) -> CpuCostModel | GpuCostModel:

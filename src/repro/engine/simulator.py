@@ -6,6 +6,18 @@ per-token latency noise and the TEE outlier process the paper filters
 with a Z-score (§III-D).  Decode-step costs are recomputed every
 ``context_stride`` tokens (costs vary smoothly with context length) to
 keep sweeps fast; ``context_stride=1`` gives the exact per-step model.
+
+Two execution engines produce the clean decode trajectory:
+
+* ``"vectorized"`` (the default via ``"auto"``) — the
+  :mod:`repro.engine.vectorized` decode-cost engine computes every
+  costed step in one numpy pass and memoizes the per-shape cost curve;
+* ``"loop"`` — the original per-token reference loop, kept as the
+  ground truth the vectorized path is tested against.
+
+Both engines draw identical noise for a given seed, and memoized step
+costs are bit-identical to uncached ones (the caches store the computed
+values, they do not approximate them).
 """
 
 from __future__ import annotations
@@ -14,12 +26,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..llm.graph import decode_step_ops, encode_ops, prefill_ops
+from ..llm.graph import cached_decode_step_ops, cached_prefill_ops
 from ..llm.ops import Operator, Phase, merge_totals
+from ..memo import MemoCache
 from . import calibration as cal
 from .placement import CpuPlacement, Deployment, Workload, weight_footprint
-from .roofline import StepCost, WorkingSets, cost_model_for
+from .roofline import (
+    CpuCostModel,
+    GpuCostModel,
+    StepCost,
+    WorkingSets,
+    cost_model_for,
+    gpu_io_bytes,
+)
 from .trace import TraceEvent, events_from_step
+from .vectorized import decode_cost_engine
+
+#: Valid values of ``simulate_generation``'s ``engine`` argument.
+ENGINES = ("auto", "vectorized", "loop")
+
+_PREFILL_COST_CACHE = MemoCache("prefill_step_cost", maxsize=256)
+_DECODE_COST_CACHE = MemoCache("decode_step_cost", maxsize=2048)
 
 
 @dataclass(frozen=True)
@@ -100,13 +127,6 @@ def _working_sets(workload: Workload, deployment: Deployment,
     )
 
 
-def _gpu_io_bytes(workload: Workload, phase: Phase) -> float:
-    """Host-device bytes staged through the (bounce) buffer per step."""
-    if phase is Phase.PREFILL:
-        return workload.sequences * workload.input_tokens * 4.0 + 4096.0
-    return workload.sequences * 8.0 + 1024.0
-
-
 def _noise(rng: np.random.Generator, clean: np.ndarray, is_tee: bool) -> np.ndarray:
     sigma = cal.BASE_NOISE_SIGMA + (cal.TEE_NOISE_SIGMA if is_tee else 0.0)
     jitter = np.exp(rng.normal(0.0, sigma, size=clean.shape) - sigma * sigma / 2.0)
@@ -119,9 +139,83 @@ def _noise(rng: np.random.Generator, clean: np.ndarray, is_tee: bool) -> np.ndar
     return noisy
 
 
+def prefill_step_cost(workload: Workload, deployment: Deployment,
+                      model: CpuCostModel | GpuCostModel | None = None) -> StepCost:
+    """Costed prefill step, memoized per (deployment, workload shape)."""
+    key = (deployment, workload.model, workload.dtype, workload.batch_size,
+           workload.input_tokens, workload.beam_size)
+
+    def build() -> StepCost:
+        cost_model = model or cost_model_for(deployment)
+        ops = list(cached_prefill_ops(
+            workload.model, workload.dtype, workload.batch_size,
+            workload.input_tokens, workload.beam_size))
+        sets = _working_sets(workload, deployment, workload.input_tokens, ops)
+        if isinstance(deployment.placement, CpuPlacement):
+            return cost_model.step_cost(ops, sets, workload.dtype)
+        return cost_model.step_cost(
+            ops, sets, workload.dtype,
+            io_bytes=gpu_io_bytes(workload, Phase.PREFILL))
+
+    return _PREFILL_COST_CACHE.get_or_compute(key, build)
+
+
+def decode_step_cost(workload: Workload, deployment: Deployment,
+                     context: int,
+                     model: CpuCostModel | GpuCostModel | None = None) -> StepCost:
+    """Costed decode step at one context, memoized per shape + context."""
+    key = (deployment, workload.model, workload.dtype, workload.batch_size,
+           workload.beam_size, context)
+
+    def build() -> StepCost:
+        cost_model = model or cost_model_for(deployment)
+        ops = list(cached_decode_step_ops(
+            workload.model, workload.dtype, workload.batch_size, context,
+            workload.beam_size))
+        sets = _working_sets(workload, deployment, context, ops)
+        if isinstance(deployment.placement, CpuPlacement):
+            return cost_model.step_cost(ops, sets, workload.dtype)
+        return cost_model.step_cost(
+            ops, sets, workload.dtype,
+            io_bytes=gpu_io_bytes(workload, Phase.DECODE))
+
+    return _DECODE_COST_CACHE.get_or_compute(key, build)
+
+
+def _decode_clean_vectorized(workload: Workload, deployment: Deployment,
+                             stride: int) -> np.ndarray:
+    """Clean per-token decode times via the vectorized cost engine.
+
+    Reproduces the stride cadence of the reference loop exactly: costs
+    are evaluated at contexts ``input + k*stride`` and held for the
+    following ``stride`` tokens.
+    """
+    engine = decode_cost_engine(workload, deployment)
+    costed_contexts = workload.input_tokens + np.arange(
+        0, workload.output_tokens, stride)
+    step_costs = engine.step_costs(costed_contexts)
+    return np.repeat(step_costs, stride)[:workload.output_tokens]
+
+
+def _decode_clean_loop(workload: Workload, deployment: Deployment,
+                       model: CpuCostModel | GpuCostModel,
+                       stride: int) -> np.ndarray:
+    """Clean per-token decode times via the scalar reference loop."""
+    clean = np.empty(workload.output_tokens)
+    cached_step: StepCost | None = None
+    for step_index in range(workload.output_tokens):
+        if step_index % stride == 0 or cached_step is None:
+            context = workload.input_tokens + step_index
+            cached_step = decode_step_cost(workload, deployment, context,
+                                           model)
+        clean[step_index] = cached_step.total_s
+    return clean
+
+
 def simulate_generation(workload: Workload, deployment: Deployment,
                         seed: int = 0, context_stride: int | None = None,
-                        record_steps: bool = False) -> GenerationResult:
+                        record_steps: bool = False,
+                        engine: str = "auto") -> GenerationResult:
     """Simulate one generation run.
 
     Args:
@@ -131,50 +225,40 @@ def simulate_generation(workload: Workload, deployment: Deployment,
         context_stride: Recompute decode-step cost every this many
             tokens (``None`` picks ``output_tokens // 32``, at least 1).
         record_steps: Keep the costed prefill and a mid-generation decode
-            step for trace analysis (Fig. 7).
+            step for trace analysis (Fig. 7).  The sampled step is costed
+            exactly at its own context without disturbing the
+            stride-cadence clean trajectory, so toggling this flag never
+            changes the simulated times.
+        engine: ``"vectorized"`` (numpy pass over the context vector),
+            ``"loop"`` (scalar reference loop), or ``"auto"`` (currently
+            the vectorized engine).
 
     Raises:
         ValueError: If the workload cannot run on the deployment (dtype
-            unsupported, model does not fit, ...).
+            unsupported, model does not fit, ...), or for an unknown
+            engine.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     deployment.validate_workload(workload)
     model = cost_model_for(deployment)
-    dtype = workload.dtype
-    is_gpu = not isinstance(deployment.placement, CpuPlacement)
 
-    pre_ops = prefill_ops(workload.model, dtype, workload.batch_size,
-                          workload.input_tokens, workload.beam_size)
-    pre_sets = _working_sets(workload, deployment, workload.input_tokens, pre_ops)
-    if is_gpu:
-        prefill = model.step_cost(pre_ops, pre_sets, dtype,
-                                  io_bytes=_gpu_io_bytes(workload, Phase.PREFILL))
-    else:
-        prefill = model.step_cost(pre_ops, pre_sets, dtype)
+    prefill = prefill_step_cost(workload, deployment, model)
 
     if context_stride is not None and context_stride < 1:
         raise ValueError("context_stride must be >= 1")
     stride = context_stride or max(1, workload.output_tokens // 32)
 
-    clean = np.empty(workload.output_tokens)
-    cached_step: StepCost | None = None
+    if engine == "loop":
+        clean = _decode_clean_loop(workload, deployment, model, stride)
+    else:
+        clean = _decode_clean_vectorized(workload, deployment, stride)
+
     sample_step: StepCost | None = None
-    sample_index = workload.output_tokens // 2
-    for step_index in range(workload.output_tokens):
-        context = workload.input_tokens + step_index
-        needs_exact = record_steps and step_index == sample_index
-        if step_index % stride == 0 or cached_step is None or needs_exact:
-            ops = decode_step_ops(workload.model, dtype, workload.batch_size,
-                                  context, workload.beam_size)
-            sets = _working_sets(workload, deployment, context, ops)
-            if is_gpu:
-                cached_step = model.step_cost(
-                    ops, sets, dtype,
-                    io_bytes=_gpu_io_bytes(workload, Phase.DECODE))
-            else:
-                cached_step = model.step_cost(ops, sets, dtype)
-        if needs_exact:
-            sample_step = cached_step
-        clean[step_index] = cached_step.total_s
+    if record_steps:
+        sample_index = workload.output_tokens // 2
+        sample_step = decode_step_cost(
+            workload, deployment, workload.input_tokens + sample_index, model)
 
     rng = np.random.default_rng(seed)
     noisy = _noise(rng, clean, deployment.backend.is_tee)
@@ -197,15 +281,11 @@ def simulate_encode(workload: Workload, deployment: Deployment,
     Used by the RAG substrate for SBERT/cross-encoder scoring cost.
     """
     deployment.validate_workload(workload)
-    model = cost_model_for(deployment)
-    ops = encode_ops(workload.model, workload.dtype, workload.batch_size,
-                     workload.input_tokens)
-    sets = _working_sets(workload, deployment, workload.input_tokens, ops)
-    if isinstance(deployment.placement, CpuPlacement):
-        step = model.step_cost(ops, sets, workload.dtype)
-    else:
-        step = model.step_cost(ops, sets, workload.dtype,
-                               io_bytes=_gpu_io_bytes(workload, Phase.PREFILL))
+    if not workload.model.encoder_only:
+        raise ValueError(f"{workload.model.name} is not an encoder-only model")
+    # An encoder pass is a prefill over the prompt (see encode_ops), so
+    # it shares the memoized prefill step-cost cache.
+    step = prefill_step_cost(workload, deployment)
     rng = np.random.default_rng(seed)
     return float(_noise(rng, np.array([step.total_s]),
                         deployment.backend.is_tee)[0])

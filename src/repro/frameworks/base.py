@@ -39,7 +39,10 @@ class Framework:
     dtypes: tuple[DType, ...]
     weight_bytes_per_param: float | None = None
     multi_socket: bool = False
-    _mfu: dict[str, float] = field(default_factory=dict, repr=False)
+    # Excluded from eq/hash so Framework (and thus Deployment) stays
+    # hashable — cache keys in repro.memo rely on this.
+    _mfu: dict[str, float] = field(default_factory=dict, repr=False,
+                                   compare=False)
 
     def supports(self, dtype: DType) -> bool:
         return dtype in self.dtypes

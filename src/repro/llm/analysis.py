@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from .config import ModelConfig
 from .datatypes import DType
-from .graph import decode_step_ops, prefill_ops
+from .graph import decode_step_ops
 from .ops import merge_totals
 
 

@@ -9,9 +9,12 @@ gate/up projection with SiLU multiply, down projection, residuals).
 
 from __future__ import annotations
 
+import math
+
+from ..memo import MemoCache
 from .config import ModelConfig
 from .datatypes import DType
-from .ops import Operator, OpCategory, Phase
+from .ops import AFFINE_FIELDS, AffineOp, Operator, OpCategory, Phase
 
 #: Operator names emitted per decoder block, in execution order.
 BLOCK_OP_NAMES = (
@@ -222,6 +225,99 @@ def encode_ops(model: ModelConfig, dtype: DType, batch_size: int,
     if not model.encoder_only:
         raise ValueError(f"{model.name} is not an encoder-only model")
     return prefill_ops(model, dtype, batch_size, input_len)
+
+
+# -- memoized builders -------------------------------------------------------
+#
+# A sweep recosts the same (model, dtype, batch, length, beams) graph for
+# every deployment and every repetition; building one graph allocates
+# ~num_layers x 11 Operator records.  The cached builders return shared,
+# immutable tuples — callers must not mutate them.
+
+_GRAPH_CACHE = MemoCache("op_graph", maxsize=512)
+_AFFINE_CACHE = MemoCache("affine_decode_graph", maxsize=256)
+
+#: Contexts used to extract and validate the affine decode model.
+_AFFINE_LO, _AFFINE_HI, _AFFINE_CHECK = 1, 2, 7
+
+
+def cached_prefill_ops(model: ModelConfig, dtype: DType, batch_size: int,
+                       input_len: int, beam_size: int = 1) -> tuple[Operator, ...]:
+    """Memoized :func:`prefill_ops`; the returned tuple is shared."""
+    key = ("prefill", model, dtype, batch_size, input_len, beam_size)
+    return _GRAPH_CACHE.get_or_compute(
+        key, lambda: tuple(prefill_ops(model, dtype, batch_size, input_len,
+                                       beam_size)))
+
+
+def cached_decode_step_ops(model: ModelConfig, dtype: DType, batch_size: int,
+                           context_len: int, beam_size: int = 1) -> tuple[Operator, ...]:
+    """Memoized :func:`decode_step_ops`; the returned tuple is shared."""
+    key = ("decode", model, dtype, batch_size, context_len, beam_size)
+    return _GRAPH_CACHE.get_or_compute(
+        key, lambda: tuple(decode_step_ops(model, dtype, batch_size,
+                                           context_len, beam_size)))
+
+
+def decode_step_affine(model: ModelConfig, dtype: DType, batch_size: int,
+                       beam_size: int = 1) -> tuple[AffineOp, ...]:
+    """Affine-in-context model of one decode step, layers collapsed.
+
+    Builds the operator stream at two reference contexts, differences
+    the cost fields into ``base + slope * context`` templates, verifies
+    the affine model against a third context, and merges identical
+    per-layer operators via ``multiplicity``.  The result is cached per
+    ``(model, dtype, batch, beams)`` — it is independent of prompt and
+    output lengths, so every input-length sweep shares one entry.
+
+    Raises:
+        RuntimeError: If some operator field is not affine in context
+            (a graph change the vectorized engine cannot represent).
+    """
+    key = (model, dtype, batch_size, beam_size)
+    return _AFFINE_CACHE.get_or_compute(
+        key, lambda: _build_decode_affine(model, dtype, batch_size, beam_size))
+
+
+def _build_decode_affine(model: ModelConfig, dtype: DType, batch_size: int,
+                         beam_size: int) -> tuple[AffineOp, ...]:
+    lo = cached_decode_step_ops(model, dtype, batch_size, _AFFINE_LO, beam_size)
+    hi = cached_decode_step_ops(model, dtype, batch_size, _AFFINE_HI, beam_size)
+    check = cached_decode_step_ops(model, dtype, batch_size, _AFFINE_CHECK,
+                                   beam_size)
+    groups: dict[tuple, AffineOp] = {}
+    order: list[tuple] = []
+    for op_lo, op_hi, op_check in zip(lo, hi, check):
+        bases, slopes = {}, {}
+        for field in AFFINE_FIELDS:
+            v_lo, v_hi = getattr(op_lo, field), getattr(op_hi, field)
+            slope = (v_hi - v_lo) / (_AFFINE_HI - _AFFINE_LO)
+            base = v_lo - slope * _AFFINE_LO
+            predicted = base + slope * _AFFINE_CHECK
+            actual = getattr(op_check, field)
+            if not math.isclose(predicted, actual, rel_tol=1e-9, abs_tol=1e-6):
+                raise RuntimeError(
+                    f"{op_lo.name}.{field} is not affine in context "
+                    f"(predicted {predicted}, got {actual}); the vectorized "
+                    f"decode engine cannot cost this graph")
+            bases[field] = base
+            slopes[field] = slope
+        key = (op_lo.name, op_lo.category,
+               tuple(bases.values()), tuple(slopes.values()))
+        if key in groups:
+            existing = groups[key]
+            groups[key] = AffineOp(base=existing.base, slope=existing.slope,
+                                   multiplicity=existing.multiplicity + 1)
+        else:
+            template = {"name": op_lo.name, "category": op_lo.category,
+                        "phase": Phase.DECODE, "layer": op_lo.layer}
+            groups[key] = AffineOp(
+                base=Operator(**template, **bases),
+                slope=Operator(**template, **slopes),
+                multiplicity=1,
+            )
+            order.append(key)
+    return tuple(groups[key] for key in order)
 
 
 def _check_shape(batch_size: int, length: int, beam_size: int) -> None:

@@ -14,7 +14,8 @@ overheads").  Two layers are provided:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+
+import numpy as np
 
 from .pages import PAGE_4K
 
@@ -85,6 +86,15 @@ def paging_fraction(working_set_bytes: float, epc_bytes: float) -> float:
     if working_set_bytes <= epc_bytes:
         return 0.0
     return 1.0 - epc_bytes / working_set_bytes
+
+
+def paging_fraction_vec(working_set_bytes, epc_bytes: float):
+    """Array twin of :func:`paging_fraction` (vectorized engine)."""
+    ws = np.asarray(working_set_bytes, dtype=float)
+    if np.any(ws < 0) or epc_bytes <= 0:
+        raise ValueError("working set must be >= 0 and EPC positive")
+    safe = np.where(ws > 0.0, ws, 1.0)
+    return np.where(ws <= epc_bytes, 0.0, 1.0 - epc_bytes / safe)
 
 
 def paging_overhead_s(bytes_streamed: float, working_set_bytes: float,

@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 
 class SetAssociativeTlb:
     """A set-associative TLB with true-LRU replacement per set.
@@ -95,6 +97,17 @@ def streaming_miss_rate(working_set_bytes: float, page_bytes: int,
     if working_set_bytes <= reach:
         return 0.0
     return 1.0 - reach / working_set_bytes
+
+
+def streaming_miss_rate_vec(working_set_bytes, page_bytes: int,
+                            tlb_entries: int):
+    """Array twin of :func:`streaming_miss_rate` (vectorized engine)."""
+    ws = np.asarray(working_set_bytes, dtype=float)
+    if np.any(ws < 0):
+        raise ValueError("working_set_bytes must be >= 0")
+    reach = float(tlb_entries) * page_bytes
+    safe = np.where(ws > 0.0, ws, 1.0)
+    return np.where(ws <= reach, 0.0, 1.0 - reach / safe)
 
 
 @dataclass(frozen=True)

@@ -43,7 +43,9 @@ class BaremetalBackend(Backend):
         return BAREMETAL_SECURITY
 
 
-@dataclass
+# eq=False keeps identity hashing: backends are registry singletons and
+# appear inside Deployment-keyed memo-cache keys (see repro.memo).
+@dataclass(eq=False)
 class VmBackend(Backend):
     """A raw KVM VM without TEE protections.
 

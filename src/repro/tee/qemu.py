@@ -11,7 +11,7 @@ LUKS plan generator covers that (§III-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..memsim.pages import GB, HugepagePolicy
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.advisor import Recommendation, Requirements, recommend
+from repro.core.advisor import Requirements, recommend
 from repro.engine.placement import Workload
 from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16

@@ -14,7 +14,7 @@ from repro.hardware.cpu import EMR1, EMR2
 from repro.hardware.gpu import H100_NVL
 from repro.llm.config import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B
 from repro.llm.datatypes import BFLOAT16, INT8
-from repro.tee.backends import BAREMETAL, CGPU, TDX
+from repro.tee.backends import BAREMETAL, CGPU
 
 
 class TestWorkload:

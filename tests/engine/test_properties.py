@@ -8,7 +8,6 @@ is finite and positive.
 
 import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.experiment import cpu_deployment, gpu_deployment

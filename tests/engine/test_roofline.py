@@ -4,7 +4,6 @@ direction on the right term."""
 import pytest
 
 from repro.core.experiment import cpu_deployment, gpu_deployment
-from repro.engine.placement import Workload
 from repro.engine.roofline import (
     CpuCostModel,
     GpuCostModel,

@@ -9,7 +9,6 @@ from repro.engine.trace import (
     TraceEvent,
     block_layer_summary,
     decoder_block_share,
-    events_from_step,
     layer_overheads,
 )
 from repro.llm.config import LLAMA2_7B

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.cpu import EMR1, EMR2, SPR, CpuSpec, TlbSpec, cpu_by_name
+from repro.hardware.cpu import EMR1, EMR2, SPR, CpuSpec, cpu_by_name
 from repro.memsim.pages import PAGE_1G, PAGE_2M, PAGE_4K
 
 

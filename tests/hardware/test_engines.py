@@ -1,6 +1,5 @@
 """Compute-engine selection and the int8 fallback detection."""
 
-import pytest
 
 from repro.hardware.engines import (
     AMX_RATES,

@@ -9,7 +9,6 @@ from repro.hardware.interconnect import (
     NVLINK4,
     PCIE_GEN5_X16,
     UPI_EMR,
-    Link,
 )
 from repro.llm.datatypes import BFLOAT16, FLOAT32
 

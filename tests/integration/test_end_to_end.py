@@ -1,6 +1,5 @@
 """End-to-end flows across subsystems."""
 
-import pytest
 
 from repro.core.experiment import Experiment, cpu_deployment, gpu_deployment
 from repro.core.pipeline import ConfidentialPipeline

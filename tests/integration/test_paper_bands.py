@@ -8,7 +8,7 @@ Workloads are shortened (fewer output tokens) relative to the paper's
 
 import pytest
 
-from repro.core.experiment import Experiment, cpu_deployment, gpu_deployment
+from repro.core.experiment import cpu_deployment, gpu_deployment
 from repro.core.overhead import latency_overhead, throughput_overhead
 from repro.engine.placement import Workload
 from repro.engine.simulator import simulate_generation

@@ -1,7 +1,7 @@
 """BM25, dense, and reranked retrieval: correctness and quality."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.rag.bm25 import Bm25Retriever
 from repro.rag.corpus import Document, generate_corpus

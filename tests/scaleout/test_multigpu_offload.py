@@ -5,14 +5,13 @@ import pytest
 from repro.engine.placement import Workload
 from repro.hardware.gpu import B100, H100_NVL
 from repro.llm.config import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B
-from repro.llm.datatypes import BFLOAT16, INT8
+from repro.llm.datatypes import BFLOAT16
 from repro.scaleout.multigpu import (
     confidential_scaling_penalty,
     fits,
     simulate_multi_gpu,
 )
 from repro.scaleout.offload import (
-    OffloadResult,
     required_host_fraction,
     simulate_offloaded,
 )

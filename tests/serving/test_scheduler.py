@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.experiment import cpu_deployment, gpu_deployment
-from repro.llm.config import LLAMA2_7B, tiny_llama
+from repro.llm.config import LLAMA2_7B
 from repro.llm.datatypes import BFLOAT16
 from repro.serving.scheduler import (
     ContinuousBatchingScheduler,

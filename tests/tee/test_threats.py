@@ -1,6 +1,5 @@
 """Threat taxonomy and mitigation logic (paper Fig. 1)."""
 
-import pytest
 
 from repro.tee.base import backend_by_name
 from repro.tee.threats import (
