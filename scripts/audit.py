@@ -1,0 +1,101 @@
+"""Invariant audit CLI: run the ``repro.validate`` check batteries.
+
+Executes the registered differential, metamorphic, and golden-trace
+checks against the live model and reports pass/fail/skip per check.
+Exit status is the CI gate: 0 when the run is green, 1 on failures,
+2 on usage errors (e.g. filters that match nothing).
+
+Usage::
+
+    PYTHONPATH=src python scripts/audit.py                  # full audit
+    PYTHONPATH=src python scripts/audit.py --strict         # fail on warns too
+    PYTHONPATH=src python scripts/audit.py --family golden
+    PYTHONPATH=src python scripts/audit.py --layer serving --layer memsim
+    PYTHONPATH=src python scripts/audit.py --check vectorized_loop_parity
+    PYTHONPATH=src python scripts/audit.py --regen          # rewrite goldens
+    PYTHONPATH=src python scripts/audit.py --list           # show registry
+    PYTHONPATH=src python scripts/audit.py --json audit.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.validate import (  # noqa: E402
+    AuditContext,
+    all_checks,
+    run_audit,
+)
+
+
+def list_registry() -> None:
+    specs = sorted(all_checks().values(), key=lambda s: (s.family, s.name))
+    family = None
+    for spec in specs:
+        if spec.family != family:
+            family = spec.family
+            print(f"[{family}]")
+        tags = ",".join(spec.layers)
+        print(f"  {spec.name:<42} severity={spec.severity:<8} layers={tags}")
+    print(f"{len(specs)} checks registered")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--family", action="append", dest="families",
+                        metavar="NAME",
+                        help="run only this family (repeatable)")
+    parser.add_argument("--layer", action="append", dest="layers",
+                        metavar="TAG",
+                        help="run only checks tagged with this layer "
+                             "(repeatable)")
+    parser.add_argument("--check", action="append", dest="names",
+                        metavar="SUBSTR",
+                        help="run only checks whose name contains this "
+                             "substring (repeatable)")
+    parser.add_argument("--strict", action="store_true",
+                        help="any failing check gates (default: only "
+                             "blocker-severity failures)")
+    parser.add_argument("--regen", action="store_true",
+                        help="golden checks rewrite their snapshots instead "
+                             "of comparing")
+    parser.add_argument("--golden-dir", type=Path, default=None,
+                        help="override the golden snapshot directory")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered checks and exit")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="also write the report as JSON")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="show detail lines for passing checks too")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        list_registry()
+        return 0
+
+    ctx = AuditContext(golden_dir=args.golden_dir, regen=args.regen)
+    families = tuple(args.families) if args.families else None
+    if args.regen and families is None and not args.layers and not args.names:
+        families = ("golden",)
+    try:
+        report = run_audit(families=families,
+                           layers=tuple(args.layers) if args.layers else None,
+                           names=tuple(args.names) if args.names else None,
+                           ctx=ctx)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(report.render(verbose=args.verbose))
+    if args.json:
+        args.json.write_text(report.to_json() + "\n")
+        print(f"report written to {args.json}")
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ Together with a TEE backend and a framework they form a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from ..hardware.cpu import CpuSpec
@@ -42,9 +43,14 @@ class Workload:
     beam_size: int = 1
 
     def __post_init__(self) -> None:
-        if min(self.batch_size, self.input_tokens, self.output_tokens,
-               self.beam_size) < 1:
-            raise ValueError("workload dimensions must all be >= 1")
+        # Checked per-dimension: NaN slips through a min()-based guard
+        # because any comparison against NaN is False.
+        for field_name in ("batch_size", "input_tokens", "output_tokens",
+                           "beam_size"):
+            value = getattr(self, field_name)
+            if not math.isfinite(value) or value < 1:
+                raise ValueError(
+                    f"workload {field_name} must be finite and >= 1")
         if not self.model.encoder_only:
             total = self.input_tokens + self.output_tokens
             if total > self.model.max_position:

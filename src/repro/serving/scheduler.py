@@ -13,6 +13,7 @@ and (c)GPU deployments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..engine.placement import Deployment
@@ -33,10 +34,13 @@ class ServeRequest:
     output_tokens: int
 
     def __post_init__(self) -> None:
-        if self.arrival_s < 0:
-            raise ValueError("arrival_s must be >= 0")
-        if self.prompt_tokens < 1 or self.output_tokens < 1:
-            raise ValueError("prompt and output tokens must be >= 1")
+        # NaN passes a plain `< 0` comparison, so finiteness is explicit.
+        if not math.isfinite(self.arrival_s) or self.arrival_s < 0:
+            raise ValueError("arrival_s must be finite and >= 0")
+        for field_name in ("prompt_tokens", "output_tokens"):
+            value = getattr(self, field_name)
+            if not math.isfinite(value) or value < 1:
+                raise ValueError(f"{field_name} must be finite and >= 1")
 
 
 @dataclass

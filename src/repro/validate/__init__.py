@@ -1,0 +1,56 @@
+"""Cross-layer invariant audit subsystem.
+
+A registry of named checks (``@check``) spanning three families:
+
+* **differential** — fast paths against reference twins (vectorized vs
+  loop engine, memoized vs cold caches, parallel vs serial sweeps,
+  analytical FLOPs vs the numpy reference transformer, closed forms vs
+  the functional TLB/EPC simulators),
+* **metamorphic** — monotonicity and ordering invariants the cost model
+  must satisfy everywhere (TEE never faster, cost non-decreasing in
+  context/batch, scheduler/KV-block conservation),
+* **golden** — committed snapshots of every figure benchmark's headline
+  series with explicit tolerances and a ``--regen`` path.
+
+Run via ``scripts/audit.py`` or through the pytest adapter in
+``tests/validate/``, which makes every check a tier-1 test.
+"""
+
+from .context import GOLDEN_DIR, AuditContext, Tolerances, default_context
+from .registry import (
+    FAMILIES,
+    SEVERITIES,
+    CheckFailure,
+    CheckSkip,
+    CheckSpec,
+    all_checks,
+    check,
+    checks_matching,
+    unregister,
+)
+from .runner import AuditReport, CheckResult, run_audit, run_check
+
+# Importing the check modules registers every built-in check.
+from . import differential as _differential  # noqa: E402,F401
+from . import metamorphic as _metamorphic  # noqa: E402,F401
+from . import golden as _golden  # noqa: E402,F401
+
+__all__ = [
+    "AuditContext",
+    "AuditReport",
+    "CheckFailure",
+    "CheckResult",
+    "CheckSkip",
+    "CheckSpec",
+    "FAMILIES",
+    "GOLDEN_DIR",
+    "SEVERITIES",
+    "Tolerances",
+    "all_checks",
+    "check",
+    "checks_matching",
+    "default_context",
+    "run_audit",
+    "run_check",
+    "unregister",
+]

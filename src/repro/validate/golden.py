@@ -1,0 +1,374 @@
+"""Golden-trace regression checks for the figure benchmarks.
+
+Each figure/table benchmark in ``benchmarks/`` asserts loose paper
+*bands*; a regression inside a band (e.g. a 3% silent drift of TDX
+overhead) passes those tests.  These checks pin the *exact* headline
+series of every benchmark against committed JSON snapshots under
+``repro/validate/golden_data/`` with explicit relative tolerances, so
+any drift — intended or not — is surfaced and must be acknowledged by
+regenerating the snapshot (``scripts/audit.py --regen``).
+
+The builders mirror each benchmark's ``regenerate()`` at a reduced grid
+(same workloads, deployments and metrics; fewer sweep points) to keep
+the audit fast enough to run on every PR.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from ..core.experiment import cpu_deployment
+from ..core.overhead import throughput_overhead
+from ..core.summary import render_summary_table
+from ..cost.efficiency import best_cpu_point, cpu_cost_point, gpu_cost_point
+from ..cost.pricing import GCP_SPOT_US_EAST1
+from ..engine.placement import Workload
+from ..engine.trace import block_layer_summary, decoder_block_share, layer_overheads
+from ..hardware.cpu import EMR1
+from ..llm.config import LLAMA2_7B, LLAMA2_70B
+from ..llm.datatypes import BFLOAT16, FLOAT32, INT8
+from ..memsim.pages import HugepagePolicy
+from .context import AuditContext
+from .registry import CheckFailure, CheckSkip, check
+
+#: Default allowed relative drift against a snapshot.  Simulations are
+#: deterministic; this only absorbs platform float-noise, so any real
+#: model change trips the check.
+DEFAULT_REL_TOL = 1e-4
+
+#: Values whose snapshot is exactly zero compare against this absolute
+#: tolerance instead.
+ZERO_ABS_TOL = 1e-12
+
+
+def compare_series(measured: dict[str, float], golden: dict[str, float],
+                   rel_tol: float) -> list[str]:
+    """Mismatches between a measured and a golden series (empty = pass)."""
+    problems = []
+    missing = sorted(set(golden) - set(measured))
+    extra = sorted(set(measured) - set(golden))
+    if missing:
+        problems.append(f"missing keys: {', '.join(missing)}")
+    if extra:
+        problems.append(f"unexpected keys: {', '.join(extra)}")
+    for key in sorted(set(golden) & set(measured)):
+        expected, actual = golden[key], measured[key]
+        if expected == 0.0:
+            if abs(actual) > ZERO_ABS_TOL:
+                problems.append(f"{key}: expected 0, got {actual:.3e}")
+            continue
+        rel = abs(actual - expected) / abs(expected)
+        if rel > rel_tol:
+            problems.append(
+                f"{key}: {actual:.6g} vs golden {expected:.6g} "
+                f"(rel {rel:.2e} > {rel_tol:.0e})")
+    return problems
+
+
+def _golden(name: str, title: str, layers: tuple[str, ...],
+            rel_tol: float = DEFAULT_REL_TOL) -> Callable:
+    """Register a golden check around a headline-series builder."""
+
+    def register(builder: Callable[[AuditContext], dict[str, float]]):
+        def run(ctx: AuditContext) -> str:
+            series = {key: float(value)
+                      for key, value in builder(ctx).items()}
+            path = ctx.golden_dir / f"{name}.json"
+            if ctx.regen:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                payload = {"name": name, "title": title,
+                           "tolerance_rel": rel_tol, "series": series}
+                path.write_text(json.dumps(payload, indent=2,
+                                           sort_keys=True) + "\n")
+                return f"regenerated {len(series)}-point snapshot"
+            if not path.exists():
+                raise CheckSkip(
+                    f"no snapshot at {path}; run scripts/audit.py --regen")
+            payload = json.loads(path.read_text())
+            tolerance = float(payload.get("tolerance_rel", rel_tol))
+            problems = compare_series(series, payload["series"], tolerance)
+            if problems:
+                raise CheckFailure(
+                    f"{len(problems)} drift(s) vs {path.name}: "
+                    + "; ".join(problems[:4]))
+            return (f"{len(series)} points within rel "
+                    f"{tolerance:.0e} of snapshot")
+
+        run.__doc__ = title
+        run.__name__ = f"golden_{name}"
+        check(f"golden.{name}", family="golden",
+              layers=tuple(layers) + ("bench",))(run)
+        return builder
+
+    return register
+
+
+# -- headline-series builders -------------------------------------------------
+
+def _emr1(backend: str, **kwargs):
+    kwargs.setdefault("sockets_used", 1)
+    return cpu_deployment(backend, cpu=EMR1, **kwargs)
+
+
+@_golden("fig01_overview", "Fig. 1 headline TEE throughput overheads",
+         layers=("engine", "tee"))
+def fig01(ctx: AuditContext) -> dict[str, float]:
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=6, input_tokens=1024,
+                        output_tokens=128, beam_size=4)
+    base = ctx.simulate(workload, _emr1("baremetal"))
+    series = {}
+    for backend in ("sgx", "tdx"):
+        run = ctx.simulate(workload, _emr1(backend))
+        series[f"{backend}/tput_ovh_pct"] = 100 * throughput_overhead(run, base)
+    gpu_workload = workload.with_(beam_size=1)
+    gpu = ctx.simulate(gpu_workload, ctx.gpu(confidential=False))
+    cgpu = ctx.simulate(gpu_workload, ctx.gpu(confidential=True))
+    series["cgpu/tput_ovh_pct"] = 100 * throughput_overhead(
+        cgpu, gpu, include_prefill=True)
+    return series
+
+
+@_golden("fig03_frameworks", "Fig. 3 framework microbenchmark wall times",
+         layers=("engine", "frameworks"))
+def fig03(ctx: AuditContext) -> dict[str, float]:
+    cases = (("hf-f32", "hf", FLOAT32), ("hf-bf16", "hf", BFLOAT16),
+             ("vllm-f32", "vllm-cpu", FLOAT32),
+             ("vllm-bf16", "vllm-cpu", BFLOAT16),
+             ("llamacpp-mixed", "llamacpp", BFLOAT16),
+             ("ipex-bf16", "ipex", BFLOAT16))
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=1, input_tokens=1024,
+                        output_tokens=128)
+    return {
+        f"{label}/wall_s": ctx.simulate(
+            workload.with_(dtype=dtype),
+            _emr1("baremetal", framework=framework)).total_time_s
+        for label, framework, dtype in cases
+    }
+
+
+@_golden("fig04_single_socket", "Fig. 4 single-socket overheads (EMR1)",
+         layers=("engine", "tee"))
+def fig04(ctx: AuditContext) -> dict[str, float]:
+    series = {}
+    for dtype in (BFLOAT16, INT8):
+        tput_workload = Workload(LLAMA2_7B, dtype, 6, 1024, 128, beam_size=4)
+        lat_workload = Workload(LLAMA2_7B, dtype, 1, 1024, 128)
+        base_tput = ctx.simulate(tput_workload, _emr1("baremetal"))
+        for backend in ("vm", "sgx", "tdx"):
+            run = ctx.simulate(tput_workload, _emr1(backend))
+            series[f"{dtype.name}/{backend}/tput_ovh_pct"] = \
+                100 * throughput_overhead(run, base_tput)
+        lat = ctx.simulate(lat_workload, _emr1("tdx"))
+        series[f"{dtype.name}/tdx/latency_ms"] = \
+            lat.next_token_latency_s * 1e3
+    return series
+
+
+@_golden("fig05_numa_binding", "Fig. 5 two-socket 70B NUMA latencies",
+         layers=("engine", "memsim", "tee"))
+def fig05(ctx: AuditContext) -> dict[str, float]:
+    workload = Workload(LLAMA2_70B, BFLOAT16, batch_size=1,
+                        input_tokens=1024, output_tokens=64)
+    series = {}
+    for label, backend in (("vm-bound", "vm"), ("vm-unbound", "vm-unbound"),
+                           ("tdx", "tdx")):
+        run = ctx.simulate(workload, _emr1(backend, sockets_used=2))
+        series[f"{label}/latency_ms"] = run.next_token_latency_s * 1e3
+    return series
+
+
+@_golden("fig06_hugepages", "Fig. 6 hugepage-policy throughput overheads",
+         layers=("engine", "memsim", "tee"))
+def fig06(ctx: AuditContext) -> dict[str, float]:
+    workload = Workload(LLAMA2_7B, BFLOAT16, 6, 1024, 128, beam_size=4)
+    configs = {
+        "baremetal": ("baremetal", HugepagePolicy.RESERVED_1G),
+        "vm-fh": ("vm", HugepagePolicy.RESERVED_1G),
+        "vm-th": ("vm", HugepagePolicy.TRANSPARENT_2M),
+        "tdx": ("tdx", HugepagePolicy.RESERVED_1G),
+    }
+    runs = {
+        label: ctx.simulate(workload, _emr1(backend, sockets_used=2,
+                                            hugepages=pages))
+        for label, (backend, pages) in configs.items()
+    }
+    return {
+        f"{label}/tput_ovh_pct":
+            100 * throughput_overhead(run, runs["baremetal"])
+        for label, run in runs.items() if label != "baremetal"
+    }
+
+
+@_golden("fig07_block_breakdown", "Fig. 7 decoder-block layer breakdown",
+         layers=("engine", "llm", "tee"))
+def fig07(ctx: AuditContext) -> dict[str, float]:
+    workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=4, input_tokens=128,
+                        output_tokens=128)
+    traces = {
+        backend: ctx.simulate(workload, ctx.cpu(backend),
+                              record_steps=True).decode_trace()
+        for backend in ("baremetal", "tdx")
+    }
+    summary = block_layer_summary(traces["tdx"])
+    overheads = layer_overheads(traces["tdx"], traces["baremetal"])
+    series = {"decoder_block_share": decoder_block_share(traces["tdx"])}
+    for layer, stat in summary.items():
+        series[f"{layer}/share_pct"] = 100 * stat.share_of_block
+        series[f"{layer}/tdx_ovh_pct"] = 100 * overheads[layer]
+    return series
+
+
+@_golden("fig08_amx", "Fig. 8 AMX advantage and TDX overhead vs batch",
+         layers=("engine", "hardware", "tee"))
+def fig08(ctx: AuditContext) -> dict[str, float]:
+    series = {}
+    for batch in (1, 16, 64, 256):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                            input_tokens=128, output_tokens=128)
+        vm_amx = ctx.simulate(workload, ctx.cpu("vm"))
+        vm_noamx = ctx.simulate(workload, ctx.cpu("vm", amx_enabled=False))
+        tdx_amx = ctx.simulate(workload, ctx.cpu("tdx"))
+        series[f"b{batch}/amx_speedup_x"] = (
+            vm_amx.decode_throughput_tok_s / vm_noamx.decode_throughput_tok_s)
+        series[f"b{batch}/tdx_ovh_pct"] = \
+            100 * throughput_overhead(tdx_amx, vm_amx)
+    return series
+
+
+@_golden("fig09_batch_scaling", "Fig. 9 TDX overhead vs batch size",
+         layers=("engine", "tee"))
+def fig09(ctx: AuditContext) -> dict[str, float]:
+    series = {}
+    for dtype in (BFLOAT16, INT8):
+        for batch in (1, 16, 64, 256):
+            workload = Workload(LLAMA2_7B, dtype, batch_size=batch,
+                                input_tokens=128, output_tokens=128)
+            base = ctx.simulate(workload, ctx.cpu("baremetal"))
+            tdx = ctx.simulate(workload, ctx.cpu("tdx"))
+            series[f"{dtype.name}/b{batch}/tdx_ovh_pct"] = \
+                100 * throughput_overhead(tdx, base)
+    return series
+
+
+@_golden("fig10_input_scaling", "Fig. 10 TDX overhead vs input size",
+         layers=("engine", "memsim", "tee"))
+def fig10(ctx: AuditContext) -> dict[str, float]:
+    series = {}
+    for input_len in (32, 128, 512, 2048, 3584):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=64,
+                            input_tokens=input_len, output_tokens=128)
+        base = ctx.simulate(workload, ctx.cpu("baremetal"))
+        tdx = ctx.simulate(workload, ctx.cpu("tdx"))
+        series[f"in{input_len}/total_ovh_pct"] = 100 * throughput_overhead(
+            tdx, base, include_prefill=True)
+        series[f"in{input_len}/decode_ovh_pct"] = \
+            100 * throughput_overhead(tdx, base)
+    return series
+
+
+@_golden("fig11_cgpu_scaling", "Fig. 11 cGPU overhead vs batch and input",
+         layers=("engine", "tee", "hardware"))
+def fig11(ctx: AuditContext) -> dict[str, float]:
+    series = {}
+    for batch in (1, 16, 64):
+        for input_len in (128, 2048):
+            workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                                input_tokens=input_len, output_tokens=128)
+            gpu = ctx.simulate(workload, ctx.gpu(confidential=False))
+            cgpu = ctx.simulate(workload, ctx.gpu(confidential=True))
+            series[f"b{batch}/in{input_len}/cc_ovh_pct"] = \
+                100 * throughput_overhead(cgpu, gpu, include_prefill=True)
+    return series
+
+
+@_golden("fig12_vcpu_cost", "Fig. 12 cost of 1M tokens vs vCPU count",
+         layers=("engine", "cost"))
+def fig12(ctx: AuditContext) -> dict[str, float]:
+    series = {}
+    for batch in (1, 64):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                            input_tokens=128, output_tokens=128)
+        points = []
+        for cores in (8, 24, 56):
+            tdx = ctx.simulate(workload, ctx.cpu(
+                "tdx", cores_per_socket_used=cores))
+            point = cpu_cost_point(tdx, vcpus=cores,
+                                   catalog=GCP_SPOT_US_EAST1)
+            points.append(point)
+            series[f"b{batch}/c{cores}/usd_per_mtok"] = point.usd_per_mtok
+        series[f"b{batch}/best_cores"] = best_cpu_point(points).vcpus
+        cgpu = ctx.simulate(workload, ctx.gpu(confidential=True))
+        series[f"b{batch}/cgpu_usd_per_mtok"] = gpu_cost_point(
+            cgpu, GCP_SPOT_US_EAST1).usd_per_mtok
+    return series
+
+
+@_golden("fig13_input_cost", "Fig. 13 CPU cost advantage vs input size",
+         layers=("engine", "cost"))
+def fig13(ctx: AuditContext) -> dict[str, float]:
+    series = {}
+    for input_len in (32, 256, 2048):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=4,
+                            input_tokens=input_len, output_tokens=128)
+        points = []
+        for cores in (8, 24, 48):
+            tdx = ctx.simulate(workload, ctx.cpu(
+                "tdx", cores_per_socket_used=cores))
+            points.append(cpu_cost_point(tdx, vcpus=cores,
+                                         catalog=GCP_SPOT_US_EAST1))
+        best = best_cpu_point(points)
+        cgpu = ctx.simulate(workload, ctx.gpu(confidential=True))
+        gpu_point = gpu_cost_point(cgpu, GCP_SPOT_US_EAST1)
+        series[f"in{input_len}/cpu_advantage_pct"] = \
+            100 * (gpu_point.usd_per_mtok / best.usd_per_mtok - 1.0)
+    return series
+
+
+@_golden("fig14_rag", "Fig. 14 RAG pipeline TDX overheads",
+         layers=("rag", "engine", "tee"), rel_tol=5e-2)
+def fig14(ctx: AuditContext) -> dict[str, float]:
+    from ..rag.corpus import generate_corpus
+    from ..rag.evaluate import RAG_METHODS, build_retrievers, evaluate_pipeline
+    corpus = generate_corpus(num_docs=400, num_topics=8, num_queries=12,
+                             seed=42)
+    retrievers = build_retrievers(corpus)
+    baseline = ctx.cpu("baremetal")
+    tdx = ctx.cpu("tdx")
+    series = {}
+    for method in RAG_METHODS:
+        base = evaluate_pipeline(corpus, method, baseline,
+                                 retrievers=retrievers, seed=1)
+        secure = evaluate_pipeline(corpus, method, tdx,
+                                   retrievers=retrievers, seed=1001)
+        series[f"{method}/tdx_ovh_pct"] = \
+            100 * (secure.mean_query_time_s / base.mean_query_time_s - 1.0)
+    return series
+
+
+@_golden("table1_summary", "Table I measured overhead bands",
+         layers=("engine", "tee", "core"))
+def table1(ctx: AuditContext) -> dict[str, float]:
+    bands: dict[str, list[float]] = {"sgx": [], "tdx": [], "cgpu": []}
+    for dtype in (BFLOAT16, INT8):
+        workload = Workload(LLAMA2_7B, dtype, batch_size=6,
+                            input_tokens=1024, output_tokens=64, beam_size=4)
+        base = ctx.simulate(workload, ctx.cpu("baremetal"))
+        for backend in ("sgx", "tdx"):
+            run = ctx.simulate(workload, ctx.cpu(backend))
+            bands[backend].append(throughput_overhead(run, base))
+    for batch in (1, 64):
+        workload = Workload(LLAMA2_7B, BFLOAT16, batch_size=batch,
+                            input_tokens=512, output_tokens=64)
+        gpu = ctx.simulate(workload, ctx.gpu(confidential=False))
+        cgpu = ctx.simulate(workload, ctx.gpu(confidential=True))
+        bands["cgpu"].append(throughput_overhead(cgpu, gpu,
+                                                 include_prefill=True))
+    # The rendered table must accept the measured bands (shape check).
+    render_summary_table(measured_bands={
+        name: (min(values), max(values)) for name, values in bands.items()})
+    series = {}
+    for name, values in bands.items():
+        series[f"{name}/band_lo_pct"] = 100 * min(values)
+        series[f"{name}/band_hi_pct"] = 100 * max(values)
+    return series

@@ -1,0 +1,148 @@
+"""Audit runner: executes registered checks and builds a report.
+
+Modeled on the audit-runner pattern: every check runs in isolation, its
+outcome (pass/fail/skip, measured deltas, duration) is captured in a
+:class:`CheckResult`, and the :class:`AuditReport` aggregates them into
+something a CLI can render, CI can gate on, and tests can assert on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import asdict, dataclass
+
+from .context import AuditContext, default_context
+from .registry import CheckFailure, CheckSkip, CheckSpec, checks_matching
+
+#: Check outcome states.
+STATUSES = ("pass", "fail", "skip")
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one executed check."""
+
+    name: str
+    family: str
+    layers: tuple[str, ...]
+    severity: str
+    status: str
+    detail: str
+    deltas: dict[str, float]
+    duration_s: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckResult":
+        data = dict(data)
+        data["layers"] = tuple(data["layers"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Aggregate outcome of an audit run."""
+
+    results: tuple[CheckResult, ...]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts = {status: 0 for status in STATUSES}
+        for result in self.results:
+            counts[result.status] += 1
+        return counts
+
+    @property
+    def failures(self) -> tuple[CheckResult, ...]:
+        return tuple(r for r in self.results if r.status == "fail")
+
+    def ok(self, strict: bool = True) -> bool:
+        """Whether the run gates green.
+
+        Args:
+            strict: Fail on *any* failing check; otherwise only
+                ``blocker``-severity failures gate.
+        """
+        if strict:
+            return not self.failures
+        return not any(r.severity == "blocker" for r in self.failures)
+
+    def by_family(self) -> dict[str, tuple[CheckResult, ...]]:
+        families: dict[str, list[CheckResult]] = {}
+        for result in self.results:
+            families.setdefault(result.family, []).append(result)
+        return {name: tuple(results) for name, results in families.items()}
+
+    def render(self, verbose: bool = False) -> str:
+        """Human-readable report table."""
+        lines = []
+        marks = {"pass": "ok", "fail": "FAIL", "skip": "skip"}
+        for family, results in sorted(self.by_family().items()):
+            lines.append(f"[{family}]")
+            for result in sorted(results, key=lambda r: r.name):
+                line = (f"  {marks[result.status]:<4}  {result.name:<42} "
+                        f"{result.duration_s * 1e3:7.1f} ms")
+                if result.status != "pass" or verbose:
+                    if result.detail:
+                        line += f"  {result.detail}"
+                lines.append(line)
+        counts = self.counts
+        total = len(self.results)
+        lines.append(
+            f"{total} checks: {counts['pass']} passed, "
+            f"{counts['fail']} failed, {counts['skip']} skipped")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({"results": [r.to_dict() for r in self.results]},
+                          indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AuditReport":
+        data = json.loads(text)
+        return cls(results=tuple(CheckResult.from_dict(entry)
+                                 for entry in data["results"]))
+
+
+def run_check(spec: CheckSpec, ctx: AuditContext | None = None) -> CheckResult:
+    """Execute a single check, capturing its outcome."""
+    ctx = ctx or default_context()
+    started = time.perf_counter()
+    status, detail, deltas = "pass", "", {}
+    try:
+        outcome = spec.func(ctx)
+        detail = outcome if isinstance(outcome, str) else ""
+    except CheckSkip as skip:
+        status, detail = "skip", str(skip)
+    except CheckFailure as failure:
+        status, detail, deltas = "fail", str(failure), failure.deltas
+    except Exception as error:  # noqa: BLE001 - a crash is a failing check
+        status = "fail"
+        detail = (f"{type(error).__name__}: {error} "
+                  f"({traceback.format_exc(limit=2).splitlines()[-2].strip()})")
+    return CheckResult(name=spec.name, family=spec.family, layers=spec.layers,
+                       severity=spec.severity, status=status, detail=detail,
+                       deltas={k: float(v) for k, v in deltas.items()},
+                       duration_s=time.perf_counter() - started)
+
+
+def run_audit(families: tuple[str, ...] | None = None,
+              layers: tuple[str, ...] | None = None,
+              names: tuple[str, ...] | None = None,
+              ctx: AuditContext | None = None) -> AuditReport:
+    """Run every registered check matching the filters.
+
+    Raises:
+        ValueError: If the filters select no checks (catches typos).
+    """
+    specs = checks_matching(families=families, layers=layers, names=names)
+    if not specs:
+        raise ValueError(
+            f"no checks match families={families} layers={layers} "
+            f"names={names}")
+    ctx = ctx or default_context()
+    return AuditReport(results=tuple(run_check(spec, ctx) for spec in specs))

@@ -40,6 +40,15 @@ class TestWorkload:
         with pytest.raises(ValueError):
             Workload(LLAMA2_7B, BFLOAT16, batch_size=0)
 
+    def test_nonfinite_dimensions_rejected(self):
+        # Regression: NaN made every comparison in the old min() guard
+        # False, so nan dimensions validated clean.
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            for dim in ("batch_size", "input_tokens", "output_tokens",
+                        "beam_size"):
+                with pytest.raises(ValueError, match="finite"):
+                    Workload(LLAMA2_7B, BFLOAT16, **{dim: bad})
+
 
 class TestCpuPlacement:
     def test_cores_default_all(self):

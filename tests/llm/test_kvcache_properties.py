@@ -1,0 +1,123 @@
+"""Property-based tests for the paged KV cache.
+
+Hypothesis drives arbitrary admit/append/preempt(free)/resume sequences
+against :class:`PagedKVCache` and asserts the allocator invariants the
+serving scheduler depends on: blocks are never leaked, never owned by
+two sequences, accounting always balances, and a preempted-then-resumed
+sequence recomputes to exactly its pre-preemption context length.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.kvcache import PagedKVCache
+
+
+def _check_conservation(cache: PagedKVCache) -> None:
+    """Global allocator invariants that must hold after every operation."""
+    assert cache.free_blocks + cache.allocated_blocks == cache.num_blocks
+    owned = [block for seq in cache._tables.values() for block in seq]
+    assert len(owned) == len(set(owned)), "block owned twice"
+    assert cache.allocated_blocks == len(owned)
+    assert not set(owned) & set(cache._free), "block both owned and free"
+    assert 0.0 <= cache.utilization() <= 1.0
+    for seq_id, table in cache._tables.items():
+        need = -(-cache.sequence_length(seq_id) // cache.block_size) \
+            if cache.sequence_length(seq_id) else 0
+        assert len(table) == max(need, len(table)) >= need
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("allocate"), st.integers(0, 7),
+                  st.integers(0, 40)),
+        st.tuples(st.just("append"), st.integers(0, 7), st.just(0)),
+        st.tuples(st.just("free"), st.integers(0, 7), st.just(0)),
+    ),
+    min_size=1, max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops, num_blocks=st.integers(4, 32), block_size=st.integers(1, 16))
+def test_arbitrary_lifecycle_never_leaks_blocks(ops, num_blocks, block_size):
+    cache = PagedKVCache(num_blocks=num_blocks, block_size=block_size)
+    live: dict[int, int] = {}
+    for op, seq_id, arg in ops:
+        if op == "allocate":
+            if seq_id in live:
+                with pytest.raises(KeyError):
+                    cache.allocate(seq_id, arg)
+            else:
+                try:
+                    cache.allocate(seq_id, arg)
+                except MemoryError:
+                    assert (-(-arg // block_size)) > cache.free_blocks
+                else:
+                    live[seq_id] = arg
+        elif op == "append":
+            if seq_id in live:
+                try:
+                    cache.append_token(seq_id)
+                except MemoryError:
+                    assert cache.free_blocks == 0
+                else:
+                    live[seq_id] += 1
+            else:
+                with pytest.raises(KeyError):
+                    cache.append_token(seq_id)
+        else:
+            if seq_id in live:
+                cache.free(seq_id)
+                del live[seq_id]
+            else:
+                with pytest.raises(KeyError):
+                    cache.free(seq_id)
+        _check_conservation(cache)
+        for sid, length in live.items():
+            assert cache.sequence_length(sid) == length
+    for sid in list(live):
+        cache.free(sid)
+    assert cache.free_blocks == cache.num_blocks
+    assert cache.allocated_blocks == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(prompt_len=st.integers(0, 64), decoded=st.integers(0, 32),
+       block_size=st.integers(1, 16))
+def test_preempt_then_resume_restores_context_length(prompt_len, decoded,
+                                                     block_size):
+    """vLLM-style recompute preemption: free everything, re-admit at the
+    full pre-preemption context, and the cache must land in an identical
+    allocation state."""
+    # Pool sized so prompt+decoded always fits even at block_size=1.
+    cache = PagedKVCache(num_blocks=128, block_size=block_size)
+    cache.allocate(0, prompt_len)
+    for _ in range(decoded):
+        cache.append_token(0)
+    context = cache.sequence_length(0)
+    blocks_before = len(cache.block_table(0))
+    cache.free(0)  # preempt
+    assert cache.free_blocks == cache.num_blocks
+    cache.allocate(0, context)  # recompute prompt + generated prefix
+    assert cache.sequence_length(0) == context == prompt_len + decoded
+    assert len(cache.block_table(0)) == blocks_before
+    _check_conservation(cache)
+
+
+@settings(max_examples=40, deadline=None)
+@given(block_size=st.integers(1, 8), seqs=st.integers(1, 6))
+def test_capacity_is_exact_in_blocks(block_size, seqs):
+    """Admitting exactly capacity succeeds; one more block's worth fails."""
+    num_blocks = seqs * 3
+    cache = PagedKVCache(num_blocks=num_blocks, block_size=block_size)
+    for seq_id in range(seqs):
+        cache.allocate(seq_id, 3 * block_size)
+    assert cache.free_blocks == 0
+    assert cache.utilization() == 1.0
+    with pytest.raises(MemoryError):
+        cache.allocate(seqs, 1)
+    with pytest.raises(MemoryError):
+        cache.append_token(0)
+    _check_conservation(cache)

@@ -73,6 +73,25 @@ class TestKvConservation:
             scheduler.run([ServeRequest(0, 0.0, 500, 100)])
 
 
+class TestRequestValidation:
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            ServeRequest(0, -1.0, 16, 16)
+
+    def test_nonfinite_arrival_rejected(self):
+        # Regression: nan < 0 is False, so a NaN arrival used to pass
+        # validation and poison every downstream timeline metric.
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                ServeRequest(0, bad, 16, 16)
+
+    def test_nonfinite_token_counts_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ServeRequest(0, 0.0, float("nan"), 16)
+        with pytest.raises(ValueError, match="finite"):
+            ServeRequest(0, 0.0, 16, float("inf"))
+
+
 class TestBackendComparison:
     def test_gpu_serves_faster_than_cpu_tee(self):
         requests = poisson_stream(10, rate_per_s=10.0, mean_prompt=128,

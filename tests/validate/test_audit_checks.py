@@ -1,0 +1,37 @@
+"""Pytest adapter: every registered audit check is a tier-1 test.
+
+One parametrized test per check in the ``repro.validate`` registry, so
+``pytest tests/validate`` and ``scripts/audit.py`` exercise exactly the
+same battery.  The context (with its simulation memo) is shared across
+the module to keep the battery fast.
+"""
+
+import pytest
+
+from repro.validate import AuditContext, all_checks, run_check
+
+_SPECS = sorted(all_checks().values(), key=lambda s: (s.family, s.name))
+
+
+@pytest.fixture(scope="module")
+def audit_ctx():
+    """One shared context so checks reuse memoized simulations."""
+    return AuditContext()
+
+
+@pytest.mark.parametrize("spec", _SPECS, ids=[s.name for s in _SPECS])
+def test_check(spec, audit_ctx):
+    result = run_check(spec, audit_ctx)
+    if result.status == "skip":
+        pytest.skip(result.detail)
+    assert result.status == "pass", (
+        f"{spec.name} [{spec.family}/{spec.severity}] failed: "
+        f"{result.detail} deltas={result.deltas}")
+
+
+def test_registry_spans_required_surface():
+    """The ISSUE floor: >= 25 checks covering all three families."""
+    specs = all_checks().values()
+    assert len(specs) >= 25
+    families = {spec.family for spec in specs}
+    assert families == {"differential", "metamorphic", "golden"}

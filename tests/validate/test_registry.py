@@ -1,0 +1,194 @@
+"""Unit tests for the audit registry, runner, and golden machinery."""
+
+import json
+
+import pytest
+
+from repro.validate import (
+    AuditContext,
+    AuditReport,
+    CheckFailure,
+    CheckSkip,
+    all_checks,
+    check,
+    checks_matching,
+    run_audit,
+    run_check,
+    unregister,
+)
+from repro.validate.golden import compare_series
+
+
+@pytest.fixture
+def scratch_check():
+    """Register a throwaway check and clean it up."""
+    registered = []
+
+    def factory(name, func, **kwargs):
+        kwargs.setdefault("family", "differential")
+        check(name, **kwargs)(func)
+        registered.append(name)
+        return all_checks()[name]
+
+    yield factory
+    for name in registered:
+        unregister(name)
+
+
+class TestRegistry:
+    def test_floor_and_families(self):
+        specs = all_checks().values()
+        assert len(specs) >= 25
+        by_family = {}
+        for spec in specs:
+            by_family.setdefault(spec.family, []).append(spec)
+        assert set(by_family) == {"differential", "metamorphic", "golden"}
+        # Every family is substantive, not a token single check.
+        assert all(len(group) >= 5 for group in by_family.values())
+
+    def test_names_are_dotted_and_unique(self):
+        names = [spec.name for spec in all_checks().values()]
+        assert len(names) == len(set(names))
+        assert all("." in name for name in names)
+
+    def test_duplicate_name_rejected(self, scratch_check):
+        scratch_check("scratch.dup", lambda ctx: "ok")
+        with pytest.raises(ValueError, match="duplicate"):
+            check("scratch.dup", family="differential")(lambda ctx: "ok")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            check("scratch.bad_family", family="vibes")(lambda ctx: "ok")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            check("scratch.bad_sev", family="golden",
+                  severity="meh")(lambda ctx: "ok")
+
+    def test_undotted_name_rejected(self):
+        with pytest.raises(ValueError):
+            check("flat", family="golden")(lambda ctx: "ok")
+
+    def test_matching_filters(self, scratch_check):
+        scratch_check("scratch.tagged", lambda ctx: "ok",
+                      layers=("xyzzy",))
+        assert [s.name for s in checks_matching(layers=("xyzzy",))] == \
+            ["scratch.tagged"]
+        assert [s.name for s in checks_matching(names=("scratch.tag",))] == \
+            ["scratch.tagged"]
+        assert checks_matching(families=("golden",),
+                               layers=("xyzzy",)) == []
+
+
+class TestRunner:
+    def test_pass_captures_detail(self, scratch_check):
+        spec = scratch_check("scratch.passes", lambda ctx: "all good")
+        result = run_check(spec, AuditContext())
+        assert result.status == "pass"
+        assert result.detail == "all good"
+        assert result.duration_s >= 0
+
+    def test_failure_captures_deltas(self, scratch_check):
+        def failing(ctx):
+            raise CheckFailure("off by a lot", deltas={"rel_err": 0.5})
+
+        spec = scratch_check("scratch.fails", failing)
+        result = run_check(spec, AuditContext())
+        assert result.status == "fail"
+        assert "off by a lot" in result.detail
+        assert result.deltas == {"rel_err": 0.5}
+
+    def test_skip_captures_reason(self, scratch_check):
+        def skipping(ctx):
+            raise CheckSkip("missing snapshot")
+
+        spec = scratch_check("scratch.skips", skipping)
+        result = run_check(spec, AuditContext())
+        assert result.status == "skip"
+        assert "missing snapshot" in result.detail
+
+    def test_crash_is_a_failure(self, scratch_check):
+        def crashing(ctx):
+            raise RuntimeError("boom")
+
+        spec = scratch_check("scratch.crashes", crashing)
+        result = run_check(spec, AuditContext())
+        assert result.status == "fail"
+        assert "RuntimeError" in result.detail
+
+    def test_run_audit_rejects_empty_selection(self):
+        with pytest.raises(ValueError, match="no checks match"):
+            run_audit(names=("no.such.check.exists",))
+
+    def test_strict_vs_nonstrict_gating(self, scratch_check):
+        def warns(ctx):
+            raise CheckFailure("drifting")
+
+        scratch_check("scratch.warns", warns, severity="warn")
+        report = run_audit(names=("scratch.warns",), ctx=AuditContext())
+        assert not report.ok(strict=True)
+        assert report.ok(strict=False)
+
+    def test_report_json_round_trip(self, scratch_check):
+        spec = scratch_check("scratch.roundtrip", lambda ctx: "ok")
+        report = run_audit(names=("scratch.roundtrip",), ctx=AuditContext())
+        clone = AuditReport.from_json(report.to_json())
+        assert clone == report
+        assert spec.name in report.render(verbose=True)
+        assert report.counts["pass"] == 1
+
+
+class TestGolden:
+    def test_regen_writes_then_compare_passes(self, tmp_path):
+        ctx = AuditContext(golden_dir=tmp_path, regen=True)
+        spec = all_checks()["golden.fig11_cgpu_scaling"]
+        assert run_check(spec, ctx).status == "pass"
+        path = tmp_path / "fig11_cgpu_scaling.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["tolerance_rel"] > 0
+        assert payload["series"]
+        # Same context, compare mode: bitwise-identical inputs must pass.
+        compare_ctx = AuditContext(golden_dir=tmp_path)
+        compare_ctx._sim_cache = ctx._sim_cache
+        assert run_check(spec, compare_ctx).status == "pass"
+
+    def test_missing_snapshot_skips(self, tmp_path):
+        ctx = AuditContext(golden_dir=tmp_path)
+        spec = all_checks()["golden.fig11_cgpu_scaling"]
+        result = run_check(spec, ctx)
+        assert result.status == "skip"
+        assert "--regen" in result.detail
+
+    def test_drift_detected(self, tmp_path):
+        ctx = AuditContext(golden_dir=tmp_path, regen=True)
+        spec = all_checks()["golden.fig11_cgpu_scaling"]
+        run_check(spec, ctx)
+        path = tmp_path / "fig11_cgpu_scaling.json"
+        payload = json.loads(path.read_text())
+        key = sorted(payload["series"])[0]
+        payload["series"][key] *= 1.01
+        path.write_text(json.dumps(payload))
+        compare_ctx = AuditContext(golden_dir=tmp_path)
+        compare_ctx._sim_cache = ctx._sim_cache
+        result = run_check(spec, compare_ctx)
+        assert result.status == "fail"
+        assert "drift" in result.detail
+
+    def test_compare_series_reports_key_mismatches(self):
+        problems = compare_series({"a": 1.0, "c": 2.0},
+                                  {"a": 1.0, "b": 2.0}, rel_tol=1e-6)
+        assert any("missing" in p for p in problems)
+        assert any("unexpected" in p for p in problems)
+        assert compare_series({"a": 1.0}, {"a": 1.0 + 1e-9},
+                              rel_tol=1e-6) == []
+        assert compare_series({"a": 1e-13}, {"a": 0.0}, rel_tol=1e-6) == []
+        assert compare_series({"a": 1.0}, {"a": 0.0}, rel_tol=1e-6)
+
+    def test_committed_snapshots_exist_for_every_golden_check(self):
+        from repro.validate import GOLDEN_DIR
+        golden = [s for s in all_checks().values() if s.family == "golden"]
+        assert len(golden) >= 14
+        for spec in golden:
+            stem = spec.name.split(".", 1)[1]
+            assert (GOLDEN_DIR / f"{stem}.json").exists(), spec.name
