@@ -1,0 +1,218 @@
+"""Fleet serving CLI: simulate, autoscale, and capacity-plan TEE fleets.
+
+Drives :mod:`repro.fleet` end to end — the cluster-scale counterpart of
+the per-instance figure benchmarks: how many confidential replicas does
+a traffic level need, at what $/Mtok, and how do routing and reactive
+autoscaling change the answer.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fleet.py run --kind tdx --replicas 3 \\
+        --arrivals poisson --rate 4 --count 80
+    PYTHONPATH=src python scripts/fleet.py run --kind tdx --kind cgpu \\
+        --router cost-slo --slo-ttft 2.0 --arrivals mmpp --rate 3 --count 120
+    PYTHONPATH=src python scripts/fleet.py autoscale --kind tdx \\
+        --max-replicas 6 --arrivals diurnal --rate 4 --count 150
+    PYTHONPATH=src python scripts/fleet.py sweep --slo-ttft 2.0 \\
+        --kinds tdx,cgpu --max-replicas 6 [--json plan.json]
+
+``sweep`` runs the committed capacity-planning trace (the same one the
+``golden.fleet_capacity`` audit check snapshots) unless ``--arrivals``
+overrides it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet import (  # noqa: E402
+    ARRIVAL_KINDS,
+    AutoscalerConfig,
+    FleetReport,
+    FleetSimulator,
+    ROUTER_KINDS,
+    ReactiveAutoscaler,
+    capacity_sweep,
+    make_arrivals,
+    make_router,
+    replica_spec,
+    trace_replay,
+)
+from repro.validate.fleet import CAPACITY_SLO_TTFT_S, CAPACITY_TRACE  # noqa: E402
+
+
+def _print_rows(title: str, rows: list[dict]) -> None:
+    if not rows:
+        print(f"=== {title} === (empty)")
+        return
+    columns = list(rows[0])
+    widths = {c: max(len(c), *(len(_fmt(r[c])) for r in rows))
+              for c in columns}
+    print(f"\n=== {title} ===")
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(_fmt(row[c]).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.0f}"
+    return str(value)
+
+
+def _print_report(report: FleetReport, slo_ttft_s: float) -> None:
+    print(f"requests           {len(report.outcomes)}")
+    print(f"makespan           {report.makespan_s:.1f} s "
+          f"(from t={report.start_s:.1f})")
+    print(f"throughput         {report.throughput_tok_s:.0f} tok/s")
+    print(f"ttft p50/p99       {report.ttft_percentile(50):.2f} / "
+          f"{report.ttft_percentile(99):.2f} s")
+    print(f"e2e  p50/p99       {report.e2e_percentile(50):.2f} / "
+          f"{report.e2e_percentile(99):.2f} s")
+    print(f"SLO attainment     {100 * report.slo_attainment(slo_ttft_s):.1f}% "
+          f"(TTFT <= {slo_ttft_s:.1f} s)")
+    print(f"fleet cost         ${report.cost_usd:.4f} "
+          f"(${report.usd_per_mtok:.2f}/Mtok)")
+    print(f"peak replicas      {report.peak_replicas}  "
+          f"preemptions {report.total_preemptions}  "
+          f"scale events {len(report.scale_events)}")
+    _print_rows("replicas", report.summary_rows())
+
+
+def _arrivals(args: argparse.Namespace):
+    return make_arrivals(args.arrivals, args.count, args.rate,
+                         mean_prompt=args.mean_prompt,
+                         mean_output=args.mean_output, seed=args.seed)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    specs = [replica_spec(kind) for kind in args.kind for _ in
+             range(args.replicas)]
+    router = make_router(args.router, slo_ttft_s=args.slo_ttft)
+    report = FleetSimulator(specs, router=router).run(_arrivals(args))
+    _print_report(report, args.slo_ttft)
+    if args.json:
+        args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return 0
+
+
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    scaler = ReactiveAutoscaler(AutoscalerConfig(
+        min_replicas=args.replicas, max_replicas=args.max_replicas,
+        scale_up_load=args.scale_up_load,
+        scale_down_load=args.scale_down_load,
+        cooldown_s=args.cooldown, boot_latency_s=args.boot_latency))
+    specs = [replica_spec(args.kind[0])] * args.replicas
+    router = make_router(args.router, slo_ttft_s=args.slo_ttft)
+    fleet = FleetSimulator(specs, router=router, autoscaler=scaler)
+    report = fleet.run(_arrivals(args))
+    _print_report(report, args.slo_ttft)
+    _print_rows("scale events", [
+        {"t_s": e.time_s, "action": e.action,
+         "load_per_replica": e.load_per_replica,
+         "active": e.active_replicas}
+        for e in report.scale_events])
+    if args.json:
+        args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.arrivals:
+        requests = _arrivals(args)
+    else:
+        requests = trace_replay(list(CAPACITY_TRACE))
+    specs = [replica_spec(kind, max_batch=16, kv_capacity_tokens=65536)
+             for kind in args.kinds.split(",")]
+    plans = capacity_sweep(specs, requests, slo_ttft_s=args.slo_ttft,
+                           percentile=args.percentile,
+                           max_replicas=args.max_replicas)
+    rows = []
+    for kind, plan in plans.items():
+        for point in plan.points:
+            rows.append({"kind": kind, "replicas": point.replicas,
+                         f"p{args.percentile:.0f}_ttft_s": point.p99_ttft_s,
+                         "attainment": point.attainment,
+                         "usd_per_mtok": point.usd_per_mtok,
+                         "meets_slo": point.meets_slo})
+    _print_rows(f"capacity sweep (p{args.percentile:.0f} TTFT <= "
+                f"{args.slo_ttft:.1f}s, {len(requests)} requests)", rows)
+    print()
+    for kind, plan in plans.items():
+        if plan.replicas_needed is None:
+            print(f"{kind:>10}: SLO unattainable within "
+                  f"{args.max_replicas} replicas")
+        else:
+            print(f"{kind:>10}: {plan.replicas_needed} replica(s), "
+                  f"${plan.usd_per_mtok_at_slo:.2f}/Mtok at SLO")
+    if args.json:
+        payload = {kind: plan.to_dict() for kind, plan in plans.items()}
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nplan written to {args.json}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, default_arrivals: str | None):
+        p.add_argument("--arrivals", choices=ARRIVAL_KINDS,
+                       default=default_arrivals,
+                       help="arrival process (sweep default: committed trace)")
+        p.add_argument("--rate", type=float, default=4.0,
+                       help="arrival rate (req/s; MMPP calm rate)")
+        p.add_argument("--count", type=int, default=80,
+                       help="number of requests")
+        p.add_argument("--mean-prompt", type=int, default=256)
+        p.add_argument("--mean-output", type=int, default=64)
+        p.add_argument("--seed", type=int, default=11)
+        p.add_argument("--router", choices=ROUTER_KINDS,
+                       default="least-outstanding")
+        p.add_argument("--slo-ttft", type=float,
+                       default=CAPACITY_SLO_TTFT_S,
+                       help="TTFT SLO in seconds")
+        p.add_argument("--json", type=Path, default=None,
+                       help="also write the report/plan as JSON")
+
+    run_p = sub.add_parser("run", help="simulate a fixed fleet")
+    run_p.add_argument("--kind", action="append", default=None,
+                       help="replica kind (repeatable for mixed fleets)")
+    run_p.add_argument("--replicas", type=int, default=2,
+                       help="replicas per kind")
+    add_common(run_p, "poisson")
+    run_p.set_defaults(func=cmd_run)
+
+    auto_p = sub.add_parser("autoscale", help="simulate a reactive fleet")
+    auto_p.add_argument("--kind", action="append", default=None)
+    auto_p.add_argument("--replicas", type=int, default=1,
+                        help="initial (and minimum) replicas")
+    auto_p.add_argument("--max-replicas", type=int, default=6)
+    auto_p.add_argument("--scale-up-load", type=float, default=4.0)
+    auto_p.add_argument("--scale-down-load", type=float, default=0.5)
+    auto_p.add_argument("--cooldown", type=float, default=10.0)
+    auto_p.add_argument("--boot-latency", type=float, default=15.0)
+    add_common(auto_p, "mmpp")
+    auto_p.set_defaults(func=cmd_autoscale)
+
+    sweep_p = sub.add_parser("sweep", help="capacity-planning sweep")
+    sweep_p.add_argument("--kinds", default="tdx,cgpu",
+                         help="comma-separated replica kinds")
+    sweep_p.add_argument("--max-replicas", type=int, default=6)
+    sweep_p.add_argument("--percentile", type=float, default=99.0)
+    add_common(sweep_p, None)
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "kind", None) is None and hasattr(args, "kind"):
+        args.kind = ["tdx"]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

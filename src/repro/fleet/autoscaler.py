@@ -1,0 +1,101 @@
+"""Reactive autoscaling: grow and shrink the fleet under load.
+
+The autoscaler watches a load signal — outstanding requests per live
+replica — at every fleet tick and issues scale decisions subject to
+cooldowns and replica limits.  Scale-ups pay a boot latency before the
+new instance serves (it bills from provisioning, like a real cloud);
+scale-downs drain the least-loaded replica rather than killing it, so
+no request is ever dropped.  Deliberately simple and deterministic:
+the point is to measure how reactive capacity changes cost and SLO
+attainment under bursty TEE serving, not to invent a novel controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Reactive autoscaler policy knobs.
+
+    Attributes:
+        min_replicas: Never drain below this many active instances.
+        max_replicas: Never provision above this many active instances.
+        scale_up_load: Provision one replica when outstanding requests
+            per live replica exceed this.
+        scale_down_load: Drain one replica when outstanding requests
+            per live replica fall below this (hysteresis: keep it well
+            under ``scale_up_load`` to avoid flapping).
+        cooldown_s: Minimum time between consecutive scale decisions.
+        boot_latency_s: Provision-to-ready delay of a new instance.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    scale_up_load: float = 6.0
+    scale_down_load: float = 1.0
+    cooldown_s: float = 10.0
+    boot_latency_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if self.scale_down_load >= self.scale_up_load:
+            raise ValueError(
+                "scale_down_load must be < scale_up_load (hysteresis)")
+        if self.cooldown_s < 0 or self.boot_latency_s < 0:
+            raise ValueError("cooldown and boot latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler decision, for the fleet report timeline."""
+
+    time_s: float
+    action: str  # "up" | "down"
+    load_per_replica: float
+    active_replicas: int
+
+
+class ReactiveAutoscaler:
+    """Threshold autoscaler with hysteresis and cooldown.
+
+    Args:
+        config: Policy knobs.
+    """
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+        self._last_decision_s = float("-inf")
+        self.events: list[ScaleEvent] = []
+
+    def decide(self, now: float, outstanding: int, live_replicas: int,
+               active_replicas: int) -> int:
+        """Return a replica delta (+1 scale up, -1 drain one, 0 hold).
+
+        Args:
+            now: Shared fleet clock.
+            outstanding: Queued-or-running requests fleet-wide.
+            live_replicas: Instances currently serving.
+            active_replicas: Instances billed (live + booting + draining).
+        """
+        config = self.config
+        if now - self._last_decision_s < config.cooldown_s:
+            return 0
+        # Booting replicas count as capacity already bought: load is
+        # judged against what will soon serve, which prevents panic
+        # over-provisioning during one boot latency.
+        capacity = max(1, active_replicas)
+        load = outstanding / capacity
+        if load > config.scale_up_load and active_replicas < config.max_replicas:
+            self._last_decision_s = now
+            self.events.append(ScaleEvent(now, "up", load, active_replicas))
+            return 1
+        if (load < config.scale_down_load
+                and active_replicas > config.min_replicas
+                and live_replicas > 1):
+            self._last_decision_s = now
+            self.events.append(ScaleEvent(now, "down", load, active_replicas))
+            return -1
+        return 0

@@ -1,0 +1,170 @@
+"""Shared-clock fleet simulator: N replicas, one request stream.
+
+The event loop advances a global clock in fixed ticks.  At every tick
+it (1) lets the autoscaler provision or drain instances, (2) activates
+replicas whose boot latency elapsed, (3) routes arrivals due by the
+tick to live replicas, and (4) steps every replica's scheduler to the
+tick horizon.  Replica-local clocks may overshoot a tick (prefill and
+decode steps are not preemptible) but are resynchronized by the
+horizon of the next ``step`` call — the same quantized-time contract
+real cluster managers have with their nodes.
+
+Determinism: replicas are stepped and inspected in id order, arrivals
+are routed in (arrival, id) order, and all randomness lives in the
+seeded arrival generators — so one config + one stream produce one
+bit-identical :class:`~repro.fleet.report.FleetReport`.
+"""
+
+from __future__ import annotations
+
+from ..serving.scheduler import RequestOutcome, ServeRequest
+from .autoscaler import ReactiveAutoscaler
+from .replica import DRAINING, LIVE, Replica, ReplicaSpec
+from .report import FleetReport, ReplicaUsage
+from .router import LeastOutstandingRouter, Router
+
+#: Default tick width.  Small enough that routing sees fresh replica
+#: state every few decode steps; large enough that a fleet run is a few
+#: thousand ticks, not millions.
+DEFAULT_TICK_S = 0.25
+
+
+class FleetSimulator:
+    """Discrete-event simulation of a replicated serving fleet.
+
+    Args:
+        specs: Initial fleet composition — one replica per entry,
+            provisioned ready at time zero (heterogeneous fleets are
+            expressed by mixing specs).
+        router: Routing policy (default: least-outstanding).
+        autoscaler: Optional reactive autoscaler; scale-ups clone
+            ``scale_spec`` (default: the first spec).
+        scale_spec: Spec the autoscaler provisions.
+        tick_s: Shared-clock quantum.
+    """
+
+    def __init__(self, specs: list[ReplicaSpec], router: Router | None = None,
+                 autoscaler: ReactiveAutoscaler | None = None,
+                 scale_spec: ReplicaSpec | None = None,
+                 tick_s: float = DEFAULT_TICK_S) -> None:
+        if not specs:
+            raise ValueError("at least one initial replica spec required")
+        if tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        self.router = router or LeastOutstandingRouter()
+        self.autoscaler = autoscaler
+        self.scale_spec = scale_spec or specs[0]
+        self.tick_s = tick_s
+        self.replicas: list[Replica] = [
+            Replica(replica_id=index, spec=spec, provisioned_s=0.0,
+                    boot_latency_s=0.0)
+            for index, spec in enumerate(specs)
+        ]
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def live(self) -> list[Replica]:
+        return [r for r in self.replicas if r.state == LIVE]
+
+    @property
+    def active(self) -> list[Replica]:
+        return [r for r in self.replicas if r.active]
+
+    def _outstanding(self) -> int:
+        return sum(r.outstanding for r in self.replicas)
+
+    # -- autoscaling ----------------------------------------------------------
+
+    def _autoscale(self, now: float) -> None:
+        if self.autoscaler is None:
+            return
+        delta = self.autoscaler.decide(
+            now, outstanding=self._outstanding(),
+            live_replicas=len(self.live),
+            active_replicas=len(self.active))
+        if delta > 0:
+            self.replicas.append(Replica(
+                replica_id=len(self.replicas), spec=self.scale_spec,
+                provisioned_s=now,
+                boot_latency_s=self.autoscaler.config.boot_latency_s))
+        elif delta < 0:
+            # Drain the least-loaded live replica (highest id on ties:
+            # prefer retiring the newest instance).
+            victim = min(self.live,
+                         key=lambda r: (r.outstanding, -r.replica_id))
+            victim.drain()
+
+    # -- event loop -----------------------------------------------------------
+
+    def run(self, requests: list[ServeRequest]) -> FleetReport:
+        """Serve a request stream to completion across the fleet.
+
+        Raises:
+            ValueError: On an empty stream, or when a request can never
+                fit any replica's KV pool.
+        """
+        if not requests:
+            raise ValueError("no requests")
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        outcomes: dict[int, RequestOutcome] = {}
+        held: list[ServeRequest] = []  # arrived but unroutable (all booting)
+        start = pending[0].arrival_s
+        now = (start // self.tick_s) * self.tick_s
+        peak = len(self.active)
+
+        while pending or held or any(r.outstanding for r in self.replicas):
+            now += self.tick_s
+            self._autoscale(now)
+            for replica in self.replicas:
+                replica.activate_if_ready(now)
+
+            due = held
+            held = []
+            while pending and pending[0].arrival_s <= now:
+                due.append(pending.pop(0))
+            for request in due:
+                try:
+                    replica = self.router.choose(request, self.replicas, now)
+                except ValueError:
+                    held.append(request)  # nothing live yet; retry next tick
+                    continue
+                replica.submit(request)
+
+            for replica in self.replicas:
+                if replica.active:
+                    for outcome in replica.step(now):
+                        outcomes[outcome.request.request_id] = outcome
+                    replica.retire_if_drained(now)
+            peak = max(peak, len(self.active))
+
+        # Replica clocks may overshoot the final tick; the fleet ends
+        # when the last request completes.
+        end = max((o.finish_s for o in outcomes.values()), default=now)
+        usages = tuple(
+            ReplicaUsage(
+                replica_id=r.replica_id, kind=r.spec.kind,
+                price_hr=r.spec.price_hr, provisioned_s=r.provisioned_s,
+                retired_s=r.retired_s,
+                billed_hours=r.billed_hours(end), cost_usd=r.cost_usd(end),
+                requests_served=r.requests_routed, tokens_out=r.tokens_out)
+            for r in self.replicas)
+        ordered = tuple(outcomes[request.request_id]
+                        for request in sorted(requests,
+                                              key=lambda r: r.request_id))
+        return FleetReport(
+            outcomes=ordered, start_s=start, end_s=end, replicas=usages,
+            scale_events=tuple(self.autoscaler.events)
+            if self.autoscaler else (),
+            total_preemptions=sum(r.scheduler.preemptions
+                                  for r in self.replicas),
+            peak_replicas=peak)
+
+
+def fixed_fleet(spec: ReplicaSpec, count: int,
+                router: Router | None = None,
+                tick_s: float = DEFAULT_TICK_S) -> FleetSimulator:
+    """A homogeneous fixed-size fleet (the capacity-planning unit)."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return FleetSimulator([spec] * count, router=router, tick_s=tick_s)

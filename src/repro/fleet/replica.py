@@ -1,0 +1,208 @@
+"""Fleet replicas: a priced, bootable serving instance.
+
+A :class:`ReplicaSpec` names a rentable configuration — deployment
+(bare metal, TDX, SGX, GPU, cGPU), serving limits, and the hourly
+price from :mod:`repro.cost.pricing`.  A :class:`Replica` is one
+provisioned instance of a spec: it owns a steppable
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler`, tracks
+its lifecycle (booting -> live -> draining -> retired), and accrues
+billed uptime from provisioning to retirement — booting and draining
+time is paid for, exactly like a real cloud instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.experiment import cpu_deployment, gpu_deployment
+from ..cost.pricing import GCP_SPOT_US_EAST1, PAPER_MEMORY_GB, PriceCatalog
+from ..engine.placement import CpuPlacement, Deployment
+from ..llm.config import LLAMA2_7B, ModelConfig
+from ..llm.datatypes import BFLOAT16, DType
+from ..serving.scheduler import (
+    ContinuousBatchingScheduler,
+    RequestOutcome,
+    ServeRequest,
+)
+
+#: Replica lifecycle states.
+BOOTING, LIVE, DRAINING, RETIRED = "booting", "live", "draining", "retired"
+
+#: Replica kinds the factory knows how to price.
+REPLICA_KINDS = ("baremetal", "vm", "tdx", "sgx", "gpu", "cgpu")
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One rentable serving configuration.
+
+    Attributes:
+        kind: Backend label (``tdx``, ``cgpu``, ...).
+        deployment: Execution environment of every instance.
+        price_hr: Hourly price of one instance.
+        model: Served architecture.
+        dtype: Serving datatype.
+        kv_capacity_tokens: KV pool per instance.
+        block_size: Paged-KV block granularity.
+        max_batch: Concurrent-sequence cap per instance.
+        admission_lookahead: Scheduler head-of-line lookahead window.
+    """
+
+    kind: str
+    deployment: Deployment
+    price_hr: float
+    model: ModelConfig = LLAMA2_7B
+    dtype: DType = BFLOAT16
+    kv_capacity_tokens: int = 131072
+    block_size: int = 16
+    max_batch: int = 32
+    admission_lookahead: int = 0
+
+    def __post_init__(self) -> None:
+        if self.price_hr <= 0:
+            raise ValueError("price_hr must be positive")
+
+    def build_scheduler(self) -> ContinuousBatchingScheduler:
+        """A fresh scheduler configured for one instance of this spec."""
+        return ContinuousBatchingScheduler(
+            self.deployment, self.model, self.dtype,
+            kv_capacity_tokens=self.kv_capacity_tokens,
+            block_size=self.block_size, max_batch=self.max_batch,
+            admission_lookahead=self.admission_lookahead)
+
+
+def replica_spec(kind: str, catalog: PriceCatalog = GCP_SPOT_US_EAST1,
+                 cores: int | None = None,
+                 **overrides: object) -> ReplicaSpec:
+    """Build a priced spec for a named backend kind.
+
+    CPU kinds are priced as custom instances (one billed vCPU per
+    physical core, §IV-A; memory fixed at the paper's 128 GB); GPU
+    kinds use the (confidential) H100 instance price.
+
+    Args:
+        kind: One of :data:`REPLICA_KINDS`.
+        catalog: Price catalog to bill against.
+        cores: CPU cores per instance (default: a full socket).
+        **overrides: Forwarded to :class:`ReplicaSpec` (e.g.
+            ``max_batch``, ``kv_capacity_tokens``).
+    """
+    if kind not in REPLICA_KINDS:
+        raise ValueError(f"unknown replica kind {kind!r}; "
+                         f"expected one of {REPLICA_KINDS}")
+    if kind in ("gpu", "cgpu"):
+        deployment = gpu_deployment(confidential=kind == "cgpu")
+        price = (catalog.cgpu_instance_hr if kind == "cgpu"
+                 else catalog.gpu_instance_hr)
+    else:
+        placement_kwargs = {"sockets_used": 1}
+        if cores is not None:
+            placement_kwargs["cores_per_socket_used"] = cores
+        deployment = cpu_deployment(kind, **placement_kwargs)
+        placement = deployment.placement
+        assert isinstance(placement, CpuPlacement)
+        price = catalog.cpu_instance_hr(placement.cores, PAPER_MEMORY_GB)
+    return ReplicaSpec(kind=kind, deployment=deployment, price_hr=price,
+                       **overrides)  # type: ignore[arg-type]
+
+
+class Replica:
+    """One provisioned instance of a spec inside a fleet.
+
+    Args:
+        replica_id: Fleet-unique id (provisioning order).
+        spec: Configuration this instance runs.
+        provisioned_s: When the instance was requested.
+        boot_latency_s: Time from provisioning to serving readiness.
+    """
+
+    def __init__(self, replica_id: int, spec: ReplicaSpec,
+                 provisioned_s: float, boot_latency_s: float) -> None:
+        if boot_latency_s < 0:
+            raise ValueError("boot_latency_s must be >= 0")
+        self.replica_id = replica_id
+        self.spec = spec
+        self.provisioned_s = provisioned_s
+        self.ready_s = provisioned_s + boot_latency_s
+        self.retired_s: float | None = None
+        self.state = BOOTING if boot_latency_s > 0 else LIVE
+        self.scheduler = spec.build_scheduler()
+        # An instance cannot serve before it exists.
+        self.scheduler.advance_clock_to(self.ready_s if self.state == LIVE
+                                        else self.provisioned_s)
+        self.requests_routed = 0
+        self.tokens_out = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def activate_if_ready(self, now: float) -> None:
+        """Transition booting -> live once boot latency has elapsed."""
+        if self.state == BOOTING and now >= self.ready_s:
+            self.state = LIVE
+            # A replica starts serving at readiness, not at clock 0: it
+            # cannot have served anything while booting.
+            self.scheduler.advance_clock_to(self.ready_s)
+
+    def drain(self) -> None:
+        """Stop accepting new work; finish what is queued, then retire."""
+        if self.state in (BOOTING, LIVE):
+            self.state = DRAINING
+
+    def retire_if_drained(self, now: float) -> None:
+        """Transition draining -> retired once all queued work is done."""
+        if self.state == DRAINING and self.scheduler.idle:
+            self.state = RETIRED
+            self.retired_s = now
+
+    @property
+    def routable(self) -> bool:
+        """Whether the router may send new requests here."""
+        return self.state == LIVE
+
+    @property
+    def active(self) -> bool:
+        """Whether the instance still accrues cost and needs stepping."""
+        return self.state != RETIRED
+
+    # -- serving --------------------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> None:
+        if not self.routable:
+            raise ValueError(
+                f"replica {self.replica_id} is {self.state}, not routable")
+        # An idle replica whose clock lags the arrival would otherwise
+        # admit in the past; the scheduler's idle-jump handles it, but
+        # never let a booting clock precede readiness.
+        self.scheduler.submit(request)
+        self.requests_routed += 1
+
+    def step(self, until_s: float) -> list[RequestOutcome]:
+        """Advance the replica's scheduler to the shared-clock horizon."""
+        finished = self.scheduler.step(until_s)
+        for outcome in finished:
+            self.tokens_out += outcome.request.output_tokens
+        return finished
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return self.scheduler.outstanding
+
+    @property
+    def kv_free_fraction(self) -> float:
+        return self.scheduler.kv_free_fraction
+
+    def estimated_ttft_s(self, request: ServeRequest, now: float) -> float:
+        estimate = self.scheduler.estimated_ttft_s(request, now)
+        if self.state == BOOTING:
+            estimate += max(0.0, self.ready_s - now)
+        return estimate
+
+    def billed_hours(self, end_s: float) -> float:
+        """Billed uptime (provisioning to retirement, or to ``end_s``)."""
+        end = self.retired_s if self.retired_s is not None else end_s
+        return max(0.0, end - self.provisioned_s) / 3600.0
+
+    def cost_usd(self, end_s: float) -> float:
+        return self.billed_hours(end_s) * self.spec.price_hr

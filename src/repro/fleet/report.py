@@ -1,0 +1,132 @@
+"""Fleet reports: SLO attainment and serving cost at cluster scale.
+
+Joins per-request outcomes from every replica with per-replica billing
+(:mod:`repro.cost.pricing` rates) into the paper's serving-economics
+metrics: p50/p99 TTFT and end-to-end latency, SLO-attainment curves,
+dollars per million generated tokens, and peak/mean fleet size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..serving.scheduler import RequestOutcome, _percentile
+from .autoscaler import ScaleEvent
+
+
+@dataclass(frozen=True)
+class ReplicaUsage:
+    """Billing and utilization summary of one fleet instance."""
+
+    replica_id: int
+    kind: str
+    price_hr: float
+    provisioned_s: float
+    retired_s: float | None
+    billed_hours: float
+    cost_usd: float
+    requests_served: int
+    tokens_out: int
+
+    def to_dict(self) -> dict:
+        return {
+            "replica_id": self.replica_id,
+            "kind": self.kind,
+            "price_hr": self.price_hr,
+            "provisioned_s": self.provisioned_s,
+            "retired_s": self.retired_s,
+            "billed_hours": self.billed_hours,
+            "cost_usd": self.cost_usd,
+            "requests_served": self.requests_served,
+            "tokens_out": self.tokens_out,
+        }
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregate outcome of one fleet simulation.
+
+    Attributes:
+        outcomes: Per-request lifecycle records in request-id order.
+        start_s: Earliest arrival in the stream.
+        end_s: Completion time of the last request.
+        replicas: Billing summary per instance ever provisioned.
+        scale_events: Autoscaler decision timeline (empty = fixed fleet).
+        total_preemptions: Preempt-and-recompute events fleet-wide.
+        peak_replicas: Most instances simultaneously billed.
+    """
+
+    outcomes: tuple[RequestOutcome, ...]
+    start_s: float
+    end_s: float
+    replicas: tuple[ReplicaUsage, ...]
+    scale_events: tuple[ScaleEvent, ...]
+    total_preemptions: int
+    peak_replicas: int
+
+    @property
+    def makespan_s(self) -> float:
+        """Busy window from first arrival to last completion."""
+        return self.end_s - self.start_s
+
+    @property
+    def tokens_out(self) -> int:
+        return sum(o.request.output_tokens for o in self.outcomes)
+
+    @property
+    def throughput_tok_s(self) -> float:
+        return self.tokens_out / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def cost_usd(self) -> float:
+        """Total fleet bill (instances pay from provisioning to retirement)."""
+        return sum(usage.cost_usd for usage in self.replicas)
+
+    @property
+    def usd_per_mtok(self) -> float:
+        """Dollars per million generated tokens, fleet-wide."""
+        if not self.tokens_out:
+            raise ValueError("no tokens generated")
+        return self.cost_usd / self.tokens_out * 1e6
+
+    def ttft_percentile(self, percentile: float) -> float:
+        return _percentile([o.ttft_s for o in self.outcomes], percentile)
+
+    def e2e_percentile(self, percentile: float) -> float:
+        return _percentile([o.e2e_s for o in self.outcomes], percentile)
+
+    def slo_attainment(self, slo_ttft_s: float) -> float:
+        """Fraction of requests whose TTFT met the SLO."""
+        if slo_ttft_s <= 0:
+            raise ValueError("slo_ttft_s must be positive")
+        met = sum(1 for o in self.outcomes if o.ttft_s <= slo_ttft_s)
+        return met / len(self.outcomes)
+
+    def slo_curve(self, slos_s: list[float]) -> dict[float, float]:
+        """SLO-attainment curve over a grid of TTFT targets."""
+        return {slo: self.slo_attainment(slo) for slo in slos_s}
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (golden snapshots, CLI --json)."""
+        return {
+            "requests": len(self.outcomes),
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "makespan_s": self.makespan_s,
+            "throughput_tok_s": self.throughput_tok_s,
+            "tokens_out": self.tokens_out,
+            "cost_usd": self.cost_usd,
+            "usd_per_mtok": self.usd_per_mtok,
+            "ttft_p50_s": self.ttft_percentile(50),
+            "ttft_p99_s": self.ttft_percentile(99),
+            "e2e_p50_s": self.e2e_percentile(50),
+            "e2e_p99_s": self.e2e_percentile(99),
+            "total_preemptions": self.total_preemptions,
+            "peak_replicas": self.peak_replicas,
+            "scale_events": len(self.scale_events),
+            "replicas": [usage.to_dict() for usage in self.replicas],
+        }
+
+    def summary_rows(self) -> list[dict]:
+        """Per-replica table for CLI printing."""
+        return [usage.to_dict() for usage in self.replicas]

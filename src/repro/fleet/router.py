@@ -1,0 +1,140 @@
+"""Request routers: which replica serves the next arrival.
+
+Routers see the live replica set and pick one per request.  All
+policies are deterministic (ties break on replica id) so fleet reports
+are bit-reproducible.  The cost/SLO-aware policy encodes the paper's
+economic finding directly: CPU TEEs (TDX) are the cheap tier and the
+cGPU the fast tier, so route to the cheapest replica whose estimated
+TTFT still clears the SLO and spill to faster, costlier replicas only
+under SLO risk (Figs. 12-13 turned into a routing policy).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..serving.scheduler import ServeRequest
+from .replica import Replica
+
+
+class Router:
+    """Base router: pick a live replica for each request."""
+
+    name = "base"
+
+    def choose(self, request: ServeRequest, replicas: Sequence[Replica],
+               now: float) -> Replica:
+        """Pick a replica for ``request`` among routable candidates.
+
+        Raises:
+            ValueError: If no replica is routable.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _routable(replicas: Sequence[Replica]) -> list[Replica]:
+        candidates = [r for r in replicas if r.routable]
+        if not candidates:
+            raise ValueError("no routable replica")
+        return candidates
+
+
+class RoundRobinRouter(Router):
+    """Cycle through live replicas in id order (stateful cursor)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, request: ServeRequest, replicas: Sequence[Replica],
+               now: float) -> Replica:
+        candidates = sorted(self._routable(replicas),
+                            key=lambda r: r.replica_id)
+        chosen = candidates[self._next % len(candidates)]
+        self._next += 1
+        return chosen
+
+
+class LeastOutstandingRouter(Router):
+    """Fewest queued-or-running requests wins (join-shortest-queue)."""
+
+    name = "least-outstanding"
+
+    def choose(self, request: ServeRequest, replicas: Sequence[Replica],
+               now: float) -> Replica:
+        return min(self._routable(replicas),
+                   key=lambda r: (r.outstanding, r.replica_id))
+
+
+class KvPressureRouter(Router):
+    """Most free KV blocks wins; breaks ties on queue depth then id.
+
+    Outstanding-request counts miss that a few long-context sequences
+    can exhaust the paged-KV pool; routing on block pressure sends
+    work where memory headroom is, reducing preemption storms.
+    """
+
+    name = "kv-pressure"
+
+    def choose(self, request: ServeRequest, replicas: Sequence[Replica],
+               now: float) -> Replica:
+        return min(self._routable(replicas),
+                   key=lambda r: (-r.kv_free_fraction, r.outstanding,
+                                  r.replica_id))
+
+
+class CostSloRouter(Router):
+    """Prefer cheap replicas until TTFT SLO risk forces a spill.
+
+    Args:
+        slo_ttft_s: The TTFT service-level objective.
+        risk_factor: Fraction of the SLO budget a candidate's estimated
+            TTFT may consume before it is considered at risk (0.8 means
+            spill once the estimate exceeds 80% of the SLO).
+    """
+
+    name = "cost-slo"
+
+    def __init__(self, slo_ttft_s: float, risk_factor: float = 0.8) -> None:
+        if slo_ttft_s <= 0:
+            raise ValueError("slo_ttft_s must be positive")
+        if not 0.0 < risk_factor <= 1.0:
+            raise ValueError("risk_factor must be in (0, 1]")
+        self.slo_ttft_s = slo_ttft_s
+        self.risk_factor = risk_factor
+
+    def choose(self, request: ServeRequest, replicas: Sequence[Replica],
+               now: float) -> Replica:
+        candidates = self._routable(replicas)
+        budget = self.slo_ttft_s * self.risk_factor
+        safe = [r for r in candidates
+                if r.estimated_ttft_s(request, now) <= budget]
+        if safe:
+            # Cheapest safe replica; ties to the least loaded, then id.
+            return min(safe, key=lambda r: (r.spec.price_hr, r.outstanding,
+                                            r.replica_id))
+        # Every replica is at risk: damage control, minimize the miss.
+        return min(candidates,
+                   key=lambda r: (r.estimated_ttft_s(request, now),
+                                  r.replica_id))
+
+
+#: Router names the CLI exposes.
+ROUTER_KINDS = ("round-robin", "least-outstanding", "kv-pressure",
+                "cost-slo")
+
+
+def make_router(kind: str, slo_ttft_s: float = 2.0,
+                risk_factor: float = 0.8) -> Router:
+    """Build a router by name (CLI convenience)."""
+    if kind == "round-robin":
+        return RoundRobinRouter()
+    if kind == "least-outstanding":
+        return LeastOutstandingRouter()
+    if kind == "kv-pressure":
+        return KvPressureRouter()
+    if kind == "cost-slo":
+        return CostSloRouter(slo_ttft_s, risk_factor)
+    raise ValueError(f"unknown router {kind!r}; "
+                     f"expected one of {ROUTER_KINDS}")

@@ -9,12 +9,32 @@ substrates: admission and preemption run against the functional
 the same TEE-aware cost model as every other experiment — so serving
 SLAs (TTFT, end-to-end latency) can be compared across bare metal, TDX,
 and (c)GPU deployments.
+
+The scheduler is *incrementally steppable*: the fleet simulator
+(:mod:`repro.fleet`) drives many replicas against a shared clock via
+:meth:`ContinuousBatchingScheduler.submit` and
+:meth:`ContinuousBatchingScheduler.step`, while :meth:`~
+ContinuousBatchingScheduler.run` remains the single-replica
+run-to-completion entry point (a thin wrapper over ``step``; its output
+is pinned bit-identical to the pre-refactor loop by
+``repro.validate``'s ``serving.legacy_loop_parity`` check).
+
+Admission policy (head-of-line).  By default admission is strict FCFS:
+the admission loop ``break``s on the first queued request whose KV
+allocation fails, even if a *smaller* request queued behind it would
+fit — exactly vLLM's default behavior, which trades utilization for
+no-starvation.  Passing ``admission_lookahead=k`` relaxes this: after a
+head-of-line allocation failure the scheduler scans up to ``k`` further
+already-arrived requests and admits the first that fits (bounded
+out-of-order admission; the head request keeps its queue position).
 """
 
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass
+
 
 from ..engine.placement import Deployment
 from ..engine.roofline import WorkingSets, cost_model_for
@@ -65,12 +85,32 @@ class RequestOutcome:
 
 @dataclass(frozen=True)
 class ServingReport:
-    """Aggregate serving metrics."""
+    """Aggregate serving metrics.
+
+    Attributes:
+        outcomes: Per-request lifecycle records, in submission order.
+        start_s: When serving work first existed — the earliest arrival.
+            The wall-clock timeline of the outcomes is absolute, so the
+            serving window is ``[start_s, start_s + makespan_s]``.
+        makespan_s: Busy window from the first arrival to the last
+            completion.  Measuring from the first *arrival* (not from
+            clock 0) keeps throughput honest when the stream starts
+            late: idle lead time before any work exists is not
+            serving time.
+        total_preemptions: Preempt-and-recompute events across the run.
+        mean_batch_occupancy: Mean decode-batch size over all steps.
+    """
 
     outcomes: tuple[RequestOutcome, ...]
     makespan_s: float
     total_preemptions: int
     mean_batch_occupancy: float
+    start_s: float = 0.0
+
+    @property
+    def end_s(self) -> float:
+        """Absolute completion time of the last request."""
+        return self.start_s + self.makespan_s
 
     @property
     def throughput_tok_s(self) -> float:
@@ -85,14 +125,22 @@ class ServingReport:
 
 
 def _percentile(values: list[float], percentile: float) -> float:
+    """Linearly interpolated percentile (numpy's default method).
+
+    Nearest-rank rounding returns an endpoint for the median of two
+    values, skewing small-sample TTFT/e2e percentiles; interpolation
+    matches ``numpy.percentile`` exactly.
+    """
     if not values:
         raise ValueError("no values")
     if not 0.0 <= percentile <= 100.0:
         raise ValueError("percentile must be in [0, 100]")
     ordered = sorted(values)
-    index = min(len(ordered) - 1,
-                int(round(percentile / 100.0 * (len(ordered) - 1))))
-    return ordered[index]
+    rank = percentile / 100.0 * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
 @dataclass
@@ -105,6 +153,12 @@ class _Running:
 class ContinuousBatchingScheduler:
     """vLLM-style continuous batching over a paged KV cache.
 
+    The scheduler is a state machine over (waiting, running, clock):
+    :meth:`submit` enqueues requests, :meth:`step` advances the
+    admission/decode/preemption loop up to a time horizon (the fleet
+    simulator's shared-clock contract), and :meth:`run` serves a whole
+    stream to completion in one call.
+
     Args:
         deployment: Where the model serves (any backend).
         model: Served architecture.
@@ -112,23 +166,42 @@ class ContinuousBatchingScheduler:
         kv_capacity_tokens: Total KV pool size in tokens.
         block_size: Paged-KV block granularity in tokens.
         max_batch: Scheduler cap on concurrent sequences.
+        admission_lookahead: How many queued, already-arrived requests
+            to scan past a head-of-line KV-allocation failure (0 =
+            strict FCFS, the vLLM default; see module docstring).
     """
 
     def __init__(self, deployment: Deployment, model: ModelConfig,
                  dtype: DType, kv_capacity_tokens: int = 65536,
-                 block_size: int = 16, max_batch: int = 64) -> None:
+                 block_size: int = 16, max_batch: int = 64,
+                 admission_lookahead: int = 0) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if admission_lookahead < 0:
+            raise ValueError("admission_lookahead must be >= 0")
         self.deployment = deployment
         self.model = model
         self.dtype = dtype
         self.max_batch = max_batch
         self.block_size = block_size
+        self.admission_lookahead = admission_lookahead
         self.cache = PagedKVCache(
             num_blocks=max(1, kv_capacity_tokens // block_size),
             block_size=block_size)
         self._cost_model = cost_model_for(deployment)
         self._step_cache: dict[tuple[int, int], float] = {}
+        self._prefill_cache: dict[int, float] = {}
+        self._reset()
+
+    def _reset(self) -> None:
+        self._waiting: list[ServeRequest] = []
+        self._running: list[_Running] = []
+        self._outcomes: dict[int, RequestOutcome] = {}
+        self._order: list[int] = []
+        self._clock = 0.0
+        self._preemptions = 0
+        self._occupancy: list[int] = []
+        self._first_arrival: float | None = None
 
     # -- cost helpers ---------------------------------------------------------
 
@@ -149,15 +222,235 @@ class ContinuousBatchingScheduler:
         return self._step_cache[key]
 
     def _prefill_s(self, prompt_tokens: int) -> float:
-        ops = prefill_ops(self.model, self.dtype, 1, prompt_tokens)
-        step = self._cost_model.step_cost(
-            ops, self._sets(1, prompt_tokens), self.dtype)
-        return step.total_s
+        if prompt_tokens not in self._prefill_cache:
+            ops = prefill_ops(self.model, self.dtype, 1, prompt_tokens)
+            step = self._cost_model.step_cost(
+                ops, self._sets(1, prompt_tokens), self.dtype)
+            self._prefill_cache[prompt_tokens] = step.total_s
+        return self._prefill_cache[prompt_tokens]
+
+    # -- steppable state machine ----------------------------------------------
+
+    @property
+    def clock_s(self) -> float:
+        """The replica's local wall clock."""
+        return self._clock
+
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted or queued but not yet finished."""
+        return len(self._waiting) + len(self._running)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for admission."""
+        return len(self._waiting)
+
+    @property
+    def kv_free_fraction(self) -> float:
+        """Fraction of the KV block pool currently free."""
+        return self.cache.free_blocks / self.cache.num_blocks
+
+    @property
+    def idle(self) -> bool:
+        """No admitted or queued work."""
+        return not self._waiting and not self._running
+
+    @property
+    def preemptions(self) -> int:
+        """Preempt-and-recompute events so far."""
+        return self._preemptions
+
+    def advance_clock_to(self, now_s: float) -> None:
+        """Move the local clock forward to ``now_s`` (never backward).
+
+        The fleet uses this to floor a freshly booted replica's clock at
+        its readiness time so held-back requests cannot be served in
+        the past; it never rewinds time.
+        """
+        if math.isfinite(now_s):
+            self._clock = max(self._clock, now_s)
+
+    def _check_fits(self, request: ServeRequest) -> None:
+        needed = request.prompt_tokens + request.output_tokens
+        if needed > self.cache.num_blocks * self.block_size:
+            raise ValueError(
+                f"request {request.request_id} needs {needed} KV tokens, "
+                f"pool holds {self.cache.num_blocks * self.block_size}")
+
+    def submit(self, request: ServeRequest) -> None:
+        """Enqueue one request for service (fleet/step entry point).
+
+        Raises:
+            ValueError: If the request cannot ever fit the KV pool or
+                reuses an id still in flight.
+        """
+        self._check_fits(request)
+        if request.request_id in self._outcomes:
+            raise ValueError(f"request id {request.request_id} already "
+                             "submitted to this replica")
+        self._outcomes[request.request_id] = RequestOutcome(request=request)
+        self._order.append(request.request_id)
+        insort(self._waiting, request,
+               key=lambda r: (r.arrival_s, r.request_id))
+        if self._first_arrival is None or request.arrival_s < self._first_arrival:
+            self._first_arrival = request.arrival_s
+
+    def estimated_ttft_s(self, request: ServeRequest, now: float) -> float:
+        """Deterministic TTFT estimate if ``request`` were routed here now.
+
+        Counts the replica's clock lead over ``now``, the prefill work
+        queued ahead of the request, and the request's own prefill —
+        the quantity the cost/SLO-aware router compares against the
+        TTFT SLO.  An underestimate under decode contention, but
+        monotone in queue depth, which is what routing needs.
+        """
+        backlog = max(0.0, self._clock - now)
+        backlog += sum(self._prefill_s(r.prompt_tokens)
+                       for r in self._waiting)
+        return backlog + self._prefill_s(request.prompt_tokens)
+
+    def _admit(self) -> None:
+        """Admit arrived requests while memory and batch slots allow."""
+        while (self._waiting and len(self._running) < self.max_batch
+               and self._waiting[0].arrival_s <= self._clock):
+            request = self._waiting[0]
+            admitted_index = 0
+            try:
+                self.cache.allocate(request.request_id,
+                                    request.prompt_tokens)
+            except MemoryError:
+                # Head-of-line blocking: strict FCFS stops here.  With
+                # lookahead, scan a bounded window of arrived requests
+                # for one that fits right now.
+                admitted_index = -1
+                for index in range(1, 1 + min(self.admission_lookahead,
+                                              len(self._waiting) - 1)):
+                    candidate = self._waiting[index]
+                    if candidate.arrival_s > self._clock:
+                        break
+                    try:
+                        self.cache.allocate(candidate.request_id,
+                                            candidate.prompt_tokens)
+                    except MemoryError:
+                        continue
+                    request = candidate
+                    admitted_index = index
+                    break
+                if admitted_index < 0:
+                    break
+            self._waiting.pop(admitted_index)
+            self._clock += self._prefill_s(request.prompt_tokens)
+            outcome = self._outcomes[request.request_id]
+            outcome.first_token_s = self._clock
+            self._running.append(_Running(request=request, outcome=outcome))
+
+    def _decode_once(self) -> list[RequestOutcome]:
+        """One decode step for the whole batch; returns new finishes."""
+        running = self._running
+        contexts = [r.request.prompt_tokens + r.generated for r in running]
+        mean_context = int(sum(contexts) / len(contexts))
+        self._occupancy.append(len(running))
+        self._clock += self._decode_step_s(len(running), max(1, mean_context))
+
+        finished: list[_Running] = []
+        preempted_ids: set[int] = set()
+
+        def preempt_youngest() -> _Running:
+            victim = running[-1]
+            self.cache.free(victim.request.request_id)
+            victim.outcome.preemptions += 1
+            victim.generated = 0
+            running.remove(victim)
+            self._waiting.insert(0, victim.request)
+            preempted_ids.add(victim.request.request_id)
+            return victim
+
+        for entry in list(running):
+            if entry.request.request_id in preempted_ids:
+                continue
+            appended = False
+            while not appended:
+                try:
+                    self.cache.append_token(entry.request.request_id)
+                    appended = True
+                except MemoryError:
+                    # Preempt the youngest sequence; vLLM recomputes
+                    # it from scratch on re-admission.
+                    victim = preempt_youngest()
+                    self._preemptions += 1
+                    if victim is entry:
+                        break
+            if not appended:
+                continue
+            entry.generated += 1
+            if entry.generated >= entry.request.output_tokens:
+                finished.append(entry)
+        results = []
+        for entry in finished:
+            entry.outcome.finish_s = self._clock
+            self.cache.free(entry.request.request_id)
+            running.remove(entry)
+            results.append(entry.outcome)
+        return results
+
+    def step(self, until_s: float | None = None) -> list[RequestOutcome]:
+        """Advance the serving loop up to a time horizon.
+
+        Repeats admission/decode iterations while work exists and the
+        local clock is below ``until_s`` (``None`` = run to completion).
+        A decode or prefill step in flight at the horizon completes —
+        steps are not preemptible — so the clock may end slightly past
+        ``until_s``.  When the replica is idle, the clock jumps to the
+        next arrival but never past the horizon (an idle replica's
+        clock stays put so later submissions are not delayed).
+
+        Returns:
+            Outcomes of requests that finished during this call.
+        """
+        finished: list[RequestOutcome] = []
+        while self._waiting or self._running:
+            if until_s is not None and self._clock >= until_s:
+                break
+            if (not self._running and until_s is not None
+                    and self._waiting[0].arrival_s > until_s):
+                break  # only future work remains in this horizon
+            self._admit()
+            if not self._running:
+                # Idle until the next arrival.
+                self._clock = max(self._clock, self._waiting[0].arrival_s)
+                continue
+            finished.extend(self._decode_once())
+        return finished
+
+    def report(self) -> ServingReport:
+        """Aggregate metrics of everything served so far.
+
+        Raises:
+            ValueError: If nothing was ever submitted.
+        """
+        if not self._order:
+            raise ValueError("no requests")
+        ordered = tuple(self._outcomes[request_id]
+                        for request_id in self._order)
+        mean_occupancy = (sum(self._occupancy) / len(self._occupancy)
+                          if self._occupancy else 0.0)
+        start = self._first_arrival or 0.0
+        return ServingReport(outcomes=ordered,
+                             makespan_s=self._clock - start,
+                             total_preemptions=self._preemptions,
+                             mean_batch_occupancy=mean_occupancy,
+                             start_s=start)
 
     # -- serving loop -----------------------------------------------------------
 
     def run(self, requests: list[ServeRequest]) -> ServingReport:
         """Serve a request stream to completion.
+
+        A thin wrapper over :meth:`step`: validates the whole stream,
+        installs it as the waiting queue, and steps to completion.
+        Per-request timelines are bit-identical to the pre-steppable
+        run-to-completion loop (pinned by ``repro.validate``).
 
         Raises:
             ValueError: If any single request cannot ever fit the KV pool.
@@ -165,91 +458,17 @@ class ContinuousBatchingScheduler:
         if not requests:
             raise ValueError("no requests")
         for request in requests:
-            needed = request.prompt_tokens + request.output_tokens
-            if needed > self.cache.num_blocks * self.block_size:
-                raise ValueError(
-                    f"request {request.request_id} needs {needed} KV tokens, "
-                    f"pool holds {self.cache.num_blocks * self.block_size}")
+            self._check_fits(request)
 
-        waiting = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        outcomes = {r.request_id: RequestOutcome(request=r) for r in requests}
-        running: list[_Running] = []
-        clock = 0.0
-        preemptions = 0
-        occupancy_samples: list[int] = []
-
-        while waiting or running:
-            # Admit arrived requests while memory and batch slots allow.
-            while (waiting and len(running) < self.max_batch
-                   and waiting[0].arrival_s <= clock):
-                request = waiting[0]
-                try:
-                    self.cache.allocate(request.request_id,
-                                        request.prompt_tokens)
-                except MemoryError:
-                    break
-                waiting.pop(0)
-                clock += self._prefill_s(request.prompt_tokens)
-                outcome = outcomes[request.request_id]
-                outcome.first_token_s = clock
-                running.append(_Running(request=request, outcome=outcome))
-
-            if not running:
-                # Idle until the next arrival.
-                clock = max(clock, waiting[0].arrival_s)
-                continue
-
-            # One decode step for the whole batch.
-            contexts = [r.request.prompt_tokens + r.generated
-                        for r in running]
-            mean_context = int(sum(contexts) / len(contexts))
-            occupancy_samples.append(len(running))
-            clock += self._decode_step_s(len(running), max(1, mean_context))
-
-            finished: list[_Running] = []
-            preempted_ids: set[int] = set()
-
-            def preempt_youngest() -> _Running:
-                victim = running[-1]
-                self.cache.free(victim.request.request_id)
-                victim.outcome.preemptions += 1
-                victim.generated = 0
-                running.remove(victim)
-                waiting.insert(0, victim.request)
-                preempted_ids.add(victim.request.request_id)
-                return victim
-
-            for entry in list(running):
-                if entry.request.request_id in preempted_ids:
-                    continue
-                appended = False
-                while not appended:
-                    try:
-                        self.cache.append_token(entry.request.request_id)
-                        appended = True
-                    except MemoryError:
-                        # Preempt the youngest sequence; vLLM recomputes
-                        # it from scratch on re-admission.
-                        victim = preempt_youngest()
-                        preemptions += 1
-                        if victim is entry:
-                            break
-                if not appended:
-                    continue
-                entry.generated += 1
-                if entry.generated >= entry.request.output_tokens:
-                    finished.append(entry)
-            for entry in finished:
-                entry.outcome.finish_s = clock
-                self.cache.free(entry.request.request_id)
-                running.remove(entry)
-
-        ordered = tuple(outcomes[r.request_id] for r in requests)
-        mean_occupancy = (sum(occupancy_samples) / len(occupancy_samples)
-                          if occupancy_samples else 0.0)
-        return ServingReport(outcomes=ordered, makespan_s=clock,
-                             total_preemptions=preemptions,
-                             mean_batch_occupancy=mean_occupancy)
+        self._reset()
+        self._waiting = sorted(requests,
+                               key=lambda r: (r.arrival_s, r.request_id))
+        self._outcomes = {r.request_id: RequestOutcome(request=r)
+                          for r in requests}
+        self._order = [r.request_id for r in requests]
+        self._first_arrival = min(r.arrival_s for r in requests)
+        self.step(None)
+        return self.report()
 
 
 def poisson_stream(count: int, rate_per_s: float, mean_prompt: int = 256,

@@ -34,6 +34,7 @@ from .runner import AuditReport, CheckResult, run_audit, run_check
 from . import differential as _differential  # noqa: E402,F401
 from . import metamorphic as _metamorphic  # noqa: E402,F401
 from . import golden as _golden  # noqa: E402,F401
+from . import fleet as _fleet  # noqa: E402,F401
 
 __all__ = [
     "AuditContext",

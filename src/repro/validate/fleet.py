@@ -1,0 +1,287 @@
+"""Fleet and steppable-scheduler audit checks (all three families).
+
+The steppable refactor of :class:`ContinuousBatchingScheduler` and the
+fleet layer on top of it get the same treatment as every other fast
+path in the repository: a slower, simpler twin to diff against, a set
+of directional invariants, and a golden snapshot of the headline
+capacity-planning numbers.
+
+* ``serving.legacy_loop_parity`` (differential) re-implements the
+  pre-refactor run-to-completion loop verbatim and requires ``run()``
+  to reproduce it **bit-identically** — the refactor's acceptance
+  criterion, pinned forever.
+* ``serving.step_run_parity`` (differential) drives the same stream
+  through ``submit``/``step`` at several horizon cadences and requires
+  exact equality with ``run()``.
+* ``fleet.*`` metamorphic checks encode cluster-level physics: adding
+  a replica never raises p99 TTFT under fixed load, requests are
+  conserved through routing/autoscaling, fleet runs are deterministic.
+* ``golden.fleet_capacity`` snapshots the capacity-planning sweep —
+  replicas needed and $/Mtok at the p99 TTFT SLO for TDX and cGPU
+  fleets on a fixed trace.
+"""
+
+from __future__ import annotations
+
+from ..fleet import (
+    capacity_sweep,
+    fixed_fleet,
+    poisson_arrivals,
+    replica_spec,
+    trace_replay,
+)
+from ..llm.kvcache import PagedKVCache
+from ..serving.scheduler import ContinuousBatchingScheduler, poisson_stream
+from .context import AuditContext
+from .golden import _golden
+from .registry import CheckFailure, check
+
+
+def _legacy_run(scheduler: ContinuousBatchingScheduler, requests):
+    """The pre-steppable run-to-completion loop, verbatim.
+
+    A frozen transcription of the original
+    ``ContinuousBatchingScheduler.run`` body (run state lived in
+    locals, one monolithic while loop).  Returns per-request
+    ``(first_token_s, finish_s, preemptions)`` plus the final clock —
+    the ground truth the refactored ``run`` must match bit-for-bit.
+    """
+    cache = PagedKVCache(num_blocks=scheduler.cache.num_blocks,
+                         block_size=scheduler.block_size)
+    waiting = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+    timeline = {r.request_id: [0.0, 0.0, 0] for r in requests}
+    running: list = []  # (request, generated) mutable pairs
+    clock = 0.0
+    preemptions = 0
+    occupancy: list[int] = []
+
+    while waiting or running:
+        while (waiting and len(running) < scheduler.max_batch
+               and waiting[0].arrival_s <= clock):
+            request = waiting[0]
+            try:
+                cache.allocate(request.request_id, request.prompt_tokens)
+            except MemoryError:
+                break
+            waiting.pop(0)
+            clock += scheduler._prefill_s(request.prompt_tokens)
+            timeline[request.request_id][0] = clock
+            running.append([request, 0])
+        if not running:
+            clock = max(clock, waiting[0].arrival_s)
+            continue
+        contexts = [entry[0].prompt_tokens + entry[1] for entry in running]
+        mean_context = int(sum(contexts) / len(contexts))
+        occupancy.append(len(running))
+        clock += scheduler._decode_step_s(len(running), max(1, mean_context))
+
+        finished = []
+        preempted_ids: set[int] = set()
+
+        def preempt_youngest():
+            victim = running[-1]
+            cache.free(victim[0].request_id)
+            timeline[victim[0].request_id][2] += 1
+            victim[1] = 0
+            running.remove(victim)
+            waiting.insert(0, victim[0])
+            preempted_ids.add(victim[0].request_id)
+            return victim
+
+        for entry in list(running):
+            if entry[0].request_id in preempted_ids:
+                continue
+            appended = False
+            while not appended:
+                try:
+                    cache.append_token(entry[0].request_id)
+                    appended = True
+                except MemoryError:
+                    victim = preempt_youngest()
+                    preemptions += 1
+                    if victim is entry:
+                        break
+            if not appended:
+                continue
+            entry[1] += 1
+            if entry[1] >= entry[0].output_tokens:
+                finished.append(entry)
+        for entry in finished:
+            timeline[entry[0].request_id][1] = clock
+            cache.free(entry[0].request_id)
+            running.remove(entry)
+
+    mean_occupancy = sum(occupancy) / len(occupancy) if occupancy else 0.0
+    return timeline, clock, preemptions, mean_occupancy
+
+
+def _serving_cases(ctx: AuditContext):
+    """(label, scheduler-factory, stream) cases shared by the parity checks."""
+    def scheduler(backend: str, kv: int, batch: int):
+        deployment = (ctx.gpu(confidential=True) if backend == "cgpu"
+                      else ctx.cpu(backend))
+        return ContinuousBatchingScheduler(deployment, ctx.model, ctx.dtype,
+                                           kv_capacity_tokens=kv,
+                                           max_batch=batch)
+    return (
+        ("tdx/relaxed", lambda: scheduler("tdx", 65536, 16),
+         poisson_stream(16, 4.0, mean_prompt=128, mean_output=32, seed=2)),
+        ("baremetal/preempting", lambda: scheduler("baremetal", 1024, 8),
+         poisson_stream(20, 2.0, mean_prompt=96, mean_output=48, seed=7)),
+        ("cgpu/bursty", lambda: scheduler("cgpu", 16384, 32),
+         poisson_stream(24, 8.0, mean_prompt=256, mean_output=64, seed=17)),
+    )
+
+
+@check("serving.legacy_loop_parity", family="differential",
+       layers=("serving", "fleet"))
+def legacy_loop_parity(ctx: AuditContext) -> str:
+    """run() reproduces the pre-steppable monolithic loop bit-identically."""
+    checked = 0
+    for label, make, stream in _serving_cases(ctx):
+        report = make().run(stream)
+        timeline, clock, preemptions, occupancy = _legacy_run(make(), stream)
+        if report.total_preemptions != preemptions:
+            raise CheckFailure(f"{label}: preemption counts diverge")
+        if report.mean_batch_occupancy != occupancy:
+            raise CheckFailure(f"{label}: occupancy diverged")
+        if report.start_s + report.makespan_s != clock:
+            raise CheckFailure(
+                f"{label}: end clock {report.start_s + report.makespan_s!r} "
+                f"!= legacy {clock!r}")
+        for outcome in report.outcomes:
+            first, finish, preempts = timeline[outcome.request.request_id]
+            # Bit-identical means float equality, not tolerance.
+            if (outcome.first_token_s != first
+                    or outcome.finish_s != finish
+                    or outcome.preemptions != preempts):
+                raise CheckFailure(
+                    f"{label}: request {outcome.request.request_id} timeline "
+                    f"diverged from the legacy loop")
+            checked += 1
+    return f"{checked} request timelines bit-identical across 3 streams"
+
+
+@check("serving.step_run_parity", family="differential",
+       layers=("serving", "fleet"))
+def step_run_parity(ctx: AuditContext) -> str:
+    """submit()+step() at any cadence equals run() exactly."""
+    horizons = (0.1, 5.0)  # fine- and coarse-grained stepping cadences
+    checked = 0
+    for label, make, stream in _serving_cases(ctx):
+        expected = make().run(stream)
+        for horizon in horizons:
+            scheduler = make()
+            for request in stream:
+                scheduler.submit(request)
+            clock = 0.0
+            while not scheduler.idle:
+                clock += horizon
+                scheduler.step(clock)
+            got = scheduler.report()
+            pairs = zip(expected.outcomes, got.outcomes)
+            if any((a.first_token_s, a.finish_s, a.preemptions)
+                   != (b.first_token_s, b.finish_s, b.preemptions)
+                   for a, b in pairs):
+                raise CheckFailure(
+                    f"{label}: stepped horizon {horizon} diverged from run()")
+            if (expected.makespan_s != got.makespan_s
+                    or expected.mean_batch_occupancy
+                    != got.mean_batch_occupancy):
+                raise CheckFailure(
+                    f"{label}: aggregate metrics diverged at horizon "
+                    f"{horizon}")
+            checked += 1
+    return f"{checked} (stream, horizon) pairs exact"
+
+
+# -- fleet metamorphic checks -------------------------------------------------
+
+def _fleet_stream():
+    return poisson_arrivals(40, rate_per_s=4.0, mean_prompt=128,
+                            mean_output=32, seed=11)
+
+
+def _tdx_spec():
+    return replica_spec("tdx", max_batch=16, kv_capacity_tokens=65536)
+
+
+@check("fleet.replica_scaling_monotonic_tail", family="metamorphic",
+       layers=("fleet", "serving"))
+def replica_scaling_monotonic_tail(ctx: AuditContext) -> str:
+    """Adding a replica never raises p99 TTFT under fixed load."""
+    stream = _fleet_stream()
+    spec = _tdx_spec()
+    p99s = [fixed_fleet(spec, count).run(stream).ttft_percentile(99)
+            for count in (1, 2, 3)]
+    for earlier, later in zip(p99s, p99s[1:]):
+        if later > earlier * (1.0 + ctx.tol.monotonic_slack_rel):
+            raise CheckFailure(
+                f"p99 TTFT rose when adding a replica: {earlier:.3f}s -> "
+                f"{later:.3f}s", deltas={"earlier": earlier, "later": later})
+    return " -> ".join(f"{p:.2f}s" for p in p99s)
+
+
+@check("fleet.request_conservation", family="metamorphic",
+       layers=("fleet", "serving"))
+def fleet_request_conservation(ctx: AuditContext) -> str:
+    """Routing and autoscaling never lose or duplicate a request."""
+    from ..fleet import AutoscalerConfig, FleetSimulator, ReactiveAutoscaler
+    stream = _fleet_stream()
+    scaler = ReactiveAutoscaler(AutoscalerConfig(
+        max_replicas=4, scale_up_load=3.0, scale_down_load=0.5,
+        cooldown_s=2.0, boot_latency_s=5.0))
+    report = FleetSimulator([_tdx_spec()], autoscaler=scaler).run(stream)
+    served = sorted(o.request.request_id for o in report.outcomes)
+    if served != [r.request_id for r in stream]:
+        raise CheckFailure("request ids lost or duplicated across the fleet")
+    if sum(u.requests_served for u in report.replicas) != len(stream):
+        raise CheckFailure("per-replica routing counts do not sum to stream")
+    if any(o.finish_s <= 0 or o.ttft_s < 0 for o in report.outcomes):
+        raise CheckFailure("unserved or acausal outcome in fleet report")
+    return (f"{len(stream)} requests over {len(report.replicas)} replicas, "
+            f"peak {report.peak_replicas}")
+
+
+@check("fleet.deterministic_replay", family="metamorphic",
+       layers=("fleet",))
+def fleet_deterministic_replay(ctx: AuditContext) -> str:
+    """Same seed + config produce an identical fleet report."""
+    stream = _fleet_stream()
+    spec = _tdx_spec()
+    first = fixed_fleet(spec, 2).run(stream).to_dict()
+    second = fixed_fleet(spec, 2).run(stream).to_dict()
+    if first != second:
+        raise CheckFailure("fleet report not reproducible across runs")
+    return f"{first['requests']} requests, report dicts identical"
+
+
+# -- fleet golden snapshot ----------------------------------------------------
+
+#: The committed capacity-planning trace: 60 requests at 4 req/s with
+#: deterministic size variation (no RNG — the trace IS the config).
+CAPACITY_TRACE = tuple((0.25 * i, 192 + (37 * i) % 160, 48 + (13 * i) % 48)
+                       for i in range(60))
+
+#: The p99 TTFT objective the capacity golden plans against.
+CAPACITY_SLO_TTFT_S = 2.0
+
+
+@_golden("fleet_capacity", "Fleet capacity plan: replicas and $/Mtok at SLO",
+         layers=("fleet", "serving", "cost"))
+def fleet_capacity(ctx: AuditContext) -> dict[str, float]:
+    requests = trace_replay(list(CAPACITY_TRACE))
+    specs = [replica_spec("tdx", max_batch=16, kv_capacity_tokens=65536),
+             replica_spec("cgpu", max_batch=16, kv_capacity_tokens=65536)]
+    plans = capacity_sweep(specs, requests, slo_ttft_s=CAPACITY_SLO_TTFT_S,
+                           max_replicas=6)
+    series: dict[str, float] = {}
+    for kind, plan in plans.items():
+        if plan.replicas_needed is None:
+            raise CheckFailure(
+                f"{kind}: SLO unattainable within the swept fleet sizes")
+        series[f"{kind}/replicas_needed"] = float(plan.replicas_needed)
+        series[f"{kind}/usd_per_mtok_at_slo"] = plan.usd_per_mtok_at_slo
+        series[f"{kind}/p99_ttft_at_slo_s"] = plan.plan_point.p99_ttft_s
+        series[f"{kind}/attainment_at_slo"] = plan.plan_point.attainment
+    return series

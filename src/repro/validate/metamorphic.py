@@ -260,8 +260,10 @@ def scheduler_conservation(ctx: AuditContext) -> str:
             "stress stream caused no preemptions; check is not exercising "
             "the recompute path (grow the load or shrink the pool)")
     for outcome in report.outcomes:
+        # makespan is measured from the first arrival, so the absolute
+        # end of the serving window is start_s + makespan_s.
         if not (outcome.request.arrival_s <= outcome.first_token_s
-                <= outcome.finish_s <= report.makespan_s):
+                <= outcome.finish_s <= report.end_s):
             raise CheckFailure(
                 f"request {outcome.request.request_id} lifecycle disordered")
     cache = scheduler.cache

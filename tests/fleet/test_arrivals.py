@@ -1,0 +1,112 @@
+"""Arrival-process generators: determinism, shape, and regime behavior."""
+
+import statistics
+
+import pytest
+
+from repro.fleet.arrivals import (
+    diurnal_arrivals,
+    make_arrivals,
+    mmpp_arrivals,
+    poisson_arrivals,
+    trace_replay,
+)
+
+
+def gaps(requests):
+    arrivals = [r.arrival_s for r in requests]
+    return [b - a for a, b in zip(arrivals, arrivals[1:])]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("kind", ["poisson", "mmpp", "diurnal"])
+    def test_deterministic_and_sorted(self, kind):
+        a = make_arrivals(kind, 50, 4.0, seed=3)
+        b = make_arrivals(kind, 50, 4.0, seed=3)
+        assert a == b
+        arrivals = [r.arrival_s for r in a]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in a] == list(range(50))
+
+    @pytest.mark.parametrize("kind", ["poisson", "mmpp", "diurnal"])
+    def test_seed_changes_stream(self, kind):
+        assert make_arrivals(kind, 30, 4.0, seed=1) != \
+            make_arrivals(kind, 30, 4.0, seed=2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            make_arrivals("weibull", 10, 1.0)
+
+
+class TestPoisson:
+    def test_mean_rate_approximate(self):
+        requests = poisson_arrivals(400, rate_per_s=5.0, seed=0)
+        mean_gap = statistics.fmean(gaps(requests))
+        assert 0.15 < mean_gap < 0.27  # 1/5 s +- sampling noise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(5, 0.0)
+
+
+class TestMmpp:
+    def test_burstier_than_poisson(self):
+        """MMPP inter-arrival gaps are overdispersed vs exponential.
+
+        The squared coefficient of variation of a Poisson process's
+        gaps is 1; a 2-state MMPP with distinct rates exceeds it.
+        """
+        poisson = poisson_arrivals(600, rate_per_s=4.0, seed=1)
+        mmpp = mmpp_arrivals(600, calm_rate_per_s=1.0, burst_rate_per_s=16.0,
+                             mean_calm_s=10.0, mean_burst_s=5.0, seed=1)
+
+        def cv2(requests):
+            g = gaps(requests)
+            return statistics.variance(g) / statistics.fmean(g) ** 2
+
+        assert cv2(mmpp) > 1.5 * cv2(poisson)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmpp_arrivals(10, 4.0, 2.0)  # burst < calm
+        with pytest.raises(ValueError):
+            mmpp_arrivals(10, 4.0, 8.0, mean_calm_s=0.0)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(0, 1.0, 2.0)
+
+
+class TestDiurnal:
+    def test_peak_denser_than_trough(self):
+        """More arrivals land in the peak half-period than the trough."""
+        period = 100.0
+        requests = diurnal_arrivals(800, mean_rate_per_s=6.0,
+                                    period_s=period, peak_to_trough=6.0,
+                                    seed=2)
+        peak = sum(1 for r in requests if (r.arrival_s % period) < period / 2)
+        trough = len(requests) - peak
+        assert peak > 1.4 * trough
+
+    def test_flat_curve_allowed(self):
+        requests = diurnal_arrivals(50, 4.0, peak_to_trough=1.0, seed=0)
+        assert len(requests) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10, 4.0, peak_to_trough=0.5)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10, 0.0)
+
+
+class TestTraceReplay:
+    def test_exact_replay(self):
+        trace = [(0.0, 128, 32), (1.5, 64, 8), (1.5, 256, 16)]
+        requests = trace_replay(trace)
+        assert [(r.arrival_s, r.prompt_tokens, r.output_tokens)
+                for r in requests] == trace
+        assert [r.request_id for r in requests] == [0, 1, 2]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            trace_replay([])

@@ -1,0 +1,171 @@
+"""Router policies and the reactive autoscaler, in isolation."""
+
+import pytest
+
+from repro.fleet.autoscaler import AutoscalerConfig, ReactiveAutoscaler
+from repro.fleet.replica import Replica, replica_spec
+from repro.fleet.router import (
+    CostSloRouter,
+    KvPressureRouter,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.serving.scheduler import ServeRequest
+
+TDX = replica_spec("tdx", max_batch=8, kv_capacity_tokens=8192)
+CGPU = replica_spec("cgpu", max_batch=8, kv_capacity_tokens=8192)
+
+
+def live_replicas(*specs):
+    return [Replica(replica_id=i, spec=spec, provisioned_s=0.0,
+                    boot_latency_s=0.0) for i, spec in enumerate(specs)]
+
+
+def request(request_id=0, arrival=0.0, prompt=64, output=8):
+    return ServeRequest(request_id, arrival, prompt, output)
+
+
+class TestRouters:
+    def test_round_robin_cycles(self):
+        replicas = live_replicas(TDX, TDX, TDX)
+        router = RoundRobinRouter()
+        picks = [router.choose(request(i), replicas, 0.0).replica_id
+                 for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_prefers_empty(self):
+        replicas = live_replicas(TDX, TDX)
+        replicas[0].submit(request(0))
+        chosen = LeastOutstandingRouter().choose(request(1), replicas, 0.0)
+        assert chosen.replica_id == 1
+
+    def test_kv_pressure_prefers_free_pool(self):
+        replicas = live_replicas(TDX, TDX)
+        # Fill replica 0's pool without stepping (tokens stay allocated).
+        replicas[0].submit(request(0, prompt=2048, output=8))
+        replicas[0].step(0.0)  # admit -> blocks allocated
+        chosen = KvPressureRouter().choose(request(1), replicas, 0.0)
+        assert chosen.replica_id == 1
+
+    def test_cost_slo_prefers_cheap_until_risk(self):
+        replicas = live_replicas(TDX, CGPU)
+        router = CostSloRouter(slo_ttft_s=30.0)
+        # Unloaded: cheap TDX wins despite being slower.
+        assert router.choose(request(0), replicas, 0.0).replica_id == 0
+
+    def test_cost_slo_spills_to_gpu_under_risk(self):
+        replicas = live_replicas(TDX, CGPU)
+        router = CostSloRouter(slo_ttft_s=1.0, risk_factor=0.5)
+        # Pile queued prefill work on the TDX replica until its TTFT
+        # estimate blows the SLO budget; the router must spill.
+        for i in range(40):
+            replicas[0].submit(request(i, prompt=512, output=8))
+        chosen = router.choose(request(99), replicas, 0.0)
+        assert chosen.replica_id == 1
+
+    def test_no_routable_replica_raises(self):
+        booting = [Replica(0, TDX, provisioned_s=0.0, boot_latency_s=60.0)]
+        with pytest.raises(ValueError, match="no routable"):
+            LeastOutstandingRouter().choose(request(), booting, 0.0)
+
+    def test_make_router_names(self):
+        for kind in ("round-robin", "least-outstanding", "kv-pressure",
+                     "cost-slo"):
+            assert make_router(kind).name == kind
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("random")
+
+    def test_cost_slo_validation(self):
+        with pytest.raises(ValueError):
+            CostSloRouter(0.0)
+        with pytest.raises(ValueError):
+            CostSloRouter(1.0, risk_factor=0.0)
+
+
+class TestReplicaLifecycle:
+    def test_boot_then_live_then_drain_then_retire(self):
+        replica = Replica(0, TDX, provisioned_s=10.0, boot_latency_s=5.0)
+        assert replica.state == "booting" and not replica.routable
+        replica.activate_if_ready(12.0)
+        assert replica.state == "booting"
+        replica.activate_if_ready(15.0)
+        assert replica.state == "live" and replica.routable
+        # Clock floored at readiness: no serving in the past.
+        assert replica.scheduler.clock_s >= 15.0
+        replica.drain()
+        assert replica.state == "draining" and not replica.routable
+        replica.retire_if_drained(20.0)
+        assert replica.state == "retired"
+        assert replica.retired_s == 20.0
+
+    def test_billing_covers_boot_and_drain(self):
+        replica = Replica(0, TDX, provisioned_s=0.0, boot_latency_s=30.0)
+        assert replica.billed_hours(end_s=3600.0) == pytest.approx(1.0)
+        assert replica.cost_usd(3600.0) == pytest.approx(TDX.price_hr)
+        replica.retired_s = 1800.0
+        assert replica.billed_hours(end_s=3600.0) == pytest.approx(0.5)
+
+    def test_submit_to_unroutable_rejected(self):
+        replica = Replica(0, TDX, provisioned_s=0.0, boot_latency_s=60.0)
+        with pytest.raises(ValueError, match="not routable"):
+            replica.submit(request())
+
+    def test_replica_spec_pricing(self):
+        tdx = replica_spec("tdx")
+        cgpu = replica_spec("cgpu")
+        gpu = replica_spec("gpu")
+        assert cgpu.price_hr > gpu.price_hr > tdx.price_hr
+        small = replica_spec("tdx", cores=8)
+        assert small.price_hr < tdx.price_hr
+        with pytest.raises(ValueError, match="unknown replica kind"):
+            replica_spec("asgx")
+
+
+class TestAutoscaler:
+    def config(self, **overrides):
+        params = dict(min_replicas=1, max_replicas=4, scale_up_load=4.0,
+                      scale_down_load=1.0, cooldown_s=10.0,
+                      boot_latency_s=5.0)
+        params.update(overrides)
+        return AutoscalerConfig(**params)
+
+    def test_scales_up_past_threshold(self):
+        scaler = ReactiveAutoscaler(self.config())
+        assert scaler.decide(0.0, outstanding=10, live_replicas=2,
+                             active_replicas=2) == 1
+        assert scaler.events[-1].action == "up"
+
+    def test_cooldown_blocks_consecutive_decisions(self):
+        scaler = ReactiveAutoscaler(self.config())
+        assert scaler.decide(0.0, 10, 2, 2) == 1
+        assert scaler.decide(5.0, 20, 2, 2) == 0  # within cooldown
+        assert scaler.decide(10.0, 20, 2, 2) == 1
+
+    def test_scale_down_respects_min_and_hysteresis(self):
+        scaler = ReactiveAutoscaler(self.config(min_replicas=2))
+        assert scaler.decide(0.0, 0, 3, 3) == -1
+        scaler = ReactiveAutoscaler(self.config(min_replicas=2))
+        assert scaler.decide(0.0, 0, 2, 2) == 0  # at the floor
+        scaler = ReactiveAutoscaler(self.config())
+        assert scaler.decide(0.0, 5, 2, 2) == 0  # between thresholds
+
+    def test_max_replicas_cap(self):
+        scaler = ReactiveAutoscaler(self.config(max_replicas=2))
+        assert scaler.decide(0.0, 100, 2, 2) == 0
+
+    def test_booting_capacity_counts(self):
+        """Load is judged against bought capacity, not just live."""
+        scaler = ReactiveAutoscaler(self.config())
+        # 8 outstanding over 2 active (1 live + 1 booting) = 4.0: not > 4
+        assert scaler.decide(0.0, 8, 1, 2) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_up_load=1.0, scale_down_load=2.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(cooldown_s=-1.0)
