@@ -1,6 +1,6 @@
 """Invariant audit CLI: run the ``repro.validate`` check batteries.
 
-Executes the registered differential, metamorphic, and golden-trace
+Executes the registered differential, metamorphic, golden-trace and chaos
 checks against the live model and reports pass/fail/skip per check.
 Exit status is the CI gate: 0 when the run is green, 1 on failures,
 2 on usage errors (e.g. filters that match nothing).

@@ -99,6 +99,18 @@ def micro_benchmarks() -> dict:
     fleet_spec = replica_spec("tdx", max_batch=16, kv_capacity_tokens=65536)
     results["fleet_2x_tdx_40req"] = _time(
         lambda: fixed_fleet(fleet_spec, 2).run(fleet_stream), repeats=3)
+
+    # Chaos smoke: the same fleet under a hazard-rate fault schedule
+    # with timeout/retry recovery — the injector + resilience overhead
+    # on top of the plain event loop.
+    from repro.faults import RetryPolicy, mtbf_schedule
+    chaos_schedule = mtbf_schedule([0, 1], mtbf_s=8.0, horizon_s=20.0,
+                                   seed=5)
+    results["fleet_2x_tdx_40req_chaos"] = _time(
+        lambda: fixed_fleet(
+            fleet_spec, 2, faults=chaos_schedule,
+            retry_policy=RetryPolicy(timeout_s=15.0, max_attempts=3,
+                                     seed=5)).run(fleet_stream), repeats=3)
     return results
 
 

@@ -9,11 +9,17 @@ from .efficiency import (
     gpu_cost_point,
     optimal_core_count,
 )
-from .pricing import GCP_SPOT_US_EAST1, PAPER_MEMORY_GB, PriceCatalog
+from .pricing import (
+    GCP_SPOT_US_EAST1,
+    PAPER_MEMORY_GB,
+    PriceCatalog,
+    attribute_cost,
+)
 
 __all__ = [
     "CostPoint", "best_cpu_point", "cost_overhead",
     "cost_per_million_tokens", "cpu_cost_point", "gpu_cost_point",
     "optimal_core_count",
     "GCP_SPOT_US_EAST1", "PAPER_MEMORY_GB", "PriceCatalog",
+    "attribute_cost",
 ]

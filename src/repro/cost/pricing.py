@@ -50,6 +50,30 @@ class PriceCatalog:
         return price * (self.spr_discount if spr else 1.0)
 
 
+def attribute_cost(cost_usd: float, good_tokens: int,
+                   wasted_tokens: int) -> tuple[float, float]:
+    """Split a fleet bill between goodput and wasted work.
+
+    Under faults some generated tokens are discarded (a request is
+    retried after its replica crashed or timed out); the bill still
+    covers them.  Attribution is by token share: the instance-hours a
+    fleet paid for were spent proportionally on both.
+
+    Returns:
+        ``(goodput_cost_usd, wasted_cost_usd)``; with no tokens at all
+        the entire bill is waste.
+    """
+    if cost_usd < 0:
+        raise ValueError("cost_usd must be >= 0")
+    if good_tokens < 0 or wasted_tokens < 0:
+        raise ValueError("token counts must be >= 0")
+    total = good_tokens + wasted_tokens
+    if total == 0:
+        return (0.0, cost_usd)
+    good_share = good_tokens / total
+    return (cost_usd * good_share, cost_usd * (1.0 - good_share))
+
+
 #: GCP spot, US-East-1, mid-2025 snapshot (paper's assumptions).
 GCP_SPOT_US_EAST1 = PriceCatalog(
     vcpu_hr=0.00846,

@@ -1,0 +1,89 @@
+"""Fleet-side attestation: TEE replicas re-attest before readmission.
+
+Wires the real DCAP-style flow from :mod:`repro.tee.attestation` into
+the replica lifecycle.  Every TEE replica is enrolled as a platform
+when provisioned; an ``attestation_failure`` fault revokes the
+platform key (so its next quote attempt genuinely fails verification)
+and the replica may only rejoin the routable pool after the service
+re-provisions it and a fresh quote passes the relying party's check.
+Counters expose how many verifications ran and failed, so chaos tests
+can prove the protocol was actually exercised rather than short-cut.
+"""
+
+from __future__ import annotations
+
+from ..tee.attestation import AttestationService, RelyingParty, measure
+
+#: Replica kinds that must attest before serving.
+TEE_KINDS = ("tdx", "sgx", "cgpu")
+
+#: Artifacts measured into the fleet's expected launch measurement.
+_FLEET_ARTIFACTS = {
+    "enclave.signed": b"repro-fleet-serving-enclave-v1",
+    "manifest": b"repro-fleet-manifest-v1",
+}
+
+
+def needs_attestation(kind: str) -> bool:
+    """Whether a replica kind runs inside a TEE and must attest."""
+    return kind in TEE_KINDS
+
+
+class FleetAttestation:
+    """Attestation authority for one fleet run.
+
+    One :class:`~repro.tee.attestation.AttestationService` plays the
+    platform side for every replica; one
+    :class:`~repro.tee.attestation.RelyingParty` holds the expected
+    measurement.  All operations are deterministic (HMAC over fixed
+    artifacts), so attestation adds no nondeterminism to a run.
+    """
+
+    def __init__(self) -> None:
+        self.service = AttestationService()
+        self.measurement = measure(_FLEET_ARTIFACTS)
+        self.relying_party = RelyingParty(self.measurement)
+        self.verifications = 0
+        self.failures = 0
+
+    def platform_id(self, replica_id: int) -> str:
+        return f"replica-{replica_id}"
+
+    def enroll(self, replica_id: int) -> None:
+        """Provision a platform key for a newly created TEE replica."""
+        self.service.provision_platform(self.platform_id(replica_id))
+
+    def revoke(self, replica_id: int) -> bool:
+        """Inject an attestation failure: revoke the key and prove the
+        platform can no longer produce a verifiable quote.
+
+        Returns:
+            Whether a post-revocation quote attempt failed (always
+            ``True``; returned so callers can assert the protocol ran).
+        """
+        platform = self.platform_id(replica_id)
+        self.service.revoke_platform(platform)
+        try:
+            self.service.generate_quote(platform, self.measurement)
+        except KeyError:
+            self.verifications += 1
+            self.failures += 1
+            return True
+        return False  # pragma: no cover - revocation always bites
+
+    def readmit(self, replica_id: int) -> bool:
+        """Re-provision and re-attest a replica for readmission.
+
+        Runs the full flow — provision, quote, verify — and returns the
+        relying party's verdict.
+        """
+        platform = self.platform_id(replica_id)
+        if not self.service.provisioned(platform):
+            self.service.provision_platform(platform)
+        quote = self.service.generate_quote(platform, self.measurement,
+                                            report_data=platform)
+        ok = self.relying_party.verify(quote)
+        self.verifications += 1
+        if not ok:  # pragma: no cover - fresh keys always verify
+            self.failures += 1
+        return ok

@@ -9,17 +9,43 @@ decode steps are not preemptible) but are resynchronized by the
 horizon of the next ``step`` call — the same quantized-time contract
 real cluster managers have with their nodes.
 
+Fault injection (:mod:`repro.faults`) plugs into the same loop: when a
+schedule, retry policy, or degradation policy is supplied, each tick
+additionally applies due faults, reboots repaired instances, re-attests
+TEE replicas before readmission, retries timed-out or evacuated
+requests with seeded backoff, and sheds or spills work the degraded
+fleet cannot hold.  Every chaos hook is gated so a run without fault
+machinery executes the exact fault-free instruction sequence — the
+``chaos.zero_fault_twin`` audit check pins this bit-for-bit.
+
 Determinism: replicas are stepped and inspected in id order, arrivals
-are routed in (arrival, id) order, and all randomness lives in the
-seeded arrival generators — so one config + one stream produce one
-bit-identical :class:`~repro.fleet.report.FleetReport`.
+are routed in (arrival, id) order, retries in (due, id) order, faults
+in schedule order, and all randomness lives in the seeded arrival
+generators and retry-jitter draws — so one config + one stream produce
+one bit-identical :class:`~repro.fleet.report.FleetReport`.
 """
 
 from __future__ import annotations
 
+import heapq
+
+from ..faults.attest import FleetAttestation, needs_attestation
+from ..faults.injector import FaultInjector
+from ..faults.resilience import DegradationPolicy, RetryPolicy, ShedRequest
+from ..faults.schedule import DEFAULT_DURATION_S, FaultEvent, FaultSchedule
+from ..scaleout.links import link_slowdown_factor
 from ..serving.scheduler import RequestOutcome, ServeRequest
 from .autoscaler import ReactiveAutoscaler
-from .replica import DRAINING, LIVE, Replica, ReplicaSpec
+from .replica import (
+    ATTESTING,
+    BOOTING,
+    DRAINING,
+    FAILED,
+    LIVE,
+    RETIRED,
+    Replica,
+    ReplicaSpec,
+)
 from .report import FleetReport, ReplicaUsage
 from .router import LeastOutstandingRouter, Router
 
@@ -27,6 +53,57 @@ from .router import LeastOutstandingRouter, Router
 #: state every few decode steps; large enough that a fleet run is a few
 #: thousand ticks, not millions.
 DEFAULT_TICK_S = 0.25
+
+
+class _ChaosState:
+    """Per-run resilience bookkeeping (only allocated under chaos).
+
+    Tracks in-flight attempts, the retry queue, the shed ledger, and
+    the waste counters that make the final report failure-aware.
+    """
+
+    def __init__(self, injector: FaultInjector,
+                 retry: RetryPolicy | None,
+                 degradation: DegradationPolicy | None) -> None:
+        self.injector = injector
+        self.retry = retry
+        self.degradation = degradation
+        self.flights: dict[int, tuple[Replica, float]] = {}
+        self.attempts: dict[int, int] = {}
+        self.retry_heap: list[tuple[float, int, ServeRequest]] = []
+        self.held_since: dict[int, float] = {}
+        self.completed: set[int] = set()
+        self.shed: list[ShedRequest] = []
+        self.wasted_tokens = 0
+        self.retries = 0
+        self.spilled = 0
+
+    def requeue_or_shed(self, request: ServeRequest, now: float,
+                        generated: int) -> None:
+        """Route a failed attempt back through retry policy or shed it."""
+        self.wasted_tokens += generated
+        made = self.attempts.get(request.request_id, 0)
+        if self.retry is None:
+            # No policy: crash evacuations still requeue immediately so
+            # no request is ever silently lost.
+            heapq.heappush(self.retry_heap,
+                           (now, request.request_id, request))
+            return
+        if made >= self.retry.max_attempts:
+            self.shed.append(ShedRequest(request=request, time_s=now,
+                                         reason="retries-exhausted",
+                                         attempts=made))
+            return
+        delay = self.retry.backoff_s(request.request_id, made)
+        heapq.heappush(self.retry_heap,
+                       (now + delay, request.request_id, request))
+
+    def shed_request(self, request: ServeRequest, now: float,
+                     reason: str) -> None:
+        self.held_since.pop(request.request_id, None)
+        self.shed.append(ShedRequest(
+            request=request, time_s=now, reason=reason,
+            attempts=self.attempts.get(request.request_id, 0)))
 
 
 class FleetSimulator:
@@ -41,12 +118,28 @@ class FleetSimulator:
             ``scale_spec`` (default: the first spec).
         scale_spec: Spec the autoscaler provisions.
         tick_s: Shared-clock quantum.
+        faults: Fault timeline to inject — a
+            :class:`~repro.faults.schedule.FaultSchedule` (replayed
+            through a fresh injector every ``run``) or a single-shot
+            :class:`~repro.faults.injector.FaultInjector`.
+        retry_policy: Per-request timeout + seeded backoff; without it
+            crash-evacuated requests still requeue (immediately, with
+            unbounded attempts) so nothing is lost.
+        degradation: What to do with work the fleet cannot route within
+            ``max_hold_s`` — shed by priority, or spill onto emergency
+            replicas of another backend.
+
+    Supplying any of the three arms the chaos path; leaving all three
+    ``None`` runs the exact fault-free instruction sequence.
     """
 
     def __init__(self, specs: list[ReplicaSpec], router: Router | None = None,
                  autoscaler: ReactiveAutoscaler | None = None,
                  scale_spec: ReplicaSpec | None = None,
-                 tick_s: float = DEFAULT_TICK_S) -> None:
+                 tick_s: float = DEFAULT_TICK_S,
+                 faults: FaultSchedule | FaultInjector | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 degradation: DegradationPolicy | None = None) -> None:
         if not specs:
             raise ValueError("at least one initial replica spec required")
         if tick_s <= 0:
@@ -55,11 +148,27 @@ class FleetSimulator:
         self.autoscaler = autoscaler
         self.scale_spec = scale_spec or specs[0]
         self.tick_s = tick_s
-        self.replicas: list[Replica] = [
-            Replica(replica_id=index, spec=spec, provisioned_s=0.0,
-                    boot_latency_s=0.0)
-            for index, spec in enumerate(specs)
-        ]
+        self.faults = faults
+        self.retry_policy = retry_policy
+        self.degradation = degradation
+        self._chaos = (faults is not None or retry_policy is not None
+                       or degradation is not None)
+        self.attestation = FleetAttestation() if self._chaos else None
+        #: Resilience bookkeeping of the most recent ``run`` (chaos only).
+        self.last_chaos: _ChaosState | None = None
+        self.replicas: list[Replica] = []
+        for spec in specs:
+            self._provision(spec, provisioned_s=0.0, boot_latency_s=0.0)
+
+    def _provision(self, spec: ReplicaSpec, provisioned_s: float,
+                   boot_latency_s: float) -> Replica:
+        replica = Replica(replica_id=len(self.replicas), spec=spec,
+                          provisioned_s=provisioned_s,
+                          boot_latency_s=boot_latency_s)
+        self.replicas.append(replica)
+        if self.attestation is not None and needs_attestation(spec.kind):
+            self.attestation.enroll(replica.replica_id)
+        return replica
 
     # -- views ----------------------------------------------------------------
 
@@ -76,24 +185,158 @@ class FleetSimulator:
 
     # -- autoscaling ----------------------------------------------------------
 
-    def _autoscale(self, now: float) -> None:
+    def _autoscale(self, now: float, queued: int = 0) -> None:
         if self.autoscaler is None:
             return
         delta = self.autoscaler.decide(
-            now, outstanding=self._outstanding(),
+            now, outstanding=self._outstanding() + queued,
             live_replicas=len(self.live),
             active_replicas=len(self.active))
         if delta > 0:
-            self.replicas.append(Replica(
-                replica_id=len(self.replicas), spec=self.scale_spec,
-                provisioned_s=now,
-                boot_latency_s=self.autoscaler.config.boot_latency_s))
-        elif delta < 0:
+            self._provision(self.scale_spec, provisioned_s=now,
+                            boot_latency_s=self.autoscaler.config.boot_latency_s)
+        elif delta < 0 and self.live:
             # Drain the least-loaded live replica (highest id on ties:
             # prefer retiring the newest instance).
             victim = min(self.live,
                          key=lambda r: (r.outstanding, -r.replica_id))
             victim.drain()
+
+    # -- fault application -----------------------------------------------------
+
+    def _apply_fault(self, event: FaultEvent, now: float,
+                     state: _ChaosState) -> str:
+        """Land one due fault on its target; returns the effect log."""
+        if event.replica_id >= len(self.replicas):
+            return "no-op: no such replica"
+        replica = self.replicas[event.replica_id]
+        if event.kind == "crash":
+            if replica.state in (FAILED, RETIRED):
+                return f"no-op: replica already {replica.state}"
+            evacuated = replica.crash(now, event.restart_after_s)
+            for request, generated in evacuated:
+                state.flights.pop(request.request_id, None)
+                state.requeue_or_shed(request, now, generated)
+            return f"crash: evacuated {len(evacuated)} requests"
+        if event.kind == "hang":
+            if replica.state not in (LIVE, DRAINING):
+                return f"no-op: replica {replica.state}"
+            replica.hang(now + event.duration_s)
+            return f"hang until {now + event.duration_s:g}s"
+        if event.kind in ("slowdown", "link_degrade"):
+            if replica.state not in (LIVE, DRAINING):
+                return f"no-op: replica {replica.state}"
+            if event.kind == "slowdown":
+                factor = event.factor
+            else:
+                factor = link_slowdown_factor(event.factor, event.comm_share)
+            replica.slow(now + event.duration_s, factor)
+            return f"{event.kind}: x{factor:.3f} until {now + event.duration_s:g}s"
+        if event.kind == "boot_failure":
+            penalty = event.duration_s or DEFAULT_DURATION_S
+            return f"boot_failure: {replica.boot_failure(penalty)}"
+        # attestation_failure
+        if not needs_attestation(replica.spec.kind):
+            return f"no-op: {replica.spec.kind} replica does not attest"
+        if replica.state in (FAILED, RETIRED):
+            return f"no-op: replica already {replica.state}"
+        assert self.attestation is not None
+        self.attestation.revoke(replica.replica_id)
+        evacuated = replica.begin_attestation(now + event.duration_s)
+        for request, generated in evacuated:
+            state.flights.pop(request.request_id, None)
+            state.requeue_or_shed(request, now, generated)
+        return (f"attestation revoked: evacuated {len(evacuated)} requests, "
+                f"re-attest at {now + event.duration_s:g}s")
+
+    def _chaos_tick(self, now: float, state: _ChaosState) -> None:
+        """Pre-routing chaos phase: expiries, reboots, due faults."""
+        for replica in self.replicas:
+            replica.expire_faults(now)
+            replica.restart_if_due(now)
+        for event in state.injector.due(now):
+            state.injector.record(event, now, self._apply_fault(event, now,
+                                                                state))
+
+    def _chaos_activate(self, replica: Replica, now: float) -> None:
+        """Attestation gate: TEE replicas re-attest before readmission."""
+        assert self.attestation is not None
+        if replica.state == ATTESTING and now >= replica.ready_s:
+            if self.attestation.readmit(replica.replica_id):
+                replica.complete_attestation()
+        elif (replica.state == BOOTING and now >= replica.ready_s
+                and needs_attestation(replica.spec.kind)):
+            # Reboot completing: run the full quote/verify flow (it is
+            # deterministic and instant in simulated time) before
+            # activate_if_ready flips the replica live.
+            self.attestation.readmit(replica.replica_id)
+
+    def _check_timeouts(self, now: float, state: _ChaosState) -> None:
+        """Cancel and retry in-flight requests older than the timeout."""
+        if state.retry is None:
+            return
+        for request_id in sorted(state.flights):
+            replica, routed_s = state.flights[request_id]
+            if now - routed_s <= state.retry.timeout_s:
+                continue
+            cancelled = replica.cancel(request_id)
+            if cancelled is None:
+                continue  # completed within this very tick
+            del state.flights[request_id]
+            request, generated = cancelled
+            state.requeue_or_shed(request, now, generated)
+
+    def _degrade(self, now: float, held: list[ServeRequest],
+                 state: _ChaosState) -> list[ServeRequest]:
+        """Apply the degradation policy to overdue unroutable work."""
+        policy = state.degradation
+        if policy is None:
+            return held
+        overdue = [r for r in held
+                   if now - state.held_since.get(r.request_id, now)
+                   > policy.max_hold_s]
+        if not overdue:
+            return held
+        if policy.mode == "spill":
+            # Provision one emergency instance per tick until capped;
+            # the overdue work keeps waiting for it to boot.
+            if state.spilled < policy.max_spill:
+                spec = policy.spill_spec or self.scale_spec
+                self._provision(spec, provisioned_s=now,
+                                boot_latency_s=policy.spill_boot_s)
+                state.spilled += 1
+            return held
+        # Shed mode: lowest priority goes first.
+        victims = sorted(overdue,
+                         key=lambda r: (r.priority, r.arrival_s,
+                                        r.request_id))
+        victim_ids = {r.request_id for r in victims}
+        for request in victims:
+            state.shed_request(request, now, "degraded")
+        return [r for r in held if r.request_id not in victim_ids]
+
+    def _shed_unroutable(self, now: float, held: list[ServeRequest],
+                         state: _ChaosState) -> list[ServeRequest]:
+        """Liveness guard: when no replica can ever serve again (all
+        dead with no reboot pending, no autoscaler, spill exhausted),
+        shed all queued work instead of ticking forever."""
+        if not (held or state.retry_heap):
+            return held
+        if self.autoscaler is not None:
+            return held
+        if any(r.state not in (RETIRED, FAILED) or r.restart_pending
+               for r in self.replicas):
+            return held
+        policy = state.degradation
+        if (policy is not None and policy.mode == "spill"
+                and state.spilled < policy.max_spill):
+            return held
+        for request in held:
+            state.shed_request(request, now, "unroutable")
+        while state.retry_heap:
+            _, _, request = heapq.heappop(state.retry_heap)
+            state.shed_request(request, now, "unroutable")
+        return []
 
     # -- event loop -----------------------------------------------------------
 
@@ -106,6 +349,20 @@ class FleetSimulator:
         """
         if not requests:
             raise ValueError("no requests")
+        state: _ChaosState | None = None
+        if self._chaos:
+            if isinstance(self.faults, FaultInjector):
+                injector = self.faults
+            else:
+                injector = FaultInjector(self.faults if self.faults is not None
+                                         else FaultSchedule.empty())
+            state = _ChaosState(injector, self.retry_policy, self.degradation)
+            self.last_chaos = state
+            # TEE replicas attest before serving their first request.
+            for replica in self.replicas:
+                if needs_attestation(replica.spec.kind):
+                    assert self.attestation is not None
+                    self.attestation.readmit(replica.replica_id)
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         outcomes: dict[int, RequestOutcome] = {}
         held: list[ServeRequest] = []  # arrived but unroutable (all booting)
@@ -113,30 +370,59 @@ class FleetSimulator:
         now = (start // self.tick_s) * self.tick_s
         peak = len(self.active)
 
-        while pending or held or any(r.outstanding for r in self.replicas):
+        while pending or held or (state is not None and state.retry_heap) \
+                or any(r.outstanding for r in self.replicas):
             now += self.tick_s
-            self._autoscale(now)
+            if state is not None:
+                self._chaos_tick(now, state)
+                self._autoscale(now, queued=len(held) + len(state.retry_heap))
+            else:
+                self._autoscale(now)
             for replica in self.replicas:
+                if state is not None:
+                    self._chaos_activate(replica, now)
                 replica.activate_if_ready(now)
 
             due = held
             held = []
             while pending and pending[0].arrival_s <= now:
                 due.append(pending.pop(0))
+            if state is not None:
+                while state.retry_heap and state.retry_heap[0][0] <= now:
+                    _, _, request = heapq.heappop(state.retry_heap)
+                    due.append(request)
             for request in due:
                 try:
                     replica = self.router.choose(request, self.replicas, now)
                 except ValueError:
                     held.append(request)  # nothing live yet; retry next tick
+                    if state is not None:
+                        state.held_since.setdefault(request.request_id, now)
                     continue
                 replica.submit(request)
+                if state is not None:
+                    state.held_since.pop(request.request_id, None)
+                    made = state.attempts.get(request.request_id, 0) + 1
+                    state.attempts[request.request_id] = made
+                    if made > 1:
+                        state.retries += 1
+                    state.flights[request.request_id] = (replica, now)
 
             for replica in self.replicas:
                 if replica.active:
                     for outcome in replica.step(now):
                         outcomes[outcome.request.request_id] = outcome
+                        if state is not None:
+                            state.completed.add(outcome.request.request_id)
+                            state.flights.pop(outcome.request.request_id,
+                                              None)
                     replica.retire_if_drained(now)
             peak = max(peak, len(self.active))
+
+            if state is not None:
+                self._check_timeouts(now, state)
+                held = self._degrade(now, held, state)
+                held = self._shed_unroutable(now, held, state)
 
         # Replica clocks may overshoot the final tick; the fleet ends
         # when the last request completes.
@@ -147,24 +433,36 @@ class FleetSimulator:
                 price_hr=r.spec.price_hr, provisioned_s=r.provisioned_s,
                 retired_s=r.retired_s,
                 billed_hours=r.billed_hours(end), cost_usd=r.cost_usd(end),
-                requests_served=r.requests_routed, tokens_out=r.tokens_out)
+                requests_served=r.requests_routed, tokens_out=r.tokens_out,
+                crashes=r.crashes)
             for r in self.replicas)
         ordered = tuple(outcomes[request.request_id]
                         for request in sorted(requests,
-                                              key=lambda r: r.request_id))
+                                              key=lambda r: r.request_id)
+                        if request.request_id in outcomes)
         return FleetReport(
             outcomes=ordered, start_s=start, end_s=end, replicas=usages,
             scale_events=tuple(self.autoscaler.events)
             if self.autoscaler else (),
             total_preemptions=sum(r.scheduler.preemptions
                                   for r in self.replicas),
-            peak_replicas=peak)
+            peak_replicas=peak,
+            retries=state.retries if state else 0,
+            wasted_tokens=state.wasted_tokens if state else 0,
+            shed=tuple(state.shed) if state else (),
+            fault_events=tuple(state.injector.applied) if state else ())
 
 
 def fixed_fleet(spec: ReplicaSpec, count: int,
                 router: Router | None = None,
-                tick_s: float = DEFAULT_TICK_S) -> FleetSimulator:
+                tick_s: float = DEFAULT_TICK_S,
+                faults: FaultSchedule | FaultInjector | None = None,
+                retry_policy: RetryPolicy | None = None,
+                degradation: DegradationPolicy | None = None,
+                ) -> FleetSimulator:
     """A homogeneous fixed-size fleet (the capacity-planning unit)."""
     if count < 1:
         raise ValueError("count must be >= 1")
-    return FleetSimulator([spec] * count, router=router, tick_s=tick_s)
+    return FleetSimulator([spec] * count, router=router, tick_s=tick_s,
+                          faults=faults, retry_policy=retry_policy,
+                          degradation=degradation)

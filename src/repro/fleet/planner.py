@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..faults.resilience import DegradationPolicy, RetryPolicy
+from ..faults.schedule import FaultSchedule
 from ..serving.scheduler import ServeRequest
 from .cluster import DEFAULT_TICK_S, fixed_fleet
 from .replica import ReplicaSpec
@@ -89,11 +91,21 @@ def evaluate_fleet(spec: ReplicaSpec, count: int,
                    requests: list[ServeRequest], slo_ttft_s: float,
                    percentile: float = 99.0,
                    router: Router | None = None,
-                   tick_s: float = DEFAULT_TICK_S) -> tuple[CapacityPoint,
-                                                            FleetReport]:
-    """Run one fixed fleet against the trace and grade it vs the SLO."""
+                   tick_s: float = DEFAULT_TICK_S,
+                   faults: FaultSchedule | None = None,
+                   retry_policy: RetryPolicy | None = None,
+                   degradation: DegradationPolicy | None = None,
+                   ) -> tuple[CapacityPoint, FleetReport]:
+    """Run one fixed fleet against the trace and grade it vs the SLO.
+
+    Passing a fault schedule (with an optional retry/degradation
+    policy) grades capacity under failures — the schedule is replayed
+    afresh for every fleet size, so plans stay deterministic.
+    """
     fleet = fixed_fleet(spec, count, router=router
-                        or LeastOutstandingRouter(), tick_s=tick_s)
+                        or LeastOutstandingRouter(), tick_s=tick_s,
+                        faults=faults, retry_policy=retry_policy,
+                        degradation=degradation)
     report = fleet.run(requests)
     p_ttft = report.ttft_percentile(percentile)
     point = CapacityPoint(
@@ -107,7 +119,11 @@ def evaluate_fleet(spec: ReplicaSpec, count: int,
 def capacity_plan(spec: ReplicaSpec, requests: list[ServeRequest],
                   slo_ttft_s: float, percentile: float = 99.0,
                   max_replicas: int = 8,
-                  tick_s: float = DEFAULT_TICK_S) -> CapacityPlan:
+                  tick_s: float = DEFAULT_TICK_S,
+                  faults: FaultSchedule | None = None,
+                  retry_policy: RetryPolicy | None = None,
+                  degradation: DegradationPolicy | None = None,
+                  ) -> CapacityPlan:
     """Grow a fixed fleet until the TTFT percentile clears the SLO.
 
     The sweep stops at the first fleet size that meets the objective
@@ -126,7 +142,9 @@ def capacity_plan(spec: ReplicaSpec, requests: list[ServeRequest],
     needed = None
     for count in range(1, max_replicas + 1):
         point, _ = evaluate_fleet(spec, count, requests, slo_ttft_s,
-                                  percentile, tick_s=tick_s)
+                                  percentile, tick_s=tick_s, faults=faults,
+                                  retry_policy=retry_policy,
+                                  degradation=degradation)
         points.append(point)
         if point.meets_slo:
             needed = count

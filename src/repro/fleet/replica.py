@@ -28,6 +28,10 @@ from ..serving.scheduler import (
 #: Replica lifecycle states.
 BOOTING, LIVE, DRAINING, RETIRED = "booting", "live", "draining", "retired"
 
+#: Fault lifecycle states (:mod:`repro.faults`): a crashed instance and
+#: a TEE instance waiting to re-attest before readmission.
+FAILED, ATTESTING = "failed", "attesting"
+
 #: Replica kinds the factory knows how to price.
 REPLICA_KINDS = ("baremetal", "vm", "tdx", "sgx", "gpu", "cgpu")
 
@@ -123,6 +127,7 @@ class Replica:
         self.replica_id = replica_id
         self.spec = spec
         self.provisioned_s = provisioned_s
+        self.boot_latency_s = boot_latency_s
         self.ready_s = provisioned_s + boot_latency_s
         self.retired_s: float | None = None
         self.state = BOOTING if boot_latency_s > 0 else LIVE
@@ -132,6 +137,17 @@ class Replica:
                                         else self.provisioned_s)
         self.requests_routed = 0
         self.tokens_out = 0
+        # Fault machinery (repro.faults); all inert on a healthy fleet.
+        self.crashes = 0
+        self._hang_until_s: float | None = None
+        self._slow_until_s: float | None = None
+        self._restart_at_s: float | None = None
+        self._boot_penalty_s = 0.0
+        # Billing windows: uptime billed so far across closed rental
+        # windows (a crash closes one; a restart opens the next) plus
+        # the start of the currently open window, if any.
+        self._closed_billed_s = 0.0
+        self._window_start_s: float | None = provisioned_s
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -157,12 +173,127 @@ class Replica:
     @property
     def routable(self) -> bool:
         """Whether the router may send new requests here."""
-        return self.state == LIVE
+        return self.state == LIVE and self._hang_until_s is None
 
     @property
     def active(self) -> bool:
         """Whether the instance still accrues cost and needs stepping."""
-        return self.state != RETIRED
+        return self.state not in (RETIRED, FAILED)
+
+    # -- fault lifecycle (repro.faults) ---------------------------------------
+
+    def crash(self, now: float,
+              restart_after_s: float | None = None,
+              ) -> list[tuple[ServeRequest, int]]:
+        """Kill the instance; in-flight work is lost.
+
+        With a scheduled reboot (``restart_after_s``) the rental
+        continues — the operator keeps paying while the instance
+        repairs, exactly as a cloud bills a rebooting VM.  Without one
+        the instance is released and the billing window closes.  Any
+        hang/slowdown effects are cleared; the fleet requeues the
+        evacuated requests.
+
+        Returns:
+            ``(request, tokens_generated)`` pairs evacuated from the
+            scheduler; the generated counts are wasted work.
+        """
+        evacuated = self.scheduler.evacuate()
+        self.state = FAILED
+        self.crashes += 1
+        self._hang_until_s = None
+        self._slow_until_s = None
+        self.scheduler.time_scale = 1.0
+        if restart_after_s is None:
+            # Unrecoverable: the instance is released and the meter
+            # stops.  ``retired_s`` records release time only.
+            self.retired_s = now
+            if self._window_start_s is not None:
+                self._closed_billed_s += max(0.0,
+                                             now - self._window_start_s)
+                self._window_start_s = None
+            self._restart_at_s = None
+        else:
+            self._restart_at_s = now + restart_after_s
+        return evacuated
+
+    @property
+    def restart_pending(self) -> bool:
+        """Whether a crashed instance has a reboot scheduled."""
+        return self.state == FAILED and self._restart_at_s is not None
+
+    def restart_if_due(self, now: float) -> bool:
+        """Reboot a crashed instance once its repair window elapsed.
+
+        The billing window stayed open through the repair (the rental
+        never ended); the instance re-enters the boot path (plus any
+        queued boot-failure penalty) and, for TEE replicas, must
+        re-attest before going live.
+        """
+        if self.state != FAILED or self._restart_at_s is None \
+                or now < self._restart_at_s:
+            return False
+        restart_at = self._restart_at_s
+        self._restart_at_s = None
+        self.retired_s = None
+        self.ready_s = restart_at + self._boot_penalty_s
+        self._boot_penalty_s = 0.0
+        self.state = BOOTING
+        return True
+
+    def hang(self, until_s: float) -> None:
+        """Stall the instance: no progress until ``until_s``."""
+        if self.state in (LIVE, DRAINING):
+            current = self._hang_until_s
+            self._hang_until_s = (until_s if current is None
+                                  else max(current, until_s))
+
+    def slow(self, until_s: float, factor: float) -> None:
+        """Degrade the instance: steps run ``factor`` slower until
+        ``until_s`` (later faults overwrite earlier ones)."""
+        if self.state in (LIVE, DRAINING):
+            self.scheduler.time_scale = factor
+            self._slow_until_s = until_s
+
+    def expire_faults(self, now: float) -> None:
+        """Lift timed effects whose window has passed."""
+        if self._slow_until_s is not None and now >= self._slow_until_s:
+            self.scheduler.time_scale = 1.0
+            self._slow_until_s = None
+
+    def boot_failure(self, penalty_s: float) -> str:
+        """Fail the current boot (delays readiness) or queue the
+        penalty for the next reboot of an already-running instance."""
+        if self.state == BOOTING:
+            self.ready_s += penalty_s
+            return f"boot delayed by {penalty_s:g}s"
+        self._boot_penalty_s += penalty_s
+        return f"{penalty_s:g}s penalty queued for next boot"
+
+    def begin_attestation(self, ready_at_s: float,
+                          ) -> list[tuple[ServeRequest, int]]:
+        """Quarantine the instance until it re-attests at ``ready_at_s``.
+
+        In-flight work is evacuated (the enclave's state is no longer
+        trusted); billing continues — the instance is still rented.
+        """
+        evacuated = self.scheduler.evacuate()
+        self.state = ATTESTING
+        self._hang_until_s = None
+        self._slow_until_s = None
+        self.scheduler.time_scale = 1.0
+        self.ready_s = ready_at_s
+        return evacuated
+
+    def complete_attestation(self) -> None:
+        """Readmit a successfully re-attested instance."""
+        if self.state == ATTESTING:
+            self.state = LIVE
+            self.scheduler.advance_clock_to(self.ready_s)
+
+    def cancel(self, request_id: int) -> tuple[ServeRequest, int] | None:
+        """Withdraw one in-flight request (fleet timeout/retry hook)."""
+        return self.scheduler.cancel(request_id)
 
     # -- serving --------------------------------------------------------------
 
@@ -178,6 +309,12 @@ class Replica:
 
     def step(self, until_s: float) -> list[RequestOutcome]:
         """Advance the replica's scheduler to the shared-clock horizon."""
+        if self._hang_until_s is not None:
+            if until_s < self._hang_until_s:
+                return []  # stalled: no progress until the hang lifts
+            # The stall window produced no work; resume from its end.
+            self.scheduler.advance_clock_to(self._hang_until_s)
+            self._hang_until_s = None
         finished = self.scheduler.step(until_s)
         for outcome in finished:
             self.tokens_out += outcome.request.output_tokens
@@ -200,9 +337,21 @@ class Replica:
         return estimate
 
     def billed_hours(self, end_s: float) -> float:
-        """Billed uptime (provisioning to retirement, or to ``end_s``)."""
+        """Billed uptime (provisioning to release, or to ``end_s``).
+
+        The rental window closes only when the instance is *released*:
+        retirement after a drain, or an unrecoverable crash.  A crash
+        with a scheduled reboot keeps the meter running through the
+        repair, exactly as a cloud bills a rebooting VM.  On a healthy
+        fleet there is exactly one window from provisioning, and the
+        sum below adds ``0.0`` — exact under IEEE-754, keeping
+        fault-free bills bit-identical.
+        """
+        if self._window_start_s is None:
+            return self._closed_billed_s / 3600.0
         end = self.retired_s if self.retired_s is not None else end_s
-        return max(0.0, end - self.provisioned_s) / 3600.0
+        open_window = max(0.0, end - self._window_start_s)
+        return (self._closed_billed_s + open_window) / 3600.0
 
     def cost_usd(self, end_s: float) -> float:
         return self.billed_hours(end_s) * self.spec.price_hr

@@ -12,7 +12,9 @@ from .links import (
     NETWORK_RAW_BW,
     EffectiveLink,
     LinkKind,
+    degrade,
     gpu_link,
+    link_slowdown_factor,
     routed_bandwidth,
 )
 from .multigpu import (
@@ -32,7 +34,7 @@ __all__ = [
     "CommVolume", "Parallelism", "pipeline_parallel_volume",
     "tensor_parallel_volume", "volume_for",
     "IPSEC_EFFICIENCY", "NETWORK_RAW_BW", "EffectiveLink", "LinkKind",
-    "gpu_link", "routed_bandwidth",
+    "degrade", "gpu_link", "link_slowdown_factor", "routed_bandwidth",
     "MultiGpuResult", "confidential_scaling_penalty", "fits",
     "simulate_multi_gpu",
     "PCIE_STREAM_EFFICIENCY", "OffloadResult", "required_host_fraction",

@@ -71,3 +71,32 @@ def routed_bandwidth(confidential: bool) -> float:
     """CPU-routed GPU-to-GPU bandwidth for the security posture."""
     return (CONFIDENTIAL_GPU_ROUTED_BW if confidential
             else NONCONFIDENTIAL_GPU_ROUTED_BW)
+
+
+def degrade(link: EffectiveLink, bandwidth_factor: float) -> EffectiveLink:
+    """The same link with only ``bandwidth_factor`` of its bandwidth.
+
+    Models a partially failed interconnect (flapping UPI lane, IPsec
+    renegotiation storm, congested CPU-routed path) for fault-injection
+    studies.
+    """
+    if not 0 < bandwidth_factor <= 1:
+        raise ValueError("bandwidth_factor must be in (0, 1]")
+    return EffectiveLink(link.kind,
+                         link.bandwidth_bytes_s * bandwidth_factor,
+                         link.latency_s, link.confidential_ok)
+
+
+def link_slowdown_factor(bandwidth_factor: float,
+                         comm_share: float) -> float:
+    """Step-time multiplier when a link keeps ``bandwidth_factor`` of
+    its bandwidth and ``comm_share`` of step time is interconnect-bound.
+
+    Amdahl over the communication fraction: the compute share is
+    unaffected, the communication share inflates by ``1/factor``.
+    """
+    if not 0 < bandwidth_factor <= 1:
+        raise ValueError("bandwidth_factor must be in (0, 1]")
+    if not 0 <= comm_share <= 1:
+        raise ValueError("comm_share must be in [0, 1]")
+    return 1.0 + comm_share * (1.0 / bandwidth_factor - 1.0)

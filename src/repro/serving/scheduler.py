@@ -46,12 +46,18 @@ from ..llm.kvcache import PagedKVCache
 
 @dataclass(frozen=True)
 class ServeRequest:
-    """One request in the arrival stream."""
+    """One request in the arrival stream.
+
+    ``priority`` orders graceful degradation: when a degraded fleet must
+    shed load (:mod:`repro.faults`), lower-priority requests go first.
+    It does not affect scheduling order on a healthy fleet.
+    """
 
     request_id: int
     arrival_s: float
     prompt_tokens: int
     output_tokens: int
+    priority: int = 0
 
     def __post_init__(self) -> None:
         # NaN passes a plain `< 0` comparison, so finiteness is explicit.
@@ -61,6 +67,8 @@ class ServeRequest:
             value = getattr(self, field_name)
             if not math.isfinite(value) or value < 1:
                 raise ValueError(f"{field_name} must be finite and >= 1")
+        if not math.isfinite(self.priority):
+            raise ValueError("priority must be finite")
 
 
 @dataclass
@@ -191,6 +199,7 @@ class ContinuousBatchingScheduler:
         self._cost_model = cost_model_for(deployment)
         self._step_cache: dict[tuple[int, int], float] = {}
         self._prefill_cache: dict[int, float] = {}
+        self._time_scale = 1.0
         self._reset()
 
     def _reset(self) -> None:
@@ -266,10 +275,35 @@ class ContinuousBatchingScheduler:
 
         The fleet uses this to floor a freshly booted replica's clock at
         its readiness time so held-back requests cannot be served in
-        the past; it never rewinds time.
+        the past (and to skip a hung replica's stall window); it never
+        rewinds time.
         """
         if math.isfinite(now_s):
             self._clock = max(self._clock, now_s)
+
+    @property
+    def time_scale(self) -> float:
+        """Wall-time multiplier on every step (1.0 = nominal speed)."""
+        return self._time_scale
+
+    @time_scale.setter
+    def time_scale(self, scale: float) -> None:
+        """Set the step-duration multiplier (fault-injection hook).
+
+        A degraded replica (``repro.faults`` slowdown or interconnect
+        cut) runs every prefill/decode step ``scale`` times slower.  The
+        nominal value 1.0 is applied via an exact no-op so fault-free
+        runs stay bit-identical.
+        """
+        if not math.isfinite(scale) or scale <= 0:
+            raise ValueError("time_scale must be finite and positive")
+        self._time_scale = scale
+
+    def _scaled(self, step_s: float) -> float:
+        # Guarded so the nominal path performs no float op at all.
+        if self._time_scale != 1.0:
+            return step_s * self._time_scale
+        return step_s
 
     def _check_fits(self, request: ServeRequest) -> None:
         needed = request.prompt_tokens + request.output_tokens
@@ -296,6 +330,61 @@ class ContinuousBatchingScheduler:
         if self._first_arrival is None or request.arrival_s < self._first_arrival:
             self._first_arrival = request.arrival_s
 
+    def _forget(self, request_id: int) -> None:
+        """Drop all bookkeeping for an unfinished request."""
+        self._outcomes.pop(request_id, None)
+        if request_id in self._order:
+            self._order.remove(request_id)
+
+    def cancel(self, request_id: int) -> tuple[ServeRequest, int] | None:
+        """Withdraw an unfinished request (fleet timeout/retry hook).
+
+        Removes the request from the waiting queue or the running batch,
+        frees its KV blocks, and erases its outcome record so the fleet
+        may resubmit it here or elsewhere.  Finished or unknown requests
+        are left untouched.
+
+        Returns:
+            ``(request, tokens_generated)`` for the cancelled request —
+            the generated count is the work wasted by the cancellation —
+            or ``None`` if the request is not in flight here.
+        """
+        for index, request in enumerate(self._waiting):
+            if request.request_id == request_id:
+                self._waiting.pop(index)
+                self._forget(request_id)
+                return request, 0
+        for entry in self._running:
+            if entry.request.request_id == request_id:
+                self.cache.free(request_id)
+                self._running.remove(entry)
+                self._forget(request_id)
+                return entry.request, entry.generated
+        return None
+
+    def evacuate(self) -> list[tuple[ServeRequest, int]]:
+        """Abort all in-flight work (replica crash hook).
+
+        Empties the waiting queue and the running batch, freeing every
+        KV allocation, and erases the outcome records of the evacuated
+        requests (completed outcomes are kept).  The fleet requeues the
+        evacuated requests elsewhere; tokens already generated by the
+        running batch are lost and reported as wasted work.
+
+        Returns:
+            ``(request, tokens_generated)`` pairs in deterministic
+            order: waiting queue first, then the running batch.
+        """
+        evacuated = [(request, 0) for request in self._waiting]
+        for entry in self._running:
+            self.cache.free(entry.request.request_id)
+            evacuated.append((entry.request, entry.generated))
+        self._waiting.clear()
+        self._running.clear()
+        for request, _ in evacuated:
+            self._forget(request.request_id)
+        return evacuated
+
     def estimated_ttft_s(self, request: ServeRequest, now: float) -> float:
         """Deterministic TTFT estimate if ``request`` were routed here now.
 
@@ -306,9 +395,9 @@ class ContinuousBatchingScheduler:
         monotone in queue depth, which is what routing needs.
         """
         backlog = max(0.0, self._clock - now)
-        backlog += sum(self._prefill_s(r.prompt_tokens)
-                       for r in self._waiting)
-        return backlog + self._prefill_s(request.prompt_tokens)
+        backlog += self._scaled(sum(self._prefill_s(r.prompt_tokens)
+                                    for r in self._waiting))
+        return backlog + self._scaled(self._prefill_s(request.prompt_tokens))
 
     def _admit(self) -> None:
         """Admit arrived requests while memory and batch slots allow."""
@@ -340,7 +429,7 @@ class ContinuousBatchingScheduler:
                 if admitted_index < 0:
                     break
             self._waiting.pop(admitted_index)
-            self._clock += self._prefill_s(request.prompt_tokens)
+            self._clock += self._scaled(self._prefill_s(request.prompt_tokens))
             outcome = self._outcomes[request.request_id]
             outcome.first_token_s = self._clock
             self._running.append(_Running(request=request, outcome=outcome))
@@ -351,7 +440,8 @@ class ContinuousBatchingScheduler:
         contexts = [r.request.prompt_tokens + r.generated for r in running]
         mean_context = int(sum(contexts) / len(contexts))
         self._occupancy.append(len(running))
-        self._clock += self._decode_step_s(len(running), max(1, mean_context))
+        self._clock += self._scaled(
+            self._decode_step_s(len(running), max(1, mean_context)))
 
         finished: list[_Running] = []
         preempted_ids: set[int] = set()

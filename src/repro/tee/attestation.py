@@ -68,6 +68,18 @@ class AttestationService:
         key = hmac.new(_VENDOR_ROOT_KEY, platform_id.encode(), hashlib.sha256).digest()
         self._platform_keys[platform_id] = key
 
+    def revoke_platform(self, platform_id: str) -> None:
+        """Drop a platform's attestation key (TCB recovery / compromise).
+
+        A revoked platform cannot quote until re-provisioned — the
+        failure mode behind the fleet simulator's attestation faults.
+        """
+        self._platform_keys.pop(platform_id, None)
+
+    def provisioned(self, platform_id: str) -> bool:
+        """Whether the platform currently holds an attestation key."""
+        return platform_id in self._platform_keys
+
     def generate_quote(self, platform_id: str, measurement: str,
                        report_data: str = "") -> Quote:
         """Sign a quote; the platform must have been provisioned.

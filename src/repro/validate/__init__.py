@@ -1,6 +1,6 @@
 """Cross-layer invariant audit subsystem.
 
-A registry of named checks (``@check``) spanning three families:
+A registry of named checks (``@check``) spanning four families:
 
 * **differential** — fast paths against reference twins (vectorized vs
   loop engine, memoized vs cold caches, parallel vs serial sweeps,
@@ -10,7 +10,11 @@ A registry of named checks (``@check``) spanning three families:
   must satisfy everywhere (TEE never faster, cost non-decreasing in
   context/batch, scheduler/KV-block conservation),
 * **golden** — committed snapshots of every figure benchmark's headline
-  series with explicit tolerances and a ``--regen`` path.
+  series with explicit tolerances and a ``--regen`` path,
+* **chaos** — fault-injection invariants over :mod:`repro.faults`:
+  request conservation, billing bounds, deterministic replay, and the
+  zero-fault differential twin (armed-but-empty chaos machinery is
+  bit-identical to the fault-free simulator).
 
 Run via ``scripts/audit.py`` or through the pytest adapter in
 ``tests/validate/``, which makes every check a tier-1 test.
@@ -35,6 +39,7 @@ from . import differential as _differential  # noqa: E402,F401
 from . import metamorphic as _metamorphic  # noqa: E402,F401
 from . import golden as _golden  # noqa: E402,F401
 from . import fleet as _fleet  # noqa: E402,F401
+from . import chaos as _chaos  # noqa: E402,F401
 
 __all__ = [
     "AuditContext",

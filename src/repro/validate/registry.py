@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-#: The three validation strategies the audit layer ships.
-FAMILIES = ("differential", "metamorphic", "golden")
+#: The validation strategies the audit layer ships.  ``chaos`` checks
+#: prove fault-injection invariants: conservation of requests, billing
+#: bounds, deterministic replay, and zero-fault bit-identity.
+FAMILIES = ("differential", "metamorphic", "golden", "chaos")
 
 #: ``blocker`` checks gate every run; ``warn`` checks gate only
 #: ``--strict`` runs (statistical or known-loose invariants).

@@ -84,6 +84,51 @@ def test_loop_engine_matches_vectorized_within_reassociation():
                             rel_tol=1e-9), label
 
 
+class TestChaosDeterminism:
+    """The fault-injection layer is part of the purity contract: for a
+    fixed (stream, schedule, seeds) the fault timeline, the retry
+    jitter, and the failure-aware FleetReport are bit-identical across
+    runs — and unaffected by which decode engine ran beforehand."""
+
+    @staticmethod
+    def _chaos_run():
+        from repro.faults import RetryPolicy, mtbf_schedule
+        from repro.fleet import fixed_fleet, poisson_arrivals, replica_spec
+        spec = replica_spec("tdx", max_batch=16, kv_capacity_tokens=65536)
+        requests = poisson_arrivals(12, 4.0, 128, 24, seed=11)
+        schedule = mtbf_schedule([0, 1], mtbf_s=8.0, horizon_s=20.0, seed=5)
+        fleet = fixed_fleet(spec, 2, faults=schedule,
+                            retry_policy=RetryPolicy(timeout_s=15.0,
+                                                     max_attempts=3, seed=5))
+        report = fleet.run(requests)
+        return (report.to_dict(),
+                [a.to_dict() for a in report.fault_events],
+                [s.to_dict() for s in report.shed])
+
+    def test_same_seed_identical_fault_timeline_and_report(self):
+        first = self._chaos_run()
+        second = self._chaos_run()
+        assert first == second
+
+    @pytest.mark.parametrize("engine", ["auto", "vectorized", "loop"])
+    def test_chaos_run_invariant_to_engine_mode(self, engine):
+        """Interleaving decode-engine runs (any mode) must not perturb
+        the chaos layer — no hidden global RNG or cache coupling."""
+        baseline = self._chaos_run()
+        simulate_generation(WORKLOAD, DEPLOYMENTS["tdx"], seed=3,
+                            engine=engine, context_stride=1)
+        assert self._chaos_run() == baseline
+
+    def test_retry_jitter_reproducible(self):
+        from repro.faults import RetryPolicy
+        policy = RetryPolicy(jitter_frac=0.3, seed=9)
+        series = [(rid, k, policy.backoff_s(rid, k))
+                  for rid in range(5) for k in range(1, 4)]
+        twin = RetryPolicy(jitter_frac=0.3, seed=9)
+        assert series == [(rid, k, twin.backoff_s(rid, k))
+                          for rid in range(5) for k in range(1, 4)]
+
+
 def test_serial_and_parallel_sweeps_bit_identical():
     deployments = {label: DEPLOYMENTS[label] for label in ("baremetal", "tdx")}
     kwargs = dict(base=WORKLOAD, deployments=deployments,

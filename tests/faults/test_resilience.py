@@ -1,0 +1,71 @@
+"""Retry/backoff policies, degradation policies, attestation gate."""
+
+import pytest
+
+from repro.faults import (
+    DEGRADATION_MODES,
+    SHED_REASONS,
+    DegradationPolicy,
+    FleetAttestation,
+    RetryPolicy,
+    needs_attestation,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_multiplier=2.0,
+                             jitter_frac=0.0)
+        assert policy.backoff_s(0, 1) == pytest.approx(1.0)
+        assert policy.backoff_s(0, 2) == pytest.approx(2.0)
+        assert policy.backoff_s(0, 3) == pytest.approx(4.0)
+
+    def test_jitter_differs_across_requests_same_seed(self):
+        policy = RetryPolicy(jitter_frac=0.5, seed=3)
+        delays = {policy.backoff_s(rid, 1) for rid in range(8)}
+        assert len(delays) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=-0.1)
+
+
+class TestDegradationPolicy:
+    def test_modes_are_closed_set(self):
+        assert set(DEGRADATION_MODES) == {"shed", "spill"}
+        with pytest.raises(ValueError):
+            DegradationPolicy(mode="panic")
+
+    def test_shed_reasons_are_closed_set(self):
+        assert set(SHED_REASONS) == {"retries-exhausted", "degraded",
+                                     "unroutable"}
+
+    def test_max_hold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(max_hold_s=0.0)
+
+
+class TestFleetAttestation:
+    def test_tee_kinds(self):
+        assert needs_attestation("tdx")
+        assert needs_attestation("cgpu")
+        assert not needs_attestation("baremetal")
+
+    def test_enroll_readmit_cycle(self):
+        gate = FleetAttestation()
+        gate.enroll(0)
+        assert gate.readmit(0), "freshly enrolled replica must verify"
+        assert gate.verifications == 1
+        assert gate.failures == 0
+
+    def test_revoke_then_readmit_reprovisions(self):
+        gate = FleetAttestation()
+        gate.enroll(0)
+        assert gate.revoke(0), "revoked platform must fail verification"
+        assert gate.failures == 1
+        assert gate.readmit(0), "re-provisioned platform verifies again"
+        assert gate.verifications >= 2

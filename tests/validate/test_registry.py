@@ -42,7 +42,8 @@ class TestRegistry:
         by_family = {}
         for spec in specs:
             by_family.setdefault(spec.family, []).append(spec)
-        assert set(by_family) == {"differential", "metamorphic", "golden"}
+        assert set(by_family) == {"differential", "metamorphic", "golden",
+                                  "chaos"}
         # Every family is substantive, not a token single check.
         assert all(len(group) >= 5 for group in by_family.values())
 
