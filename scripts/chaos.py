@@ -10,13 +10,21 @@ Usage::
     PYTHONPATH=src python scripts/chaos.py sweep [--json sweep.json]
     PYTHONPATH=src python scripts/chaos.py sweep --kinds tdx,cgpu \\
         --mtbf 12,6,3 --requests 36 --rate 1.5 --replicas 1 --seed 7
+    PYTHONPATH=src python scripts/chaos.py sweep --jsonl rows.jsonl
+    PYTHONPATH=src python scripts/chaos.py sweep --resume runs/chaos \\
+        --checkpoint-every 5 --point-timeout 60
     PYTHONPATH=src python scripts/chaos.py run --kind tdx --replicas 2 \\
         --mtbf 8 --requests 40 --rate 4 [--timeline]
     PYTHONPATH=src python scripts/chaos.py run --kind tdx --crash 5:0 \\
         --hang 8:1:3 --requests 30
 
 ``sweep`` with no overrides reproduces the committed ``golden.chaos_mtbf``
-snapshot exactly (same seeds, same grid).
+snapshot exactly (same seeds, same grid).  Rows stream to ``--jsonl`` as
+each grid point completes, so an interrupted sweep keeps everything
+already computed; ``--resume RUN_DIR`` goes further and write-ahead
+journals the sweep into a durable run directory that survives SIGKILL —
+rerun the same command (or ``scripts/resume.py RUN_DIR``) to continue
+where it stopped.
 """
 
 from __future__ import annotations
@@ -38,8 +46,8 @@ from repro.faults import (  # noqa: E402
 from repro.faults.sweep import (  # noqa: E402
     DEFAULT_KINDS,
     DEFAULT_MTBF_GRID_S,
-    mtbf_sweep,
-    sweep_row,
+    ROW_FIELDS,
+    iter_mtbf_rows,
 )
 from repro.fleet import (  # noqa: E402
     fixed_fleet,
@@ -158,13 +166,56 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     grid = (DEFAULT_MTBF_GRID_S if args.mtbf_grid is None else
             tuple(None if p in ("inf", "none") else float(p)
                   for p in args.mtbf_grid.split(",")))
-    rows = mtbf_sweep(kinds=tuple(args.kinds.split(",")),
-                      mtbf_grid_s=grid, num_requests=args.requests,
-                      rate_rps=args.rate, mean_prompt=args.mean_prompt,
-                      mean_output=args.mean_output, replicas=args.replicas,
-                      seed=args.seed, slo_ttft_s=args.slo_ttft,
-                      timeout_s=args.timeout, horizon_s=args.horizon)
+    kinds = tuple(args.kinds.split(","))
+    # Partial results stream as each point lands (append when resuming:
+    # the run directory's WAL already holds the earlier rows).
+    stream = (open(args.jsonl, "a" if args.resume else "w",
+                   encoding="utf-8") if args.jsonl else None)
+
+    def emit(row: dict) -> None:
+        if stream is not None:
+            stream.write(json.dumps(row, sort_keys=True) + "\n")
+            stream.flush()
+
+    quarantined: dict[int, dict] = {}
+    try:
+        if args.resume:
+            from repro.state import SweepRunner, chaos_grid
+            spec = chaos_grid(kinds=kinds, mtbf_grid_s=grid,
+                              num_requests=args.requests, rate_rps=args.rate,
+                              mean_prompt=args.mean_prompt,
+                              mean_output=args.mean_output,
+                              replicas=args.replicas, seed=args.seed,
+                              slo_ttft_s=args.slo_ttft,
+                              timeout_s=args.timeout, horizon_s=args.horizon,
+                              checkpoint_every_s=args.checkpoint_every,
+                              point_timeout_s=args.point_timeout)
+            runner = SweepRunner.create(args.resume, spec)
+            done = len(runner.completed())
+            print(f"run dir {args.resume}: {done}/{len(spec.points)} points "
+                  f"journaled, {len(runner.pending())} to go")
+            by_index = runner.run(on_row=lambda point, row: emit(row))
+            rows = [{field: by_index[index][field] for field in ROW_FIELDS}
+                    for index in sorted(by_index)]
+            quarantined = runner.quarantined()
+        else:
+            rows = []
+            for row in iter_mtbf_rows(kinds, grid, args.requests, args.rate,
+                                      args.mean_prompt, args.mean_output,
+                                      args.replicas, args.seed,
+                                      args.slo_ttft, args.timeout,
+                                      args.horizon):
+                emit(row)
+                rows.append(row)
+    finally:
+        if stream is not None:
+            stream.close()
     _print_rows(f"MTBF sweep (SLO: TTFT <= {args.slo_ttft:g} s)", rows)
+    if quarantined:
+        _print_rows("quarantined points", [
+            {"index": q["index"], "key": q["key"],
+             "attempts": q["attempts"], "error": q["error"]}
+            for q in quarantined.values()])
     anchor = {r["kind"]: r for r in rows if r["mtbf_s"] is None}
     for row in rows:
         base = anchor.get(row["kind"])
@@ -222,8 +273,21 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--mtbf", dest="mtbf_grid", default=None,
                        metavar="GRID",
                        help="comma list of MTBF seconds ('inf' = no faults)")
-    _add_workload_args(sweep, requests=36, rate=1.5, replicas=1)
+    sweep.add_argument("--jsonl", type=Path, default=None,
+                       help="stream one JSON row per completed point")
+    sweep.add_argument("--resume", type=Path, default=None, metavar="RUN_DIR",
+                       help="write-ahead journal the sweep into RUN_DIR; "
+                            "rerun to continue after a crash/SIGKILL")
+    sweep.add_argument("--checkpoint-every", type=float, default=0.0,
+                       metavar="SIM_S",
+                       help="with --resume: snapshot each in-flight point "
+                            "every SIM_S simulated seconds (0 = off)")
+    sweep.add_argument("--point-timeout", type=float, default=None,
+                       metavar="WALL_S",
+                       help="with --resume: watchdog wall-clock budget per "
+                            "point attempt (retry + quarantine on breach)")
     sweep.set_defaults(func=cmd_sweep)
+    _add_workload_args(sweep, requests=36, rate=1.5, replicas=1)
 
     args = parser.parse_args(argv)
     return args.func(args)

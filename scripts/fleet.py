@@ -33,11 +33,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.fleet import (  # noqa: E402
     ARRIVAL_KINDS,
     AutoscalerConfig,
+    CapacityPlan,
+    CapacityPoint,
     FleetReport,
     FleetSimulator,
     ROUTER_KINDS,
     ReactiveAutoscaler,
-    capacity_sweep,
+    iter_capacity_points,
     make_arrivals,
     make_router,
     replica_spec,
@@ -122,16 +124,73 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_from_points(kind: str, points: list[CapacityPoint],
+                      slo_ttft_s: float, percentile: float) -> CapacityPlan:
+    needed = next((p.replicas for p in points if p.meets_slo), None)
+    return CapacityPlan(kind=kind, slo_ttft_s=slo_ttft_s,
+                        percentile=percentile, points=tuple(points),
+                        replicas_needed=needed)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    if args.arrivals:
-        requests = _arrivals(args)
-    else:
-        requests = trace_replay(list(CAPACITY_TRACE))
-    specs = [replica_spec(kind, max_batch=16, kv_capacity_tokens=65536)
-             for kind in args.kinds.split(",")]
-    plans = capacity_sweep(specs, requests, slo_ttft_s=args.slo_ttft,
-                           percentile=args.percentile,
-                           max_replicas=args.max_replicas)
+    kinds = args.kinds.split(",")
+    # Partial results stream as each fleet size lands (append when
+    # resuming: the run directory's WAL already holds earlier rows).
+    stream = (open(args.jsonl, "a" if args.resume else "w",
+                   encoding="utf-8") if args.jsonl else None)
+
+    def emit(row: dict) -> None:
+        if stream is not None:
+            stream.write(json.dumps(row, sort_keys=True) + "\n")
+            stream.flush()
+
+    quarantined: dict[int, dict] = {}
+    try:
+        if args.resume:
+            if args.arrivals is not None or args.percentile != 99.0:
+                print("--resume pins the committed capacity trace at p99; "
+                      "drop --arrivals/--percentile", file=sys.stderr)
+                return 2
+            from repro.state import SweepRunner, capacity_grid
+            spec = capacity_grid(kinds=tuple(kinds),
+                                 max_replicas=args.max_replicas,
+                                 slo_ttft_s=args.slo_ttft,
+                                 point_timeout_s=args.point_timeout)
+            runner = SweepRunner.create(args.resume, spec)
+            done = len(runner.completed())
+            print(f"run dir {args.resume}: {done}/{len(spec.points)} points "
+                  f"journaled, {len(runner.pending())} to go "
+                  f"(SLO-met sizes prune the rest of their kind)")
+            by_index = runner.run(on_row=lambda point, row: emit(row))
+            quarantined = runner.quarantined()
+            requests = trace_replay(list(CAPACITY_TRACE))
+            by_kind: dict[str, list[CapacityPoint]] = {k: [] for k in kinds}
+            for index in sorted(by_index):
+                point = CapacityPoint(**by_index[index])
+                by_kind[point.kind].append(point)
+            plans = {kind: _plan_from_points(kind, points, args.slo_ttft,
+                                             99.0)
+                     for kind, points in by_kind.items()}
+        else:
+            if args.arrivals:
+                requests = _arrivals(args)
+            else:
+                requests = trace_replay(list(CAPACITY_TRACE))
+            plans = {}
+            for kind in kinds:
+                spec = replica_spec(kind, max_batch=16,
+                                    kv_capacity_tokens=65536)
+                points = []
+                for point in iter_capacity_points(
+                        spec, requests, args.slo_ttft, args.percentile,
+                        args.max_replicas):
+                    emit(point.to_dict())
+                    points.append(point)
+                plans[kind] = _plan_from_points(kind, points, args.slo_ttft,
+                                                args.percentile)
+    finally:
+        if stream is not None:
+            stream.close()
     rows = []
     for kind, plan in plans.items():
         for point in plan.points:
@@ -150,6 +209,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         else:
             print(f"{kind:>10}: {plan.replicas_needed} replica(s), "
                   f"${plan.usd_per_mtok_at_slo:.2f}/Mtok at SLO")
+    if quarantined:
+        _print_rows("quarantined points", [
+            {"index": q["index"], "key": q["key"],
+             "attempts": q["attempts"], "error": q["error"]}
+            for q in quarantined.values()])
     if args.json:
         payload = {kind: plan.to_dict() for kind, plan in plans.items()}
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
@@ -205,6 +269,16 @@ def main(argv: list[str] | None = None) -> int:
                          help="comma-separated replica kinds")
     sweep_p.add_argument("--max-replicas", type=int, default=6)
     sweep_p.add_argument("--percentile", type=float, default=99.0)
+    sweep_p.add_argument("--jsonl", type=Path, default=None,
+                         help="stream one JSON row per completed fleet size")
+    sweep_p.add_argument("--resume", type=Path, default=None,
+                         metavar="RUN_DIR",
+                         help="write-ahead journal the sweep into RUN_DIR; "
+                              "rerun to continue after a crash/SIGKILL")
+    sweep_p.add_argument("--point-timeout", type=float, default=None,
+                         metavar="WALL_S",
+                         help="with --resume: watchdog wall-clock budget "
+                              "per point attempt")
     add_common(sweep_p, None)
     sweep_p.set_defaults(func=cmd_sweep)
 

@@ -1,0 +1,106 @@
+"""Resume CLI: finish a crash-interrupted sweep from its run directory.
+
+Any sweep started with ``--resume RUN_DIR`` (``scripts/chaos.py`` /
+``scripts/fleet.py``) write-ahead journals its progress into RUN_DIR:
+the spec, one results row per completed grid point, mid-point simulator
+snapshots, and a quarantine list.  After a crash, SIGKILL, or OOM this
+tool reopens the directory from ``spec.json`` alone — no original
+command line needed — and runs whatever the journal says is missing.
+Resumed output merges byte-identically with an uninterrupted run's
+(pinned by the ``state.wal_resume`` audit check).
+
+Usage::
+
+    PYTHONPATH=src python scripts/resume.py RUN_DIR            # finish it
+    PYTHONPATH=src python scripts/resume.py RUN_DIR --status   # just look
+    PYTHONPATH=src python scripts/resume.py RUN_DIR --json rows.json
+    PYTHONPATH=src python scripts/resume.py RUN_DIR --max-points 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.state import StateError, SweepRunner  # noqa: E402
+
+
+def _status(runner: SweepRunner) -> None:
+    spec = runner.spec
+    done = runner.completed()
+    bad = runner.quarantined()
+    pending = runner.pending()
+    print(f"run dir      {runner.run_dir}")
+    print(f"grid         {len(spec.points)} points "
+          f"({', '.join(sorted({p.runner for p in spec.points}))})")
+    print(f"completed    {len(done)}")
+    print(f"quarantined  {len(bad)}")
+    print(f"pending      {len(pending)}"
+          + (f"  (next: {pending[0].key})" if pending else ""))
+    if spec.prune_field:
+        pruned = [p.key for p in spec.points
+                  if p.index not in done and p.index not in bad
+                  and p not in pending]
+        if pruned:
+            print(f"pruned       {len(pruned)} "
+                  f"(group satisfied '{spec.prune_field}')")
+    for entry in bad.values():
+        print(f"  quarantined {entry['key']}: {entry['error']} "
+              f"({entry['attempts']} attempts)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Finish a crash-interrupted sweep from its run directory")
+    parser.add_argument("run_dir", type=Path,
+                        help="directory created by a --resume sweep")
+    parser.add_argument("--status", action="store_true",
+                        help="report progress without running anything")
+    parser.add_argument("--max-points", type=int, default=None,
+                        help="stop after completing this many new points")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the merged rows (execution order) as a "
+                             "JSON array")
+    args = parser.parse_args(argv)
+
+    try:
+        runner = SweepRunner.open(args.run_dir)
+    except StateError as error:
+        print(f"cannot open {args.run_dir}: {error}", file=sys.stderr)
+        return 2
+    _status(runner)
+    if args.status:
+        return 0
+
+    before = set(runner.completed())
+
+    def on_row(point, row) -> None:
+        print(f"  done {point.key}")
+
+    try:
+        rows = runner.run(max_points=args.max_points, on_row=on_row)
+    except StateError as error:
+        print(f"sweep halted: {error}", file=sys.stderr)
+        return 1
+    fresh = len(set(rows) - before)
+    print(f"{fresh} new point(s) this session; "
+          f"{len(rows)}/{len(runner.spec.points)} journaled total")
+    if args.json:
+        merged = [rows[index] for index in sorted(rows)]
+        args.json.write_text(json.dumps(merged, indent=2, sort_keys=True)
+                             + "\n")
+        print(f"merged rows written to {args.json}")
+    remaining = runner.pending()
+    if remaining:
+        print(f"{len(remaining)} point(s) still pending "
+              f"(next: {remaining[0].key})")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,12 +15,38 @@ bit-identical to the serial one.
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable
 
 from ..engine.placement import Deployment, Workload
+from ..state.errors import StateValueError
 from .experiment import Experiment, ExperimentResult
+
+
+def _validate_grid(parameter: str, values: list) -> None:
+    """Reject malformed sweep grids before any experiment is built.
+
+    Grid values name workload parameters (batch sizes, token counts,
+    core counts) so they must be positive finite numbers; catching a
+    NaN or negative here fails the whole sweep in microseconds instead
+    of shipping poisoned experiments to a process pool and failing one
+    worker minutes in.  Raises the structured
+    :class:`~repro.state.errors.StateValueError` (a ``ValueError``
+    subclass, so pre-existing handlers keep working).
+    """
+    if not values:
+        raise StateValueError(f"sweep grid {parameter!r} must be non-empty")
+    for slot, value in enumerate(values):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise StateValueError(
+                f"sweep grid {parameter!r}[{slot}] must be numeric, got "
+                f"{type(value).__name__}")
+        if not math.isfinite(value) or value <= 0:
+            raise StateValueError(
+                f"sweep grid {parameter!r}[{slot}] must be a positive "
+                f"finite number, got {value!r}")
 
 
 def _run_experiment(experiment: Experiment) -> ExperimentResult:
@@ -59,9 +85,12 @@ def sweep_workload(name: str, base: Workload,
     Returns:
         Mapping from parameter value to that experiment's result, in the
         order of ``values`` regardless of execution mode.
+
+    Raises:
+        repro.state.errors.StateValueError: On an empty grid or a
+            non-finite/non-positive value.
     """
-    if not values:
-        raise ValueError("values must be non-empty")
+    _validate_grid(parameter, values)
     experiments = [
         Experiment(name=f"{name}[{parameter}={value}]",
                    workload=base.with_(**{parameter: value}),
@@ -85,9 +114,12 @@ def sweep_deployments(name: str, workload: Workload,
         make_deployments: Builds the labelled deployments for one value
             (called in the parent process; only the built experiments are
             shipped to workers under ``parallel=True``).
+
+    Raises:
+        repro.state.errors.StateValueError: On an empty grid or a
+            non-finite/non-positive value.
     """
-    if not values:
-        raise ValueError("values must be non-empty")
+    _validate_grid(name, values)
     experiments = [
         Experiment(name=f"{name}[{value}]", workload=workload,
                    deployments=make_deployments(value),

@@ -87,3 +87,29 @@ class FleetAttestation:
         if not ok:  # pragma: no cover - fresh keys always verify
             self.failures += 1
         return ok
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot: provisioned platforms + counters.
+
+        Platform keys are derived deterministically (HMAC over the
+        platform id), so recording *which* platforms hold keys is
+        enough — restore re-derives identical keys by re-provisioning.
+        """
+        return {
+            "platforms": sorted(self.service._platform_keys),
+            "verifications": self.verifications,
+            "failures": self.failures,
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Install a :meth:`to_state` snapshot into this authority."""
+        from ..state.schema import require
+        platforms = require(state, "platforms", list, "$.attestation")
+        self.service._platform_keys.clear()
+        for platform in platforms:
+            self.service.provision_platform(platform)
+        self.verifications = require(state, "verifications", int,
+                                     "$.attestation")
+        self.failures = require(state, "failures", int, "$.attestation")

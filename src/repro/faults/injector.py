@@ -73,3 +73,52 @@ class FaultInjector:
         """Log how a due event landed (kept in application order)."""
         self.applied.append(AppliedFault(event=event, applied_s=applied_s,
                                          effect=effect))
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot: schedule fingerprint, cursor, timeline.
+
+        The full schedule rides along so restore can refuse a cursor
+        positioned against a *different* timeline — a silently wrong
+        schedule would replay the wrong faults from the right index.
+        """
+        return {
+            "schedule": self.schedule.to_dicts(),
+            "cursor": self._cursor,
+            "applied": [fault.to_dict() for fault in self.applied],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Install a :meth:`to_state` snapshot into this injector.
+
+        The injector must have been built from the same schedule.
+
+        Raises:
+            repro.state.errors.StateIntegrityError: On a schedule
+                mismatch or an out-of-range cursor.
+        """
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require, require_finite
+
+        recorded = require(state, "schedule", list, "$.injector")
+        if recorded != self.schedule.to_dicts():
+            raise StateIntegrityError(
+                f"injector snapshot was taken against a different fault "
+                f"schedule ({len(recorded)} vs "
+                f"{len(self.schedule.events)} events)")
+        cursor = require(state, "cursor", int, "$.injector")
+        if not 0 <= cursor <= len(self.schedule.events):
+            raise StateIntegrityError(
+                f"injector cursor {cursor} out of range for "
+                f"{len(self.schedule.events)} events")
+        self._cursor = cursor
+        self.applied = []
+        for payload in require(state, "applied", list, "$.injector"):
+            self.applied.append(AppliedFault(
+                event=FaultEvent.from_dict(
+                    require(payload, "event", dict, "$.injector.applied")),
+                applied_s=require_finite(payload, "applied_s",
+                                         "$.injector.applied"),
+                effect=require(payload, "effect", str, "$.injector.applied"),
+            ))

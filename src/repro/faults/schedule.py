@@ -93,6 +93,32 @@ class FaultEvent:
             "comm_share": self.comm_share,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict` (checkpoint restore path)."""
+        from ..state.errors import StateError, StateValueError
+        from ..state.schema import require, require_finite
+        try:
+            return cls(
+                time_s=require_finite(payload, "time_s", "$.fault_event"),
+                kind=require(payload, "kind", str, "$.fault_event"),
+                replica_id=require(payload, "replica_id", int,
+                                   "$.fault_event"),
+                duration_s=require_finite(payload, "duration_s",
+                                          "$.fault_event"),
+                factor=require_finite(payload, "factor", "$.fault_event"),
+                restart_after_s=require_finite(payload, "restart_after_s",
+                                               "$.fault_event",
+                                               optional=True),
+                comm_share=require_finite(payload, "comm_share",
+                                          "$.fault_event"),
+            )
+        except StateError:
+            raise
+        except ValueError as error:
+            raise StateValueError(
+                f"invalid fault event payload: {error}") from error
+
 
 def _sort_key(event: FaultEvent) -> tuple:
     return (event.time_s, event.replica_id, FAULT_KINDS.index(event.kind))

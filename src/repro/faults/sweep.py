@@ -52,6 +52,15 @@ def chaos_fleet(kind: str, replicas: int = 2,
     return fixed_fleet(spec, replicas, faults=schedule, retry_policy=retry)
 
 
+#: Canonical column order of :func:`sweep_row` — JSON round-trips (the
+#: resumable runner's WAL) sort keys, so tables rebuilt from restored
+#: rows reorder through this.
+ROW_FIELDS = ("kind", "mtbf_s", "slo_attainment", "usd_per_mtok",
+              "cost_usd", "goodput_cost_usd", "wasted_cost_usd",
+              "completed", "shed", "retries", "wasted_tokens",
+              "fault_events", "makespan_s")
+
+
 def sweep_row(kind: str, mtbf_s: float | None, report: FleetReport,
               slo_ttft_s: float) -> dict:
     """Flatten one chaos run into a JSON-friendly sweep row."""
@@ -73,6 +82,31 @@ def sweep_row(kind: str, mtbf_s: float | None, report: FleetReport,
     }
 
 
+def iter_mtbf_rows(kinds: tuple[str, ...] = DEFAULT_KINDS,
+                   mtbf_grid_s: tuple[float | None, ...]
+                   = DEFAULT_MTBF_GRID_S,
+                   num_requests: int = 36, rate_rps: float = 1.5,
+                   mean_prompt: int = 128, mean_output: int = 64,
+                   replicas: int = 1, seed: int = 7,
+                   slo_ttft_s: float = 2.0, timeout_s: float = 20.0,
+                   horizon_s: float = 40.0):
+    """Yield :func:`mtbf_sweep` rows one completed point at a time.
+
+    The streaming form exists so CLIs can emit partial results (JSONL)
+    as each grid point lands instead of buffering the whole sweep — an
+    interrupted sweep then keeps everything already computed.
+    """
+    for kind in kinds:
+        for mtbf_s in mtbf_grid_s:
+            requests = poisson_arrivals(num_requests, rate_rps, mean_prompt,
+                                        mean_output, seed=seed)
+            fleet = chaos_fleet(kind, replicas=replicas, mtbf_s=mtbf_s,
+                                horizon_s=horizon_s, seed=seed,
+                                timeout_s=timeout_s)
+            report = fleet.run(requests)
+            yield sweep_row(kind, mtbf_s, report, slo_ttft_s)
+
+
 def mtbf_sweep(kinds: tuple[str, ...] = DEFAULT_KINDS,
                mtbf_grid_s: tuple[float | None, ...] = DEFAULT_MTBF_GRID_S,
                num_requests: int = 36, rate_rps: float = 1.5,
@@ -89,14 +123,6 @@ def mtbf_sweep(kinds: tuple[str, ...] = DEFAULT_KINDS,
     longer exposure per request shows up most clearly against the
     faster confidential GPU.
     """
-    rows = []
-    for kind in kinds:
-        for mtbf_s in mtbf_grid_s:
-            requests = poisson_arrivals(num_requests, rate_rps, mean_prompt,
-                                        mean_output, seed=seed)
-            fleet = chaos_fleet(kind, replicas=replicas, mtbf_s=mtbf_s,
-                                horizon_s=horizon_s, seed=seed,
-                                timeout_s=timeout_s)
-            report = fleet.run(requests)
-            rows.append(sweep_row(kind, mtbf_s, report, slo_ttft_s))
-    return rows
+    return list(iter_mtbf_rows(kinds, mtbf_grid_s, num_requests, rate_rps,
+                               mean_prompt, mean_output, replicas, seed,
+                               slo_ttft_s, timeout_s, horizon_s))

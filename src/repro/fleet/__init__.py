@@ -24,6 +24,7 @@ from .planner import (
     CapacityPoint,
     capacity_plan,
     capacity_sweep,
+    iter_capacity_points,
     evaluate_fleet,
 )
 from .replica import REPLICA_KINDS, Replica, ReplicaSpec, replica_spec
@@ -60,6 +61,7 @@ __all__ = [
     "ScaleEvent",
     "capacity_plan",
     "capacity_sweep",
+    "iter_capacity_points",
     "diurnal_arrivals",
     "evaluate_fleet",
     "fixed_fleet",

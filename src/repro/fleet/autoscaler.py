@@ -57,6 +57,30 @@ class ScaleEvent:
     load_per_replica: float
     active_replicas: int
 
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of this decision."""
+        return {
+            "time_s": self.time_s,
+            "action": self.action,
+            "load_per_replica": self.load_per_replica,
+            "active_replicas": self.active_replicas,
+        }
+
+    # Report/audit serialization is the same plain dict.
+    to_dict = to_state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ScaleEvent":
+        from ..state.schema import require
+        return cls(
+            time_s=require(state, "time_s", float, "$.scale_event"),
+            action=require(state, "action", str, "$.scale_event"),
+            load_per_replica=require(state, "load_per_replica", float,
+                                     "$.scale_event"),
+            active_replicas=require(state, "active_replicas", int,
+                                    "$.scale_event"),
+        )
+
 
 class ReactiveAutoscaler:
     """Threshold autoscaler with hysteresis and cooldown.
@@ -99,3 +123,54 @@ class ReactiveAutoscaler:
             self.events.append(ScaleEvent(now, "down", load, active_replicas))
             return -1
         return 0
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def config_fingerprint(self) -> dict:
+        """Identity of the policy knobs, for restore checks."""
+        config = self.config
+        return {
+            "min_replicas": config.min_replicas,
+            "max_replicas": config.max_replicas,
+            "scale_up_load": config.scale_up_load,
+            "scale_down_load": config.scale_down_load,
+            "cooldown_s": config.cooldown_s,
+            "boot_latency_s": config.boot_latency_s,
+        }
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of the controller state.
+
+        The never-decided sentinel ``-inf`` cannot survive strict JSON,
+        so it is encoded as ``None`` and decoded back on restore.
+        """
+        last = self._last_decision_s
+        return {
+            "config": self.config_fingerprint(),
+            "last_decision_s": None if last == float("-inf") else last,
+            "events": [event.to_state() for event in self.events],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Install a :meth:`to_state` snapshot into this controller.
+
+        Raises:
+            repro.state.errors.StateIntegrityError: If the snapshot was
+                taken under different policy knobs.
+        """
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require, require_finite
+
+        recorded = require(state, "config", dict, "$.autoscaler")
+        mine = self.config_fingerprint()
+        if recorded != mine:
+            diverged = sorted(key for key in set(recorded) | set(mine)
+                              if recorded.get(key) != mine.get(key))
+            raise StateIntegrityError(
+                f"autoscaler snapshot was taken under a different config "
+                f"(mismatched: {diverged})")
+        last = require_finite(state, "last_decision_s", "$.autoscaler",
+                              optional=True)
+        self._last_decision_s = float("-inf") if last is None else last
+        self.events = [ScaleEvent.from_state(event) for event
+                       in require(state, "events", list, "$.autoscaler")]

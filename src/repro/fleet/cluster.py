@@ -106,6 +106,27 @@ class _ChaosState:
             attempts=self.attempts.get(request.request_id, 0)))
 
 
+class _RunState:
+    """Mid-run loop state (pending arrivals, held work, outcomes).
+
+    Hoisting the ``run`` loop's locals into an object is what makes a
+    run *snapshotable*: everything the next tick depends on lives here
+    or on the replicas/router/autoscaler, never in a stack frame.
+    """
+
+    def __init__(self, requests: list[ServeRequest],
+                 pending: list[ServeRequest], start: float, now: float,
+                 peak: int, chaos: _ChaosState | None) -> None:
+        self.requests = requests
+        self.pending = pending
+        self.held: list[ServeRequest] = []  # arrived but unroutable
+        self.outcomes: dict[int, RequestOutcome] = {}
+        self.start = start
+        self.now = now
+        self.peak = peak
+        self.chaos = chaos
+
+
 class FleetSimulator:
     """Discrete-event simulation of a replicated serving fleet.
 
@@ -156,15 +177,18 @@ class FleetSimulator:
         self.attestation = FleetAttestation() if self._chaos else None
         #: Resilience bookkeeping of the most recent ``run`` (chaos only).
         self.last_chaos: _ChaosState | None = None
+        #: In-progress incremental run (``begin_run``/``run_tick``).
+        self._run: _RunState | None = None
+        self._initial_specs = list(specs)
         self.replicas: list[Replica] = []
         for spec in specs:
             self._provision(spec, provisioned_s=0.0, boot_latency_s=0.0)
 
     def _provision(self, spec: ReplicaSpec, provisioned_s: float,
-                   boot_latency_s: float) -> Replica:
+                   boot_latency_s: float, origin: str = "initial") -> Replica:
         replica = Replica(replica_id=len(self.replicas), spec=spec,
                           provisioned_s=provisioned_s,
-                          boot_latency_s=boot_latency_s)
+                          boot_latency_s=boot_latency_s, origin=origin)
         self.replicas.append(replica)
         if self.attestation is not None and needs_attestation(spec.kind):
             self.attestation.enroll(replica.replica_id)
@@ -194,7 +218,8 @@ class FleetSimulator:
             active_replicas=len(self.active))
         if delta > 0:
             self._provision(self.scale_spec, provisioned_s=now,
-                            boot_latency_s=self.autoscaler.config.boot_latency_s)
+                            boot_latency_s=self.autoscaler.config.boot_latency_s,
+                            origin="scale")
         elif delta < 0 and self.live:
             # Drain the least-loaded live replica (highest id on ties:
             # prefer retiring the newest instance).
@@ -303,7 +328,8 @@ class FleetSimulator:
             if state.spilled < policy.max_spill:
                 spec = policy.spill_spec or self.scale_spec
                 self._provision(spec, provisioned_s=now,
-                                boot_latency_s=policy.spill_boot_s)
+                                boot_latency_s=policy.spill_boot_s,
+                                origin="spill")
                 state.spilled += 1
             return held
         # Shed mode: lowest priority goes first.
@@ -340,23 +366,33 @@ class FleetSimulator:
 
     # -- event loop -----------------------------------------------------------
 
-    def run(self, requests: list[ServeRequest]) -> FleetReport:
-        """Serve a request stream to completion across the fleet.
+    def _make_injector(self) -> FaultInjector:
+        if isinstance(self.faults, FaultInjector):
+            return self.faults
+        return FaultInjector(self.faults if self.faults is not None
+                             else FaultSchedule.empty())
+
+    def begin_run(self, requests: list[ServeRequest]) -> None:
+        """Install a request stream and arm the event loop.
+
+        Splits :meth:`run` into an incremental form — ``begin_run``,
+        then :meth:`run_tick` while :attr:`run_active`, then
+        :meth:`finish_run` — so a checkpoint can capture the loop
+        between any two ticks.  :meth:`run` composes exactly these
+        calls; the instruction sequence is unchanged.
 
         Raises:
-            ValueError: On an empty stream, or when a request can never
-                fit any replica's KV pool.
+            ValueError: On an empty stream or if a run is in progress.
         """
         if not requests:
             raise ValueError("no requests")
+        if self._run is not None:
+            raise ValueError("a run is already in progress; finish_run() "
+                             "or restore into a fresh simulator")
         state: _ChaosState | None = None
         if self._chaos:
-            if isinstance(self.faults, FaultInjector):
-                injector = self.faults
-            else:
-                injector = FaultInjector(self.faults if self.faults is not None
-                                         else FaultSchedule.empty())
-            state = _ChaosState(injector, self.retry_policy, self.degradation)
+            state = _ChaosState(self._make_injector(), self.retry_policy,
+                                self.degradation)
             self.last_chaos = state
             # TEE replicas attest before serving their first request.
             for replica in self.replicas:
@@ -364,69 +400,104 @@ class FleetSimulator:
                     assert self.attestation is not None
                     self.attestation.readmit(replica.replica_id)
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        outcomes: dict[int, RequestOutcome] = {}
-        held: list[ServeRequest] = []  # arrived but unroutable (all booting)
         start = pending[0].arrival_s
-        now = (start // self.tick_s) * self.tick_s
-        peak = len(self.active)
+        self._run = _RunState(
+            requests=list(requests), pending=pending, start=start,
+            now=(start // self.tick_s) * self.tick_s,
+            peak=len(self.active), chaos=state)
 
-        while pending or held or (state is not None and state.retry_heap) \
-                or any(r.outstanding for r in self.replicas):
-            now += self.tick_s
+    @property
+    def run_active(self) -> bool:
+        """Whether the armed run still has work for another tick."""
+        run = self._run
+        if run is None:
+            return False
+        state = run.chaos
+        return bool(run.pending or run.held
+                    or (state is not None and state.retry_heap)
+                    or any(r.outstanding for r in self.replicas))
+
+    @property
+    def run_clock_s(self) -> float:
+        """Shared clock of the armed run (last completed tick)."""
+        if self._run is None:
+            raise ValueError("no run in progress")
+        return self._run.now
+
+    def run_tick(self) -> None:
+        """Advance the armed run by one shared-clock tick."""
+        run = self._run
+        if run is None:
+            raise ValueError("no run in progress; call begin_run() first")
+        state = run.chaos
+        run.now += self.tick_s
+        now = run.now
+        if state is not None:
+            self._chaos_tick(now, state)
+            self._autoscale(now, queued=len(run.held) + len(state.retry_heap))
+        else:
+            self._autoscale(now)
+        for replica in self.replicas:
             if state is not None:
-                self._chaos_tick(now, state)
-                self._autoscale(now, queued=len(held) + len(state.retry_heap))
-            else:
-                self._autoscale(now)
-            for replica in self.replicas:
+                self._chaos_activate(replica, now)
+            replica.activate_if_ready(now)
+
+        due = run.held
+        run.held = []
+        while run.pending and run.pending[0].arrival_s <= now:
+            due.append(run.pending.pop(0))
+        if state is not None:
+            while state.retry_heap and state.retry_heap[0][0] <= now:
+                _, _, request = heapq.heappop(state.retry_heap)
+                due.append(request)
+        for request in due:
+            try:
+                replica = self.router.choose(request, self.replicas, now)
+            except ValueError:
+                run.held.append(request)  # nothing live yet; retry next tick
                 if state is not None:
-                    self._chaos_activate(replica, now)
-                replica.activate_if_ready(now)
-
-            due = held
-            held = []
-            while pending and pending[0].arrival_s <= now:
-                due.append(pending.pop(0))
+                    state.held_since.setdefault(request.request_id, now)
+                continue
+            replica.submit(request)
             if state is not None:
-                while state.retry_heap and state.retry_heap[0][0] <= now:
-                    _, _, request = heapq.heappop(state.retry_heap)
-                    due.append(request)
-            for request in due:
-                try:
-                    replica = self.router.choose(request, self.replicas, now)
-                except ValueError:
-                    held.append(request)  # nothing live yet; retry next tick
+                state.held_since.pop(request.request_id, None)
+                made = state.attempts.get(request.request_id, 0) + 1
+                state.attempts[request.request_id] = made
+                if made > 1:
+                    state.retries += 1
+                state.flights[request.request_id] = (replica, now)
+
+        for replica in self.replicas:
+            if replica.active:
+                for outcome in replica.step(now):
+                    run.outcomes[outcome.request.request_id] = outcome
                     if state is not None:
-                        state.held_since.setdefault(request.request_id, now)
-                    continue
-                replica.submit(request)
-                if state is not None:
-                    state.held_since.pop(request.request_id, None)
-                    made = state.attempts.get(request.request_id, 0) + 1
-                    state.attempts[request.request_id] = made
-                    if made > 1:
-                        state.retries += 1
-                    state.flights[request.request_id] = (replica, now)
+                        state.completed.add(outcome.request.request_id)
+                        state.flights.pop(outcome.request.request_id, None)
+                replica.retire_if_drained(now)
+        run.peak = max(run.peak, len(self.active))
 
-            for replica in self.replicas:
-                if replica.active:
-                    for outcome in replica.step(now):
-                        outcomes[outcome.request.request_id] = outcome
-                        if state is not None:
-                            state.completed.add(outcome.request.request_id)
-                            state.flights.pop(outcome.request.request_id,
-                                              None)
-                    replica.retire_if_drained(now)
-            peak = max(peak, len(self.active))
+        if state is not None:
+            self._check_timeouts(now, state)
+            run.held = self._degrade(now, run.held, state)
+            run.held = self._shed_unroutable(now, run.held, state)
 
-            if state is not None:
-                self._check_timeouts(now, state)
-                held = self._degrade(now, held, state)
-                held = self._shed_unroutable(now, held, state)
+    def finish_run(self) -> FleetReport:
+        """Close out a completed run and build its report.
 
+        Raises:
+            ValueError: If no run is armed or work remains.
+        """
+        run = self._run
+        if run is None:
+            raise ValueError("no run in progress")
+        if self.run_active:
+            raise ValueError("run still has outstanding work; keep ticking")
+        state = run.chaos
         # Replica clocks may overshoot the final tick; the fleet ends
         # when the last request completes.
-        end = max((o.finish_s for o in outcomes.values()), default=now)
+        end = max((o.finish_s for o in run.outcomes.values()),
+                  default=run.now)
         usages = tuple(
             ReplicaUsage(
                 replica_id=r.replica_id, kind=r.spec.kind,
@@ -436,21 +507,268 @@ class FleetSimulator:
                 requests_served=r.requests_routed, tokens_out=r.tokens_out,
                 crashes=r.crashes)
             for r in self.replicas)
-        ordered = tuple(outcomes[request.request_id]
-                        for request in sorted(requests,
+        ordered = tuple(run.outcomes[request.request_id]
+                        for request in sorted(run.requests,
                                               key=lambda r: r.request_id)
-                        if request.request_id in outcomes)
-        return FleetReport(
-            outcomes=ordered, start_s=start, end_s=end, replicas=usages,
+                        if request.request_id in run.outcomes)
+        report = FleetReport(
+            outcomes=ordered, start_s=run.start, end_s=end, replicas=usages,
             scale_events=tuple(self.autoscaler.events)
             if self.autoscaler else (),
             total_preemptions=sum(r.scheduler.preemptions
                                   for r in self.replicas),
-            peak_replicas=peak,
+            peak_replicas=run.peak,
             retries=state.retries if state else 0,
             wasted_tokens=state.wasted_tokens if state else 0,
             shed=tuple(state.shed) if state else (),
             fault_events=tuple(state.injector.applied) if state else ())
+        self._run = None
+        return report
+
+    def run(self, requests: list[ServeRequest]) -> FleetReport:
+        """Serve a request stream to completion across the fleet.
+
+        Raises:
+            ValueError: On an empty stream, or when a request can never
+                fit any replica's KV pool.
+        """
+        self.begin_run(requests)
+        while self.run_active:
+            self.run_tick()
+        return self.finish_run()
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of the whole fleet, mid-run or idle.
+
+        Requests are serialized once (the original stream, in
+        ``run.requests``) and referenced by id from the pending queue,
+        held list, retry heap, and flight table.  Replicas carry their
+        spec fingerprints; restore rebuilds each instance from the
+        *host* simulator's specs (selected by the replica's ``origin``)
+        and refuses a mismatch, so deployments and price catalogs never
+        need to be serialized.
+        """
+        run = self._run
+        run_state = None
+        if run is not None:
+            chaos_state = None
+            state = run.chaos
+            if state is not None:
+                chaos_state = {
+                    "injector": state.injector.to_state(),
+                    "flights": {str(request_id): [replica.replica_id,
+                                                  routed_s]
+                                for request_id, (replica, routed_s)
+                                in state.flights.items()},
+                    "attempts": {str(request_id): count for request_id, count
+                                 in state.attempts.items()},
+                    "retry_heap": [[due, request_id] for due, request_id, _
+                                   in state.retry_heap],
+                    "held_since": {str(request_id): since
+                                   for request_id, since
+                                   in state.held_since.items()},
+                    "completed": sorted(state.completed),
+                    "shed": [{"request": shed.request.to_state(),
+                              "time_s": shed.time_s,
+                              "reason": shed.reason,
+                              "attempts": shed.attempts}
+                             for shed in state.shed],
+                    "wasted_tokens": state.wasted_tokens,
+                    "retries": state.retries,
+                    "spilled": state.spilled,
+                }
+            run_state = {
+                "requests": [request.to_state() for request in run.requests],
+                "pending": [request.request_id for request in run.pending],
+                "held": [request.request_id for request in run.held],
+                "outcomes": {str(request_id): outcome.to_state()
+                             for request_id, outcome
+                             in run.outcomes.items()},
+                "start_s": run.start,
+                "now_s": run.now,
+                "peak": run.peak,
+                "chaos": chaos_state,
+            }
+        return {
+            "tick_s": self.tick_s,
+            "chaos_armed": self._chaos,
+            "initial_replicas": len(self._initial_specs),
+            "replicas": [replica.to_state() for replica in self.replicas],
+            "router": self.router.to_state(),
+            "autoscaler": (self.autoscaler.to_state()
+                           if self.autoscaler is not None else None),
+            "attestation": (self.attestation.to_state()
+                            if self.attestation is not None else None),
+            "run": run_state,
+        }
+
+    def _spec_for_origin(self, origin: str, replica_id: int) -> ReplicaSpec:
+        """The spec pool a replica of ``origin`` was provisioned from."""
+        from ..state.errors import StateIntegrityError
+        if origin == "initial":
+            if replica_id >= len(self._initial_specs):
+                raise StateIntegrityError(
+                    f"replica {replica_id} claims origin 'initial' but the "
+                    f"fleet was built with {len(self._initial_specs)} specs")
+            return self._initial_specs[replica_id]
+        if origin == "scale":
+            return self.scale_spec
+        if self.degradation is not None \
+                and self.degradation.spill_spec is not None:
+            return self.degradation.spill_spec
+        return self.scale_spec
+
+    def from_state(self, state: dict) -> None:
+        """Install a :meth:`to_state` snapshot into this simulator.
+
+        The simulator must be freshly built with the same constructor
+        arguments (specs, router policy, autoscaler config, tick, fault
+        schedule, retry/degradation policies) the snapshot was taken
+        under; fingerprints on every layer enforce this.
+
+        Raises:
+            repro.state.errors.StateIntegrityError: On any mismatch
+                between the snapshot and this simulator's configuration,
+                or when the simulator has already run.
+        """
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require, require_finite
+
+        if self._run is not None or len(self.replicas) \
+                != len(self._initial_specs):
+            raise StateIntegrityError(
+                "restore target must be a freshly built simulator")
+        tick_s = require_finite(state, "tick_s", "$.fleet", minimum=0.0)
+        if tick_s != self.tick_s:
+            raise StateIntegrityError(
+                f"snapshot tick {tick_s:g}s != simulator tick "
+                f"{self.tick_s:g}s")
+        if require(state, "chaos_armed", bool, "$.fleet") != self._chaos:
+            raise StateIntegrityError(
+                "snapshot and simulator disagree on whether the chaos "
+                "machinery is armed")
+        if require(state, "initial_replicas", int, "$.fleet") \
+                != len(self._initial_specs):
+            raise StateIntegrityError(
+                "snapshot was taken on a fleet with a different initial "
+                "replica count")
+
+        replicas: list[Replica] = []
+        for index, payload in enumerate(require(state, "replicas", list,
+                                                "$.fleet")):
+            origin = require(payload, "origin", str, "$.fleet.replicas")
+            replica_id = require(payload, "replica_id", int,
+                                 "$.fleet.replicas")
+            if replica_id != index:
+                raise StateIntegrityError(
+                    f"replica ids not contiguous: slot {index} holds "
+                    f"replica {replica_id}")
+            spec = self._spec_for_origin(origin, replica_id)
+            replicas.append(Replica.from_state(payload, spec))
+        self.replicas = replicas
+
+        self.router.from_state(require(state, "router", dict, "$.fleet"))
+        autoscaler_state = state.get("autoscaler")
+        if (autoscaler_state is None) != (self.autoscaler is None):
+            raise StateIntegrityError(
+                "snapshot and simulator disagree on autoscaling")
+        if self.autoscaler is not None:
+            self.autoscaler.from_state(autoscaler_state)
+        attestation_state = state.get("attestation")
+        if (attestation_state is None) != (self.attestation is None):
+            raise StateIntegrityError(
+                "snapshot and simulator disagree on attestation")
+        if self.attestation is not None:
+            self.attestation.from_state(attestation_state)
+
+        run_state = state.get("run")
+        if run_state is None:
+            self._run = None
+            return
+        requests = [ServeRequest.from_state(payload) for payload
+                    in require(run_state, "requests", list, "$.fleet.run")]
+        by_id = {request.request_id: request for request in requests}
+
+        def resolve(request_id: object, where: str) -> ServeRequest:
+            if request_id not in by_id:
+                raise StateIntegrityError(
+                    f"{where} references unknown request {request_id!r}")
+            return by_id[request_id]
+
+        chaos_payload = run_state.get("chaos")
+        chaos: _ChaosState | None = None
+        if chaos_payload is not None:
+            if not self._chaos:
+                raise StateIntegrityError(
+                    "snapshot carries chaos state but this simulator has "
+                    "no fault machinery armed")
+            chaos = _ChaosState(self._make_injector(), self.retry_policy,
+                                self.degradation)
+            chaos.injector.from_state(
+                require(chaos_payload, "injector", dict, "$.fleet.chaos"))
+            for key, entry in require(chaos_payload, "flights", dict,
+                                      "$.fleet.chaos").items():
+                replica_id, routed_s = entry
+                if not 0 <= replica_id < len(self.replicas):
+                    raise StateIntegrityError(
+                        f"flight for request {key} references unknown "
+                        f"replica {replica_id}")
+                chaos.flights[int(key)] = (self.replicas[replica_id],
+                                           float(routed_s))
+            chaos.attempts = {int(key): count for key, count
+                              in require(chaos_payload, "attempts", dict,
+                                         "$.fleet.chaos").items()}
+            chaos.retry_heap = [
+                (float(due), request_id,
+                 resolve(request_id, "retry heap"))
+                for due, request_id
+                in require(chaos_payload, "retry_heap", list,
+                           "$.fleet.chaos")]
+            chaos.held_since = {int(key): float(since) for key, since
+                                in require(chaos_payload, "held_since", dict,
+                                           "$.fleet.chaos").items()}
+            chaos.completed = set(require(chaos_payload, "completed", list,
+                                          "$.fleet.chaos"))
+            chaos.shed = [
+                ShedRequest(
+                    request=ServeRequest.from_state(
+                        require(entry, "request", dict, "$.fleet.chaos.shed")),
+                    time_s=require_finite(entry, "time_s",
+                                          "$.fleet.chaos.shed"),
+                    reason=require(entry, "reason", str, "$.fleet.chaos.shed"),
+                    attempts=require(entry, "attempts", int,
+                                     "$.fleet.chaos.shed"))
+                for entry in require(chaos_payload, "shed", list,
+                                     "$.fleet.chaos")]
+            chaos.wasted_tokens = require(chaos_payload, "wasted_tokens",
+                                          int, "$.fleet.chaos")
+            chaos.retries = require(chaos_payload, "retries", int,
+                                    "$.fleet.chaos")
+            chaos.spilled = require(chaos_payload, "spilled", int,
+                                    "$.fleet.chaos")
+            self.last_chaos = chaos
+        elif self._chaos:
+            raise StateIntegrityError(
+                "simulator has fault machinery armed but the snapshot's "
+                "run carries no chaos state")
+
+        run = _RunState(
+            requests=requests,
+            pending=[resolve(request_id, "pending queue") for request_id
+                     in require(run_state, "pending", list, "$.fleet.run")],
+            start=require_finite(run_state, "start_s", "$.fleet.run"),
+            now=require_finite(run_state, "now_s", "$.fleet.run"),
+            peak=require(run_state, "peak", int, "$.fleet.run"),
+            chaos=chaos)
+        run.held = [resolve(request_id, "held list") for request_id
+                    in require(run_state, "held", list, "$.fleet.run")]
+        run.outcomes = {int(key): RequestOutcome.from_state(payload)
+                        for key, payload
+                        in require(run_state, "outcomes", dict,
+                                   "$.fleet.run").items()}
+        self._run = run
 
 
 def fixed_fleet(spec: ReplicaSpec, count: int,

@@ -138,20 +138,39 @@ def capacity_plan(spec: ReplicaSpec, requests: list[ServeRequest],
         raise ValueError("slo_ttft_s must be positive")
     if max_replicas < 1:
         raise ValueError("max_replicas must be >= 1")
-    points = []
-    needed = None
+    points = list(iter_capacity_points(spec, requests, slo_ttft_s,
+                                       percentile, max_replicas,
+                                       tick_s=tick_s, faults=faults,
+                                       retry_policy=retry_policy,
+                                       degradation=degradation))
+    needed = next((p.replicas for p in points if p.meets_slo), None)
+    return CapacityPlan(kind=spec.kind, slo_ttft_s=slo_ttft_s,
+                        percentile=percentile, points=tuple(points),
+                        replicas_needed=needed)
+
+
+def iter_capacity_points(spec: ReplicaSpec, requests: list[ServeRequest],
+                         slo_ttft_s: float, percentile: float = 99.0,
+                         max_replicas: int = 8,
+                         tick_s: float = DEFAULT_TICK_S,
+                         faults: FaultSchedule | None = None,
+                         retry_policy: RetryPolicy | None = None,
+                         degradation: DegradationPolicy | None = None):
+    """Yield :func:`capacity_plan` points one fleet size at a time.
+
+    Streams the left-to-right capacity curve, stopping after the first
+    size that meets the SLO — exactly :func:`capacity_plan`'s early
+    stop, exposed incrementally so sweep CLIs can emit partial results
+    and the resumable runner can skip completed sizes.
+    """
     for count in range(1, max_replicas + 1):
         point, _ = evaluate_fleet(spec, count, requests, slo_ttft_s,
                                   percentile, tick_s=tick_s, faults=faults,
                                   retry_policy=retry_policy,
                                   degradation=degradation)
-        points.append(point)
+        yield point
         if point.meets_slo:
-            needed = count
             break
-    return CapacityPlan(kind=spec.kind, slo_ttft_s=slo_ttft_s,
-                        percentile=percentile, points=tuple(points),
-                        replicas_needed=needed)
 
 
 def capacity_sweep(specs: list[ReplicaSpec], requests: list[ServeRequest],

@@ -118,14 +118,23 @@ class Replica:
         spec: Configuration this instance runs.
         provisioned_s: When the instance was requested.
         boot_latency_s: Time from provisioning to serving readiness.
+        origin: Which spec pool provisioned this instance —
+            ``"initial"`` (fleet construction), ``"scale"`` (autoscaler
+            scale-up), or ``"spill"`` (degradation spill pool).  Purely
+            descriptive at run time; checkpoint restore uses it to find
+            the right spec when rebuilding the instance.
     """
 
     def __init__(self, replica_id: int, spec: ReplicaSpec,
-                 provisioned_s: float, boot_latency_s: float) -> None:
+                 provisioned_s: float, boot_latency_s: float,
+                 origin: str = "initial") -> None:
         if boot_latency_s < 0:
             raise ValueError("boot_latency_s must be >= 0")
+        if origin not in ("initial", "scale", "spill"):
+            raise ValueError(f"unknown replica origin {origin!r}")
         self.replica_id = replica_id
         self.spec = spec
+        self.origin = origin
         self.provisioned_s = provisioned_s
         self.boot_latency_s = boot_latency_s
         self.ready_s = provisioned_s + boot_latency_s
@@ -355,3 +364,100 @@ class Replica:
 
     def cost_usd(self, end_s: float) -> float:
         return self.billed_hours(end_s) * self.spec.price_hr
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def spec_fingerprint(self) -> dict:
+        """Identity of the spec this instance runs, for restore checks."""
+        spec = self.spec
+        return {
+            "kind": spec.kind,
+            "price_hr": spec.price_hr,
+            "model": spec.model.name,
+            "dtype": spec.dtype.name,
+            "kv_capacity_tokens": spec.kv_capacity_tokens,
+            "block_size": spec.block_size,
+            "max_batch": spec.max_batch,
+            "admission_lookahead": spec.admission_lookahead,
+        }
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of lifecycle, billing, and serving state."""
+        return {
+            "replica_id": self.replica_id,
+            "origin": self.origin,
+            "spec": self.spec_fingerprint(),
+            "provisioned_s": self.provisioned_s,
+            "boot_latency_s": self.boot_latency_s,
+            "ready_s": self.ready_s,
+            "retired_s": self.retired_s,
+            "state": self.state,
+            "requests_routed": self.requests_routed,
+            "tokens_out": self.tokens_out,
+            "crashes": self.crashes,
+            "hang_until_s": self._hang_until_s,
+            "slow_until_s": self._slow_until_s,
+            "restart_at_s": self._restart_at_s,
+            "boot_penalty_s": self._boot_penalty_s,
+            "closed_billed_s": self._closed_billed_s,
+            "window_start_s": self._window_start_s,
+            "scheduler": self.scheduler.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, spec: ReplicaSpec) -> "Replica":
+        """Rebuild an instance of ``spec`` from a :meth:`to_state` dict.
+
+        Raises:
+            repro.state.errors.StateIntegrityError: If the snapshot was
+                taken on a different spec or carries an unknown
+                lifecycle state.
+        """
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require, require_finite
+
+        replica = cls(
+            replica_id=require(state, "replica_id", int, "$.replica"),
+            spec=spec,
+            provisioned_s=require_finite(state, "provisioned_s", "$.replica"),
+            boot_latency_s=require_finite(state, "boot_latency_s",
+                                          "$.replica", minimum=0.0),
+            origin=require(state, "origin", str, "$.replica"),
+        )
+        recorded = require(state, "spec", dict, "$.replica")
+        mine = replica.spec_fingerprint()
+        if recorded != mine:
+            diverged = sorted(key for key in set(recorded) | set(mine)
+                              if recorded.get(key) != mine.get(key))
+            raise StateIntegrityError(
+                f"replica {replica.replica_id} snapshot was taken on a "
+                f"different spec (mismatched: {diverged})")
+        lifecycle = require(state, "state", str, "$.replica")
+        if lifecycle not in (BOOTING, LIVE, DRAINING, RETIRED,
+                             FAILED, ATTESTING):
+            raise StateIntegrityError(
+                f"replica {replica.replica_id} has unknown lifecycle "
+                f"state {lifecycle!r}")
+        replica.state = lifecycle
+        replica.ready_s = require_finite(state, "ready_s", "$.replica")
+        replica.retired_s = require_finite(state, "retired_s", "$.replica",
+                                           optional=True)
+        replica.requests_routed = require(state, "requests_routed", int,
+                                          "$.replica")
+        replica.tokens_out = require(state, "tokens_out", int, "$.replica")
+        replica.crashes = require(state, "crashes", int, "$.replica")
+        replica._hang_until_s = require_finite(state, "hang_until_s",
+                                               "$.replica", optional=True)
+        replica._slow_until_s = require_finite(state, "slow_until_s",
+                                               "$.replica", optional=True)
+        replica._restart_at_s = require_finite(state, "restart_at_s",
+                                               "$.replica", optional=True)
+        replica._boot_penalty_s = require_finite(state, "boot_penalty_s",
+                                                 "$.replica", minimum=0.0)
+        replica._closed_billed_s = require_finite(state, "closed_billed_s",
+                                                  "$.replica", minimum=0.0)
+        replica._window_start_s = require_finite(state, "window_start_s",
+                                                 "$.replica", optional=True)
+        replica.scheduler.from_state(
+            require(state, "scheduler", dict, "$.replica"))
+        return replica

@@ -38,6 +38,22 @@ class Router:
             raise ValueError("no routable replica")
         return candidates
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot; stateless policies carry only identity."""
+        return {"name": self.name}
+
+    def from_state(self, state: dict) -> None:
+        """Install a snapshot; refuses a different policy's state."""
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require
+        name = require(state, "name", str, "$.router")
+        if name != self.name:
+            raise StateIntegrityError(
+                f"router snapshot is for policy {name!r}, "
+                f"this fleet routes with {self.name!r}")
+
 
 class RoundRobinRouter(Router):
     """Cycle through live replicas in id order (stateful cursor)."""
@@ -54,6 +70,16 @@ class RoundRobinRouter(Router):
         chosen = candidates[self._next % len(candidates)]
         self._next += 1
         return chosen
+
+    def to_state(self) -> dict:
+        state = super().to_state()
+        state["next"] = self._next
+        return state
+
+    def from_state(self, state: dict) -> None:
+        from ..state.schema import require
+        super().from_state(state)
+        self._next = require(state, "next", int, "$.router")
 
 
 class LeastOutstandingRouter(Router):
@@ -103,6 +129,24 @@ class CostSloRouter(Router):
             raise ValueError("risk_factor must be in (0, 1]")
         self.slo_ttft_s = slo_ttft_s
         self.risk_factor = risk_factor
+
+    def to_state(self) -> dict:
+        state = super().to_state()
+        state["slo_ttft_s"] = self.slo_ttft_s
+        state["risk_factor"] = self.risk_factor
+        return state
+
+    def from_state(self, state: dict) -> None:
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require
+        super().from_state(state)
+        recorded = (require(state, "slo_ttft_s", float, "$.router"),
+                    require(state, "risk_factor", float, "$.router"))
+        if recorded != (self.slo_ttft_s, self.risk_factor):
+            raise StateIntegrityError(
+                f"cost-slo router snapshot was taken under different "
+                f"knobs {recorded}, this router has "
+                f"{(self.slo_ttft_s, self.risk_factor)}")
 
     def choose(self, request: ServeRequest, replicas: Sequence[Replica],
                now: float) -> Replica:

@@ -148,3 +148,77 @@ class PagedKVCache:
             return 0.0
         capacity = self.allocated_blocks * self.block_size
         return sum(self._lengths.values()) / capacity
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of the full allocator state.
+
+        Captures the free list *in pop order* — restoring must hand out
+        the same block ids in the same order, or replayed allocations
+        diverge from the uninterrupted run.
+        """
+        return {
+            "num_blocks": self.num_blocks,
+            "block_size": self.block_size,
+            "free": list(self._free),
+            "tables": {str(seq_id): list(blocks)
+                       for seq_id, blocks in self._tables.items()},
+            "lengths": {str(seq_id): length
+                        for seq_id, length in self._lengths.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PagedKVCache":
+        """Rebuild a cache from :meth:`to_state`, checking invariants.
+
+        Raises:
+            repro.state.errors.StateIntegrityError: If the payload
+                violates an allocator invariant (duplicate/out-of-range
+                blocks, ``free + allocated != total``, table/length
+                mismatch).
+        """
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require
+
+        num_blocks = require(state, "num_blocks", int, "$.cache")
+        block_size = require(state, "block_size", int, "$.cache")
+        cache = cls(num_blocks=num_blocks, block_size=block_size)
+        free = require(state, "free", list, "$.cache")
+        tables = require(state, "tables", dict, "$.cache")
+        lengths = require(state, "lengths", dict, "$.cache")
+        if set(tables) != set(lengths):
+            raise StateIntegrityError(
+                "cache tables and lengths track different sequences")
+        seen: set[int] = set()
+        for block in free:
+            if not isinstance(block, int) or not 0 <= block < num_blocks:
+                raise StateIntegrityError(
+                    f"free-list block {block!r} out of range")
+            seen.add(block)
+        if len(seen) != len(free):
+            raise StateIntegrityError("duplicate block in cache free list")
+        restored_tables: dict[int, list[int]] = {}
+        restored_lengths: dict[int, int] = {}
+        for key, blocks in tables.items():
+            seq_id = int(key)
+            for block in blocks:
+                if (not isinstance(block, int)
+                        or not 0 <= block < num_blocks or block in seen):
+                    raise StateIntegrityError(
+                        f"sequence {seq_id} block {block!r} out of range "
+                        f"or double-owned")
+                seen.add(block)
+            length = lengths[key]
+            if not isinstance(length, int) or length < 0:
+                raise StateIntegrityError(
+                    f"sequence {seq_id} has invalid length {length!r}")
+            restored_tables[seq_id] = list(blocks)
+            restored_lengths[seq_id] = length
+        if len(seen) != num_blocks:
+            raise StateIntegrityError(
+                f"cache accounts for {len(seen)} of {num_blocks} blocks")
+        cache._free = [int(block) for block in free]
+        cache._tables = restored_tables
+        cache._lengths = restored_lengths
+        return cache

@@ -70,6 +70,39 @@ class ServeRequest:
         if not math.isfinite(self.priority):
             raise ValueError("priority must be finite")
 
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of this request (JSON-serializable)."""
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "prompt_tokens": self.prompt_tokens,
+            "output_tokens": self.output_tokens,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ServeRequest":
+        """Rebuild a request, mapping guard failures to ``StateValueError``."""
+        from ..state.errors import StateError, StateValueError
+        from ..state.schema import require
+        try:
+            return cls(
+                request_id=require(state, "request_id", int, "$.request"),
+                arrival_s=require(state, "arrival_s", float, "$.request"),
+                prompt_tokens=require(state, "prompt_tokens", int,
+                                      "$.request"),
+                output_tokens=require(state, "output_tokens", int,
+                                      "$.request"),
+                priority=require(state, "priority", int, "$.request"),
+            )
+        except StateError:
+            raise
+        except ValueError as error:
+            # The __post_init__ finiteness guards fire on NaN/negative
+            # payload values; surface them as the structured taxonomy.
+            raise StateValueError(
+                f"invalid request payload: {error}") from error
+
 
 @dataclass
 class RequestOutcome:
@@ -89,6 +122,26 @@ class RequestOutcome:
     def e2e_s(self) -> float:
         """End-to-end latency."""
         return self.finish_s - self.request.arrival_s
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of this lifecycle record."""
+        return {
+            "request": self.request.to_state(),
+            "first_token_s": self.first_token_s,
+            "finish_s": self.finish_s,
+            "preemptions": self.preemptions,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RequestOutcome":
+        from ..state.schema import require
+        return cls(
+            request=ServeRequest.from_state(
+                require(state, "request", dict, "$.outcome")),
+            first_token_s=require(state, "first_token_s", float, "$.outcome"),
+            finish_s=require(state, "finish_s", float, "$.outcome"),
+            preemptions=require(state, "preemptions", int, "$.outcome"),
+        )
 
 
 @dataclass(frozen=True)
@@ -531,6 +584,117 @@ class ContinuousBatchingScheduler:
                              total_preemptions=self._preemptions,
                              mean_batch_occupancy=mean_occupancy,
                              start_s=start)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def config_fingerprint(self) -> dict:
+        """Identity of the scheduler's configuration, for restore checks.
+
+        The runtime state below only replays bit-identically on a
+        scheduler built from the *same* configuration; the fingerprint
+        lets :meth:`from_state` refuse a mismatched host early.
+        """
+        return {
+            "model": self.model.name,
+            "dtype": self.dtype.name,
+            "max_batch": self.max_batch,
+            "block_size": self.block_size,
+            "admission_lookahead": self.admission_lookahead,
+            "num_blocks": self.cache.num_blocks,
+        }
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of the serving state machine.
+
+        Requests are serialized once (inside their outcome records);
+        the waiting queue and running batch reference them by id, which
+        also lets restore re-establish the ``_Running.outcome is
+        _outcomes[id]`` aliasing that finish times are written through.
+        Derived memo caches (``_step_cache``/``_prefill_cache``) are
+        rebuilt lazily and deliberately not captured.
+        """
+        return {
+            "config": self.config_fingerprint(),
+            "clock_s": self._clock,
+            "preemptions": self._preemptions,
+            "occupancy": list(self._occupancy),
+            "first_arrival_s": self._first_arrival,
+            "time_scale": self._time_scale,
+            "order": list(self._order),
+            "outcomes": {str(request_id): outcome.to_state()
+                         for request_id, outcome in self._outcomes.items()},
+            "waiting": [request.request_id for request in self._waiting],
+            "running": [{"request_id": entry.request.request_id,
+                         "generated": entry.generated}
+                        for entry in self._running],
+            "cache": self.cache.to_state(),
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Install a :meth:`to_state` snapshot into this scheduler.
+
+        The scheduler must have been freshly built from the same
+        configuration the snapshot was taken on.
+
+        Raises:
+            repro.state.errors.StateIntegrityError: If the snapshot's
+                config fingerprint does not match this scheduler, or
+                waiting/running entries reference unknown requests.
+        """
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require
+
+        config = require(state, "config", dict, "$.scheduler")
+        mine = self.config_fingerprint()
+        if config != mine:
+            diverged = sorted(key for key in set(config) | set(mine)
+                              if config.get(key) != mine.get(key))
+            raise StateIntegrityError(
+                f"scheduler snapshot was taken on a different "
+                f"configuration (mismatched: {diverged})")
+
+        outcomes: dict[int, RequestOutcome] = {}
+        for key, payload in require(state, "outcomes", dict,
+                                    "$.scheduler").items():
+            outcomes[int(key)] = RequestOutcome.from_state(payload)
+        waiting: list[ServeRequest] = []
+        for request_id in require(state, "waiting", list, "$.scheduler"):
+            if request_id not in outcomes:
+                raise StateIntegrityError(
+                    f"waiting request {request_id} has no outcome record")
+            waiting.append(outcomes[request_id].request)
+        running: list[_Running] = []
+        for entry in require(state, "running", list, "$.scheduler"):
+            request_id = require(entry, "request_id", int,
+                                 "$.scheduler.running")
+            if request_id not in outcomes:
+                raise StateIntegrityError(
+                    f"running request {request_id} has no outcome record")
+            running.append(_Running(
+                request=outcomes[request_id].request,
+                outcome=outcomes[request_id],
+                generated=require(entry, "generated", int,
+                                  "$.scheduler.running")))
+
+        self.cache = PagedKVCache.from_state(
+            require(state, "cache", dict, "$.scheduler"))
+        for entry in running:
+            if entry.request.request_id not in self.cache._tables:
+                raise StateIntegrityError(
+                    f"running request {entry.request.request_id} has no "
+                    f"KV allocation in the restored cache")
+        self._outcomes = outcomes
+        self._order = [int(request_id) for request_id
+                       in require(state, "order", list, "$.scheduler")]
+        self._waiting = waiting
+        self._running = running
+        self._clock = require(state, "clock_s", float, "$.scheduler")
+        self._preemptions = require(state, "preemptions", int, "$.scheduler")
+        self._occupancy = [int(n) for n in require(state, "occupancy", list,
+                                                   "$.scheduler")]
+        first = state.get("first_arrival_s")
+        self._first_arrival = None if first is None else float(first)
+        self._time_scale = require(state, "time_scale", float, "$.scheduler")
 
     # -- serving loop -----------------------------------------------------------
 

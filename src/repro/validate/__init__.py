@@ -14,7 +14,11 @@ A registry of named checks (``@check``) spanning four families:
 * **chaos** — fault-injection invariants over :mod:`repro.faults`:
   request conservation, billing bounds, deterministic replay, and the
   zero-fault differential twin (armed-but-empty chaos machinery is
-  bit-identical to the fault-free simulator).
+  bit-identical to the fault-free simulator),
+* **state** — checkpoint/restore parity over :mod:`repro.state`:
+  mid-run snapshot → restore → completion bit-identical to an
+  uninterrupted run, snapshot idempotence, schema-version negotiation,
+  and byte-identical write-ahead-journal resume.
 
 Run via ``scripts/audit.py`` or through the pytest adapter in
 ``tests/validate/``, which makes every check a tier-1 test.
@@ -40,6 +44,7 @@ from . import metamorphic as _metamorphic  # noqa: E402,F401
 from . import golden as _golden  # noqa: E402,F401
 from . import fleet as _fleet  # noqa: E402,F401
 from . import chaos as _chaos  # noqa: E402,F401
+from . import state as _state  # noqa: E402,F401
 
 __all__ = [
     "AuditContext",

@@ -17,8 +17,11 @@ from typing import Callable
 
 #: The validation strategies the audit layer ships.  ``chaos`` checks
 #: prove fault-injection invariants: conservation of requests, billing
-#: bounds, deterministic replay, and zero-fault bit-identity.
-FAMILIES = ("differential", "metamorphic", "golden", "chaos")
+#: bounds, deterministic replay, and zero-fault bit-identity.  ``state``
+#: checks prove checkpoint/restore parity: mid-run snapshot -> restore
+#: -> completion is bit-identical to never having stopped, and the
+#: write-ahead sweep journal resumes byte-identically.
+FAMILIES = ("differential", "metamorphic", "golden", "chaos", "state")
 
 #: ``blocker`` checks gate every run; ``warn`` checks gate only
 #: ``--strict`` runs (statistical or known-loose invariants).
