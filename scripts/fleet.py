@@ -35,6 +35,7 @@ from repro.fleet import (  # noqa: E402
     AutoscalerConfig,
     CapacityPlan,
     CapacityPoint,
+    ENGINES,
     FleetReport,
     FleetSimulator,
     ROUTER_KINDS,
@@ -96,7 +97,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     specs = [replica_spec(kind) for kind in args.kind for _ in
              range(args.replicas)]
     router = make_router(args.router, slo_ttft_s=args.slo_ttft)
-    report = FleetSimulator(specs, router=router).run(_arrivals(args))
+    report = FleetSimulator(specs, router=router,
+                            engine=args.engine).run(_arrivals(args))
     _print_report(report, args.slo_ttft)
     if args.json:
         args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
@@ -111,7 +113,8 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
         cooldown_s=args.cooldown, boot_latency_s=args.boot_latency))
     specs = [replica_spec(args.kind[0])] * args.replicas
     router = make_router(args.router, slo_ttft_s=args.slo_ttft)
-    fleet = FleetSimulator(specs, router=router, autoscaler=scaler)
+    fleet = FleetSimulator(specs, router=router, autoscaler=scaler,
+                           engine=args.engine)
     report = fleet.run(_arrivals(args))
     _print_report(report, args.slo_ttft)
     _print_rows("scale events", [
@@ -183,7 +186,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 points = []
                 for point in iter_capacity_points(
                         spec, requests, args.slo_ttft, args.percentile,
-                        args.max_replicas):
+                        args.max_replicas, engine=args.engine):
                     emit(point.to_dict())
                     points.append(point)
                 plans[kind] = _plan_from_points(kind, points, args.slo_ttft,
@@ -243,6 +246,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="TTFT SLO in seconds")
         p.add_argument("--json", type=Path, default=None,
                        help="also write the report/plan as JSON")
+        p.add_argument("--engine", choices=ENGINES, default="stepped",
+                       help="fleet core: stepped reference or the "
+                            "event-driven columnar engine (bit-identical "
+                            "reports, orders of magnitude faster)")
 
     run_p = sub.add_parser("run", help="simulate a fixed fleet")
     run_p.add_argument("--kind", action="append", default=None,

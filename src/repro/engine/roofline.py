@@ -284,12 +284,33 @@ class CpuCostModel:
 
     def step_cost(self, ops: list[Operator], sets: WorkingSets,
                   dtype: DType) -> StepCost:
-        """Cost a full forward step (all operators + step-level terms)."""
+        """Cost a full forward step (all operators + step-level terms).
+
+        Repeated decoder blocks emit operators that differ only in
+        ``name``/``layer``; the cost model reads neither, so identical
+        (category, flops, bytes) operators are costed once and the
+        component times reused — each still wrapped in its own
+        :class:`OpCost` so per-layer traces group correctly.
+        """
         tax = 1.0 + self.profile.virtualization_tax
         if self.placement.expose_hyperthreads:
             tax += HYPERTHREAD_TAX
+        memo: dict[tuple, OpCost] = {}
+        op_costs = []
+        for op in ops:
+            key = (op.category, op.flops, op.weight_bytes,
+                   op.activation_bytes, op.kv_read_bytes, op.kv_write_bytes)
+            hit = memo.get(key)
+            if hit is None:
+                hit = memo[key] = self.op_cost(op, sets, dtype)
+            elif hit.op is not op:
+                hit = OpCost(op=op, compute_s=hit.compute_s,
+                             memory_s=hit.memory_s,
+                             translation_s=hit.translation_s,
+                             paging_s=hit.paging_s)
+            op_costs.append(hit)
         return StepCost(
-            op_costs=tuple(self.op_cost(op, sets, dtype) for op in ops),
+            op_costs=tuple(op_costs),
             exits_s=self.profile.exit_cost_s * self.profile.exits_per_step,
             fixed_s=self.profile.step_fixed_s,
             tax_multiplier=tax,

@@ -59,6 +59,17 @@ class FaultInjector:
     def exhausted(self) -> bool:
         return self._cursor >= len(self.schedule.events)
 
+    @property
+    def next_due_s(self) -> float | None:
+        """Scheduled time of the next undelivered event, if any.
+
+        The event-driven fleet core uses this as a wake candidate so it
+        can jump quiet stretches without missing an injection tick.
+        """
+        if self._cursor >= len(self.schedule.events):
+            return None
+        return self.schedule.events[self._cursor].time_s
+
     def due(self, now: float) -> list[FaultEvent]:
         """Pop every event scheduled at or before ``now``, in order."""
         popped: list[FaultEvent] = []

@@ -34,7 +34,8 @@ def chaos_fleet(kind: str, replicas: int = 2,
                 mtbf_s: float | None = None,
                 horizon_s: float = 40.0, seed: int = 0,
                 timeout_s: float = 20.0,
-                max_attempts: int = 4) -> FleetSimulator:
+                max_attempts: int = 4,
+                engine: str = "stepped") -> FleetSimulator:
     """A fixed fleet armed with an MTBF fault schedule and retries.
 
     ``mtbf_s=None`` arms the chaos machinery with an empty schedule —
@@ -49,7 +50,8 @@ def chaos_fleet(kind: str, replicas: int = 2,
                                  horizon_s=horizon_s, seed=seed)
     retry = RetryPolicy(timeout_s=timeout_s, max_attempts=max_attempts,
                         seed=seed)
-    return fixed_fleet(spec, replicas, faults=schedule, retry_policy=retry)
+    return fixed_fleet(spec, replicas, faults=schedule, retry_policy=retry,
+                       engine=engine)
 
 
 #: Canonical column order of :func:`sweep_row` — JSON round-trips (the
@@ -89,7 +91,7 @@ def iter_mtbf_rows(kinds: tuple[str, ...] = DEFAULT_KINDS,
                    mean_prompt: int = 128, mean_output: int = 64,
                    replicas: int = 1, seed: int = 7,
                    slo_ttft_s: float = 2.0, timeout_s: float = 20.0,
-                   horizon_s: float = 40.0):
+                   horizon_s: float = 40.0, engine: str = "stepped"):
     """Yield :func:`mtbf_sweep` rows one completed point at a time.
 
     The streaming form exists so CLIs can emit partial results (JSONL)
@@ -102,7 +104,7 @@ def iter_mtbf_rows(kinds: tuple[str, ...] = DEFAULT_KINDS,
                                         mean_output, seed=seed)
             fleet = chaos_fleet(kind, replicas=replicas, mtbf_s=mtbf_s,
                                 horizon_s=horizon_s, seed=seed,
-                                timeout_s=timeout_s)
+                                timeout_s=timeout_s, engine=engine)
             report = fleet.run(requests)
             yield sweep_row(kind, mtbf_s, report, slo_ttft_s)
 

@@ -17,6 +17,16 @@ from .arrivals import (
     poisson_arrivals,
     trace_replay,
 )
+from .retryq import RetryQueue
+from .table import (
+    ColumnarOutcomes,
+    OutcomeLog,
+    RequestTable,
+    diurnal_table,
+    make_arrival_table,
+    mmpp_table,
+    poisson_table,
+)
 from .autoscaler import AutoscalerConfig, ReactiveAutoscaler, ScaleEvent
 from .cluster import DEFAULT_TICK_S, FleetSimulator, fixed_fleet
 from .planner import (
@@ -27,7 +37,7 @@ from .planner import (
     iter_capacity_points,
     evaluate_fleet,
 )
-from .replica import REPLICA_KINDS, Replica, ReplicaSpec, replica_spec
+from .replica import ENGINES, REPLICA_KINDS, Replica, ReplicaSpec, replica_spec
 from .report import FleetReport, ReplicaUsage
 from .router import (
     ROUTER_KINDS,
@@ -44,18 +54,23 @@ __all__ = [
     "AutoscalerConfig",
     "CapacityPlan",
     "CapacityPoint",
+    "ColumnarOutcomes",
     "CostSloRouter",
     "DEFAULT_TICK_S",
+    "ENGINES",
     "FleetReport",
     "FleetSimulator",
     "KvPressureRouter",
     "LeastOutstandingRouter",
+    "OutcomeLog",
     "REPLICA_KINDS",
     "ROUTER_KINDS",
     "ReactiveAutoscaler",
     "Replica",
     "ReplicaSpec",
     "ReplicaUsage",
+    "RequestTable",
+    "RetryQueue",
     "RoundRobinRouter",
     "Router",
     "ScaleEvent",
@@ -63,12 +78,16 @@ __all__ = [
     "capacity_sweep",
     "iter_capacity_points",
     "diurnal_arrivals",
+    "diurnal_table",
     "evaluate_fleet",
     "fixed_fleet",
+    "make_arrival_table",
     "make_arrivals",
     "make_router",
     "mmpp_arrivals",
+    "mmpp_table",
     "poisson_arrivals",
+    "poisson_table",
     "replica_spec",
     "trace_replay",
 ]

@@ -42,17 +42,29 @@ def _build(arrivals: Iterable[float], rng: random.Random, mean_prompt: int,
     return requests
 
 
-def poisson_arrivals(count: int, rate_per_s: float, mean_prompt: int = 256,
-                     mean_output: int = 96, seed: int = 0) -> list[ServeRequest]:
-    """Homogeneous Poisson arrivals (exponential inter-arrival gaps)."""
+def _poisson_times(count: int, rate_per_s: float,
+                   rng: random.Random) -> list[float]:
+    """Arrival instants of a homogeneous Poisson process.
+
+    Shared by the object-stream and columnar-table generators so both
+    consume the identical RNG draw sequence (arrivals first, then
+    sizes) and produce bit-identical streams.
+    """
     if count < 1 or rate_per_s <= 0:
         raise ValueError("count >= 1 and positive rate required")
-    rng = random.Random(seed)
     arrivals, clock = [], 0.0
     for _ in range(count):
         clock += rng.expovariate(rate_per_s)
         arrivals.append(clock)
-    return _build(arrivals, rng, mean_prompt, mean_output)
+    return arrivals
+
+
+def poisson_arrivals(count: int, rate_per_s: float, mean_prompt: int = 256,
+                     mean_output: int = 96, seed: int = 0) -> list[ServeRequest]:
+    """Homogeneous Poisson arrivals (exponential inter-arrival gaps)."""
+    rng = random.Random(seed)
+    return _build(_poisson_times(count, rate_per_s, rng), rng,
+                  mean_prompt, mean_output)
 
 
 def mmpp_arrivals(count: int, calm_rate_per_s: float, burst_rate_per_s: float,
@@ -67,6 +79,17 @@ def mmpp_arrivals(count: int, calm_rate_per_s: float, burst_rate_per_s: float,
     model for flash-crowd traffic — the regime where TEE overheads
     compound with queueing delay.
     """
+    rng = random.Random(seed)
+    return _build(
+        _mmpp_times(count, calm_rate_per_s, burst_rate_per_s, mean_calm_s,
+                    mean_burst_s, rng),
+        rng, mean_prompt, mean_output)
+
+
+def _mmpp_times(count: int, calm_rate_per_s: float, burst_rate_per_s: float,
+                mean_calm_s: float, mean_burst_s: float,
+                rng: random.Random) -> list[float]:
+    """Arrival instants of the two-state MMPP (shared draw sequence)."""
     if count < 1:
         raise ValueError("count must be >= 1")
     if calm_rate_per_s <= 0 or burst_rate_per_s <= 0:
@@ -75,7 +98,6 @@ def mmpp_arrivals(count: int, calm_rate_per_s: float, burst_rate_per_s: float,
         raise ValueError("burst rate must be >= calm rate")
     if mean_calm_s <= 0 or mean_burst_s <= 0:
         raise ValueError("dwell times must be positive")
-    rng = random.Random(seed)
     arrivals: list[float] = []
     clock = 0.0
     bursting = False
@@ -93,7 +115,7 @@ def mmpp_arrivals(count: int, calm_rate_per_s: float, burst_rate_per_s: float,
             continue
         clock += gap
         arrivals.append(clock)
-    return _build(arrivals, rng, mean_prompt, mean_output)
+    return arrivals
 
 
 def diurnal_arrivals(count: int, mean_rate_per_s: float,
@@ -112,13 +134,21 @@ def diurnal_arrivals(count: int, mean_rate_per_s: float,
     ratio).  ``period_s`` defaults to a compressed "day" so simulations
     stay short.
     """
+    rng = random.Random(seed)
+    return _build(
+        _diurnal_times(count, mean_rate_per_s, period_s, peak_to_trough, rng),
+        rng, mean_prompt, mean_output)
+
+
+def _diurnal_times(count: int, mean_rate_per_s: float, period_s: float,
+                   peak_to_trough: float, rng: random.Random) -> list[float]:
+    """Arrival instants of the thinned diurnal process (shared draws)."""
     if count < 1 or mean_rate_per_s <= 0 or period_s <= 0:
         raise ValueError("count, rate and period must be positive")
     if peak_to_trough < 1.0:
         raise ValueError("peak_to_trough must be >= 1")
     amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
     peak_rate = mean_rate_per_s * (1.0 + amplitude)
-    rng = random.Random(seed)
     arrivals: list[float] = []
     clock = 0.0
     while len(arrivals) < count:
@@ -127,7 +157,7 @@ def diurnal_arrivals(count: int, mean_rate_per_s: float,
             1.0 + amplitude * math.sin(2.0 * math.pi * clock / period_s))
         if rng.random() <= rate / peak_rate:
             arrivals.append(clock)
-    return _build(arrivals, rng, mean_prompt, mean_output)
+    return arrivals
 
 
 def trace_replay(trace: Sequence[tuple[float, int, int]]) -> list[ServeRequest]:

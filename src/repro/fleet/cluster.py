@@ -9,6 +9,24 @@ decode steps are not preemptible) but are resynchronized by the
 horizon of the next ``step`` call — the same quantized-time contract
 real cluster managers have with their nodes.
 
+Two engines implement that contract:
+
+* ``engine="stepped"`` — the original core: object-per-request state,
+  every tick executed.
+* ``engine="event"`` — the columnar core: request streams live in
+  numpy columns (:class:`~repro.fleet.table.RequestTable`), replicas
+  run the :class:`~repro.serving.columnar.ColumnarScheduler`, finishes
+  land in an append-only :class:`~repro.fleet.table.OutcomeLog`, and
+  :meth:`FleetSimulator.run` jumps quiet stretches of the tick grid in
+  one composed scheduler step instead of ticking through them.  The
+  jump is taken only when no tick in the stretch could act (no arrival,
+  retry, fault, boot/attest/restart/hang edge, or flight timeout is
+  due, no autoscaler, no draining or slowed replica, nothing held) and
+  always lands *before* the next such edge, so the ticks that do act
+  execute at exactly the stepped engine's clock values — reports are
+  bit-identical, pinned by the ``fleet.event_core_parity`` audit
+  checks.
+
 Fault injection (:mod:`repro.faults`) plugs into the same loop: when a
 schedule, retry policy, or degradation policy is supplied, each tick
 additionally applies due faults, reboots repaired instances, re-attests
@@ -27,7 +45,7 @@ one bit-identical :class:`~repro.fleet.report.FleetReport`.
 
 from __future__ import annotations
 
-import heapq
+from collections.abc import Sequence
 
 from ..faults.attest import FleetAttestation, needs_attestation
 from ..faults.injector import FaultInjector
@@ -40,6 +58,7 @@ from .replica import (
     ATTESTING,
     BOOTING,
     DRAINING,
+    ENGINES,
     FAILED,
     LIVE,
     RETIRED,
@@ -47,7 +66,9 @@ from .replica import (
     ReplicaSpec,
 )
 from .report import FleetReport, ReplicaUsage
+from .retryq import RetryQueue
 from .router import LeastOutstandingRouter, Router
+from .table import OutcomeLog, RequestTable
 
 #: Default tick width.  Small enough that routing sees fresh replica
 #: state every few decode steps; large enough that a fleet run is a few
@@ -70,7 +91,7 @@ class _ChaosState:
         self.degradation = degradation
         self.flights: dict[int, tuple[Replica, float]] = {}
         self.attempts: dict[int, int] = {}
-        self.retry_heap: list[tuple[float, int, ServeRequest]] = []
+        self.retry_queue = RetryQueue()
         self.held_since: dict[int, float] = {}
         self.completed: set[int] = set()
         self.shed: list[ShedRequest] = []
@@ -86,8 +107,7 @@ class _ChaosState:
         if self.retry is None:
             # No policy: crash evacuations still requeue immediately so
             # no request is ever silently lost.
-            heapq.heappush(self.retry_heap,
-                           (now, request.request_id, request))
+            self.retry_queue.push(now, request)
             return
         if made >= self.retry.max_attempts:
             self.shed.append(ShedRequest(request=request, time_s=now,
@@ -95,8 +115,7 @@ class _ChaosState:
                                          attempts=made))
             return
         delay = self.retry.backoff_s(request.request_id, made)
-        heapq.heappush(self.retry_heap,
-                       (now + delay, request.request_id, request))
+        self.retry_queue.push(now + delay, request)
 
     def shed_request(self, request: ServeRequest, now: float,
                      reason: str) -> None:
@@ -114,7 +133,7 @@ class _RunState:
     or on the replicas/router/autoscaler, never in a stack frame.
     """
 
-    def __init__(self, requests: list[ServeRequest],
+    def __init__(self, requests: list[ServeRequest] | RequestTable,
                  pending: list[ServeRequest], start: float, now: float,
                  peak: int, chaos: _ChaosState | None) -> None:
         self.requests = requests
@@ -125,6 +144,15 @@ class _RunState:
         self.now = now
         self.peak = peak
         self.chaos = chaos
+        # Event-engine columnar state (all None/unused under "stepped"):
+        # the stream as a RequestTable, the arrival-ordered drain cursor
+        # (flat lists + head pointer instead of pop(0) surgery), and the
+        # append-only finish ledger replacing the outcome dict.
+        self.table: RequestTable | None = None
+        self.pending_arrivals: list[float] = []
+        self.pending_rows: list[int] = []
+        self.pending_head = 0
+        self.finished: OutcomeLog | None = None
 
 
 class FleetSimulator:
@@ -149,6 +177,10 @@ class FleetSimulator:
         degradation: What to do with work the fleet cannot route within
             ``max_hold_s`` — shed by priority, or spill onto emergency
             replicas of another backend.
+        engine: ``"stepped"`` (object-per-request core, every tick
+            executed) or ``"event"`` (columnar core with quiet-tick
+            jumping; bit-identical reports, orders of magnitude faster
+            on large streams).
 
     Supplying any of the three arms the chaos path; leaving all three
     ``None`` runs the exact fault-free instruction sequence.
@@ -160,11 +192,16 @@ class FleetSimulator:
                  tick_s: float = DEFAULT_TICK_S,
                  faults: FaultSchedule | FaultInjector | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 degradation: DegradationPolicy | None = None) -> None:
+                 degradation: DegradationPolicy | None = None,
+                 engine: str = "stepped") -> None:
         if not specs:
             raise ValueError("at least one initial replica spec required")
         if tick_s <= 0:
             raise ValueError("tick_s must be positive")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
+        self.engine = engine
         self.router = router or LeastOutstandingRouter()
         self.autoscaler = autoscaler
         self.scale_spec = scale_spec or specs[0]
@@ -188,7 +225,8 @@ class FleetSimulator:
                    boot_latency_s: float, origin: str = "initial") -> Replica:
         replica = Replica(replica_id=len(self.replicas), spec=spec,
                           provisioned_s=provisioned_s,
-                          boot_latency_s=boot_latency_s, origin=origin)
+                          boot_latency_s=boot_latency_s, origin=origin,
+                          engine=self.engine)
         self.replicas.append(replica)
         if self.attestation is not None and needs_attestation(spec.kind):
             self.attestation.enroll(replica.replica_id)
@@ -346,7 +384,7 @@ class FleetSimulator:
         """Liveness guard: when no replica can ever serve again (all
         dead with no reboot pending, no autoscaler, spill exhausted),
         shed all queued work instead of ticking forever."""
-        if not (held or state.retry_heap):
+        if not (held or state.retry_queue):
             return held
         if self.autoscaler is not None:
             return held
@@ -359,8 +397,7 @@ class FleetSimulator:
             return held
         for request in held:
             state.shed_request(request, now, "unroutable")
-        while state.retry_heap:
-            _, _, request = heapq.heappop(state.retry_heap)
+        for request in state.retry_queue.drain():
             state.shed_request(request, now, "unroutable")
         return []
 
@@ -372,7 +409,8 @@ class FleetSimulator:
         return FaultInjector(self.faults if self.faults is not None
                              else FaultSchedule.empty())
 
-    def begin_run(self, requests: list[ServeRequest]) -> None:
+    def begin_run(self, requests: Sequence[ServeRequest] | RequestTable,
+                  ) -> None:
         """Install a request stream and arm the event loop.
 
         Splits :meth:`run` into an incremental form — ``begin_run``,
@@ -381,10 +419,16 @@ class FleetSimulator:
         between any two ticks.  :meth:`run` composes exactly these
         calls; the instruction sequence is unchanged.
 
+        Either engine accepts a ``list[ServeRequest]`` or a
+        :class:`~repro.fleet.table.RequestTable` and converts to its
+        native container; for million-request streams, build the table
+        directly (``poisson_table`` et al.) so no object list ever
+        exists.
+
         Raises:
             ValueError: On an empty stream or if a run is in progress.
         """
-        if not requests:
+        if not len(requests):
             raise ValueError("no requests")
         if self._run is not None:
             raise ValueError("a run is already in progress; finish_run() "
@@ -399,12 +443,35 @@ class FleetSimulator:
                 if needs_attestation(replica.spec.kind):
                     assert self.attestation is not None
                     self.attestation.readmit(replica.replica_id)
+        if self.engine == "event":
+            table = (requests if isinstance(requests, RequestTable)
+                     else RequestTable.from_requests(requests))
+            self._run = self._arm_event_run(table, state)
+            return
+        if isinstance(requests, RequestTable):
+            requests = list(requests)
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         start = pending[0].arrival_s
         self._run = _RunState(
             requests=list(requests), pending=pending, start=start,
             now=(start // self.tick_s) * self.tick_s,
             peak=len(self.active), chaos=state)
+
+    def _arm_event_run(self, table: RequestTable,
+                       state: _ChaosState | None) -> _RunState:
+        """Build the columnar run state for an event-engine run."""
+        order = table.arrival_order()
+        arrivals = table.arrival_s[order]
+        start = float(arrivals[0])
+        run = _RunState(
+            requests=table, pending=[], start=start,
+            now=(start // self.tick_s) * self.tick_s,
+            peak=len(self.active), chaos=state)
+        run.table = table
+        run.pending_arrivals = arrivals.tolist()
+        run.pending_rows = order.tolist()
+        run.finished = OutcomeLog()
+        return run
 
     @property
     def run_active(self) -> bool:
@@ -413,8 +480,12 @@ class FleetSimulator:
         if run is None:
             return False
         state = run.chaos
-        return bool(run.pending or run.held
-                    or (state is not None and state.retry_heap)
+        if run.table is not None:
+            has_pending = run.pending_head < len(run.pending_arrivals)
+        else:
+            has_pending = bool(run.pending)
+        return bool(has_pending or run.held
+                    or (state is not None and state.retry_queue)
                     or any(r.outstanding for r in self.replicas))
 
     @property
@@ -434,7 +505,7 @@ class FleetSimulator:
         now = run.now
         if state is not None:
             self._chaos_tick(now, state)
-            self._autoscale(now, queued=len(run.held) + len(state.retry_heap))
+            self._autoscale(now, queued=len(run.held) + len(state.retry_queue))
         else:
             self._autoscale(now)
         for replica in self.replicas:
@@ -444,12 +515,19 @@ class FleetSimulator:
 
         due = run.held
         run.held = []
-        while run.pending and run.pending[0].arrival_s <= now:
-            due.append(run.pending.pop(0))
+        if run.table is not None:
+            arrivals = run.pending_arrivals
+            rows = run.pending_rows
+            head, end = run.pending_head, len(arrivals)
+            while head < end and arrivals[head] <= now:
+                due.append(run.table.request(rows[head]))
+                head += 1
+            run.pending_head = head
+        else:
+            while run.pending and run.pending[0].arrival_s <= now:
+                due.append(run.pending.pop(0))
         if state is not None:
-            while state.retry_heap and state.retry_heap[0][0] <= now:
-                _, _, request = heapq.heappop(state.retry_heap)
-                due.append(request)
+            due.extend(state.retry_queue.pop_due(now))
         for request in due:
             try:
                 replica = self.router.choose(request, self.replicas, now)
@@ -469,11 +547,16 @@ class FleetSimulator:
 
         for replica in self.replicas:
             if replica.active:
-                for outcome in replica.step(now):
-                    run.outcomes[outcome.request.request_id] = outcome
-                    if state is not None:
-                        state.completed.add(outcome.request.request_id)
-                        state.flights.pop(outcome.request.request_id, None)
+                finished = replica.step(now)
+                if run.finished is not None:
+                    self._log_finished(replica, finished, run, state)
+                else:
+                    for outcome in finished:
+                        run.outcomes[outcome.request.request_id] = outcome
+                        if state is not None:
+                            state.completed.add(outcome.request.request_id)
+                            state.flights.pop(outcome.request.request_id,
+                                              None)
                 replica.retire_if_drained(now)
         run.peak = max(run.peak, len(self.active))
 
@@ -481,6 +564,122 @@ class FleetSimulator:
             self._check_timeouts(now, state)
             run.held = self._degrade(now, run.held, state)
             run.held = self._shed_unroutable(now, run.held, state)
+
+    def _log_finished(self, replica: Replica, finished: list[int],
+                      run: _RunState, state: _ChaosState | None) -> None:
+        """Record event-engine finishes (ids) in the columnar ledger.
+
+        Copies each finished request's timeline triple out of the
+        columnar scheduler and releases the id, so every scheduler's
+        live dict stays O(in-flight) over a million-request run.
+        """
+        assert run.finished is not None
+        scheduler = replica.scheduler
+        for request_id in finished:
+            first, finish, preempted = scheduler.finished_triple(request_id)
+            run.finished.record(request_id, first, finish, preempted)
+            scheduler.release(request_id)
+            if state is not None:
+                state.completed.add(request_id)
+                state.flights.pop(request_id, None)
+
+    # -- quiet-tick jumping (event engine) ------------------------------------
+
+    def _next_wake_s(self, run: _RunState) -> float | None:
+        """Earliest future instant at which a tick could *act*.
+
+        A tick acts when it routes work, applies a fault, crosses a
+        lifecycle edge, or fires a timeout.  Everything that can cause
+        one is time-anchored and peekable: the next pending arrival,
+        the earliest retry due, the injector's next event, each
+        replica's boot/attest readiness, scheduled restart, hang
+        expiry, and the earliest in-flight timeout.  Returns ``None``
+        when no such instant exists (a pure drain: only scheduler-
+        internal work remains).
+        """
+        state = run.chaos
+        candidates: list[float] = []
+        if run.pending_head < len(run.pending_arrivals):
+            candidates.append(run.pending_arrivals[run.pending_head])
+        if state is not None:
+            retry_due = state.retry_queue.next_due_s
+            if retry_due is not None:
+                candidates.append(retry_due)
+            injector_due = state.injector.next_due_s
+            if injector_due is not None:
+                candidates.append(injector_due)
+            if state.retry is not None and state.flights:
+                oldest = min(routed_s for _, routed_s
+                             in state.flights.values())
+                candidates.append(oldest + state.retry.timeout_s)
+        for replica in self.replicas:
+            if replica.state in (BOOTING, ATTESTING):
+                candidates.append(replica.ready_s)
+            elif replica.restart_pending:
+                candidates.append(replica._restart_at_s)
+            if replica._hang_until_s is not None:
+                candidates.append(replica._hang_until_s)
+        return min(candidates) if candidates else None
+
+    #: Ticks jumped per chunk when nothing external is ever due again
+    #: and only in-flight decode work remains (pure drain).
+    _DRAIN_CHUNK_TICKS = 4096
+
+    def _skip_quiet_ticks(self) -> None:
+        """Jump the clock over ticks that provably cannot act.
+
+        Replays the skipped ticks' only observable work — stepping the
+        replicas — as one composed ``step`` call per replica (the
+        scheduler's step/run parity contract makes the composition
+        exact), then lets :meth:`run_tick` execute the next tick
+        normally.  The jump always stops *short* of the next wake
+        instant, so the tick that handles it runs at exactly the clock
+        value the stepped engine would have used, and ``run.now`` is
+        advanced by repeated ``+= tick_s`` so float accumulation stays
+        bit-identical too.
+
+        Conservative no-jump conditions (any of these makes ticks
+        potentially act in ways that are not time-peekable): an armed
+        autoscaler (decides on queue depth every tick), held work
+        (rerouted every tick), a draining replica (retires the tick its
+        queue empties), or a slowed replica (expiry interacts with
+        in-step work).
+        """
+        run = self._run
+        if run is None or run.finished is None:
+            return
+        if self.autoscaler is not None or run.held:
+            return
+        for replica in self.replicas:
+            if replica.state == DRAINING:
+                return
+            if replica.active and replica._slow_until_s is not None:
+                return
+        wake = self._next_wake_s(run)
+        tick = self.tick_s
+        now = run.now
+        if wake is None:
+            steps = self._DRAIN_CHUNK_TICKS
+        else:
+            gap = wake - now
+            if gap <= tick:
+                return
+            # Stop two ticks short of the wake instant; int() truncation
+            # plus the margin guarantees we never cross it.
+            steps = int(gap / tick) - 2
+            if steps <= 0:
+                return
+        for _ in range(steps):
+            now += tick
+        if wake is not None and now >= wake:
+            return  # float-accumulation safety net: tick normally instead
+        run.now = now
+        state = run.chaos
+        for replica in self.replicas:
+            if replica.active:
+                finished = replica.step(now)
+                if finished:
+                    self._log_finished(replica, finished, run, state)
 
     def finish_run(self) -> FleetReport:
         """Close out a completed run and build its report.
@@ -496,8 +695,12 @@ class FleetSimulator:
         state = run.chaos
         # Replica clocks may overshoot the final tick; the fleet ends
         # when the last request completes.
-        end = max((o.finish_s for o in run.outcomes.values()),
-                  default=run.now)
+        if run.finished is not None:
+            last_finish = run.finished.max_finish_s()
+            end = run.now if last_finish is None else last_finish
+        else:
+            end = max((o.finish_s for o in run.outcomes.values()),
+                      default=run.now)
         usages = tuple(
             ReplicaUsage(
                 replica_id=r.replica_id, kind=r.spec.kind,
@@ -507,10 +710,14 @@ class FleetSimulator:
                 requests_served=r.requests_routed, tokens_out=r.tokens_out,
                 crashes=r.crashes)
             for r in self.replicas)
-        ordered = tuple(run.outcomes[request.request_id]
-                        for request in sorted(run.requests,
-                                              key=lambda r: r.request_id)
-                        if request.request_id in run.outcomes)
+        if run.finished is not None:
+            assert run.table is not None
+            ordered = run.finished.to_outcomes(run.table)
+        else:
+            ordered = tuple(run.outcomes[request.request_id]
+                            for request in sorted(run.requests,
+                                                  key=lambda r: r.request_id)
+                            if request.request_id in run.outcomes)
         report = FleetReport(
             outcomes=ordered, start_s=run.start, end_s=end, replicas=usages,
             scale_events=tuple(self.autoscaler.events)
@@ -525,16 +732,26 @@ class FleetSimulator:
         self._run = None
         return report
 
-    def run(self, requests: list[ServeRequest]) -> FleetReport:
+    def run(self, requests: Sequence[ServeRequest] | RequestTable,
+            ) -> FleetReport:
         """Serve a request stream to completion across the fleet.
+
+        Under the event engine, quiet stretches of the tick grid are
+        jumped (see :meth:`_skip_quiet_ticks`); the report is
+        bit-identical to ticking through them.
 
         Raises:
             ValueError: On an empty stream, or when a request can never
                 fit any replica's KV pool.
         """
         self.begin_run(requests)
-        while self.run_active:
-            self.run_tick()
+        if self.engine == "event":
+            while self.run_active:
+                self._skip_quiet_ticks()
+                self.run_tick()
+        else:
+            while self.run_active:
+                self.run_tick()
         return self.finish_run()
 
     # -- checkpoint/restore ---------------------------------------------------
@@ -564,8 +781,7 @@ class FleetSimulator:
                                 in state.flights.items()},
                     "attempts": {str(request_id): count for request_id, count
                                  in state.attempts.items()},
-                    "retry_heap": [[due, request_id] for due, request_id, _
-                                   in state.retry_heap],
+                    "retry_heap": state.retry_queue.to_state(),
                     "held_since": {str(request_id): since
                                    for request_id, since
                                    in state.held_since.items()},
@@ -580,18 +796,32 @@ class FleetSimulator:
                     "spilled": state.spilled,
                 }
             run_state = {
-                "requests": [request.to_state() for request in run.requests],
-                "pending": [request.request_id for request in run.pending],
-                "held": [request.request_id for request in run.held],
-                "outcomes": {str(request_id): outcome.to_state()
-                             for request_id, outcome
-                             in run.outcomes.items()},
                 "start_s": run.start,
                 "now_s": run.now,
                 "peak": run.peak,
                 "chaos": chaos_state,
             }
+            if run.table is not None:
+                # Event engine: the stream as columns, the arrival
+                # cursor as a head index (the order is recomputed on
+                # restore), and the finish ledger as columns.
+                run_state["requests_table"] = run.table.to_state()
+                run_state["pending_head"] = run.pending_head
+                run_state["held"] = [request.request_id
+                                     for request in run.held]
+                run_state["finished"] = run.finished.to_state()
+            else:
+                run_state["requests"] = [request.to_state()
+                                         for request in run.requests]
+                run_state["pending"] = [request.request_id
+                                        for request in run.pending]
+                run_state["held"] = [request.request_id
+                                     for request in run.held]
+                run_state["outcomes"] = {str(request_id): outcome.to_state()
+                                         for request_id, outcome
+                                         in run.outcomes.items()}
         return {
+            "engine": self.engine,
             "tick_s": self.tick_s,
             "chaos_armed": self._chaos,
             "initial_replicas": len(self._initial_specs),
@@ -645,6 +875,11 @@ class FleetSimulator:
             raise StateIntegrityError(
                 f"snapshot tick {tick_s:g}s != simulator tick "
                 f"{self.tick_s:g}s")
+        engine = state.get("engine", "stepped")
+        if engine != self.engine:
+            raise StateIntegrityError(
+                f"snapshot was taken under the {engine!r} engine but this "
+                f"simulator runs {self.engine!r}")
         if require(state, "chaos_armed", bool, "$.fleet") != self._chaos:
             raise StateIntegrityError(
                 "snapshot and simulator disagree on whether the chaos "
@@ -666,7 +901,8 @@ class FleetSimulator:
                     f"replica ids not contiguous: slot {index} holds "
                     f"replica {replica_id}")
             spec = self._spec_for_origin(origin, replica_id)
-            replicas.append(Replica.from_state(payload, spec))
+            replicas.append(Replica.from_state(payload, spec,
+                                               engine=self.engine))
         self.replicas = replicas
 
         self.router.from_state(require(state, "router", dict, "$.fleet"))
@@ -687,6 +923,9 @@ class FleetSimulator:
         if run_state is None:
             self._run = None
             return
+        if self.engine == "event":
+            self._run = self._event_run_from_state(run_state)
+            return
         requests = [ServeRequest.from_state(payload) for payload
                     in require(run_state, "requests", list, "$.fleet.run")]
         by_id = {request.request_id: request for request in requests}
@@ -697,63 +936,7 @@ class FleetSimulator:
                     f"{where} references unknown request {request_id!r}")
             return by_id[request_id]
 
-        chaos_payload = run_state.get("chaos")
-        chaos: _ChaosState | None = None
-        if chaos_payload is not None:
-            if not self._chaos:
-                raise StateIntegrityError(
-                    "snapshot carries chaos state but this simulator has "
-                    "no fault machinery armed")
-            chaos = _ChaosState(self._make_injector(), self.retry_policy,
-                                self.degradation)
-            chaos.injector.from_state(
-                require(chaos_payload, "injector", dict, "$.fleet.chaos"))
-            for key, entry in require(chaos_payload, "flights", dict,
-                                      "$.fleet.chaos").items():
-                replica_id, routed_s = entry
-                if not 0 <= replica_id < len(self.replicas):
-                    raise StateIntegrityError(
-                        f"flight for request {key} references unknown "
-                        f"replica {replica_id}")
-                chaos.flights[int(key)] = (self.replicas[replica_id],
-                                           float(routed_s))
-            chaos.attempts = {int(key): count for key, count
-                              in require(chaos_payload, "attempts", dict,
-                                         "$.fleet.chaos").items()}
-            chaos.retry_heap = [
-                (float(due), request_id,
-                 resolve(request_id, "retry heap"))
-                for due, request_id
-                in require(chaos_payload, "retry_heap", list,
-                           "$.fleet.chaos")]
-            chaos.held_since = {int(key): float(since) for key, since
-                                in require(chaos_payload, "held_since", dict,
-                                           "$.fleet.chaos").items()}
-            chaos.completed = set(require(chaos_payload, "completed", list,
-                                          "$.fleet.chaos"))
-            chaos.shed = [
-                ShedRequest(
-                    request=ServeRequest.from_state(
-                        require(entry, "request", dict, "$.fleet.chaos.shed")),
-                    time_s=require_finite(entry, "time_s",
-                                          "$.fleet.chaos.shed"),
-                    reason=require(entry, "reason", str, "$.fleet.chaos.shed"),
-                    attempts=require(entry, "attempts", int,
-                                     "$.fleet.chaos.shed"))
-                for entry in require(chaos_payload, "shed", list,
-                                     "$.fleet.chaos")]
-            chaos.wasted_tokens = require(chaos_payload, "wasted_tokens",
-                                          int, "$.fleet.chaos")
-            chaos.retries = require(chaos_payload, "retries", int,
-                                    "$.fleet.chaos")
-            chaos.spilled = require(chaos_payload, "spilled", int,
-                                    "$.fleet.chaos")
-            self.last_chaos = chaos
-        elif self._chaos:
-            raise StateIntegrityError(
-                "simulator has fault machinery armed but the snapshot's "
-                "run carries no chaos state")
-
+        chaos = self._chaos_from_state(run_state.get("chaos"), resolve)
         run = _RunState(
             requests=requests,
             pending=[resolve(request_id, "pending queue") for request_id
@@ -770,6 +953,108 @@ class FleetSimulator:
                                    "$.fleet.run").items()}
         self._run = run
 
+    def _chaos_from_state(self, chaos_payload: dict | None,
+                          resolve) -> _ChaosState | None:
+        """Rebuild chaos bookkeeping from a snapshot (either engine).
+
+        ``resolve(request_id, where)`` maps a serialized request id
+        back to a request from the run's stream — a dict lookup under
+        the stepped engine, a table row under the event engine.
+        """
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require, require_finite
+
+        if chaos_payload is None:
+            if self._chaos:
+                raise StateIntegrityError(
+                    "simulator has fault machinery armed but the snapshot's "
+                    "run carries no chaos state")
+            return None
+        if not self._chaos:
+            raise StateIntegrityError(
+                "snapshot carries chaos state but this simulator has "
+                "no fault machinery armed")
+        chaos = _ChaosState(self._make_injector(), self.retry_policy,
+                            self.degradation)
+        chaos.injector.from_state(
+            require(chaos_payload, "injector", dict, "$.fleet.chaos"))
+        for key, entry in require(chaos_payload, "flights", dict,
+                                  "$.fleet.chaos").items():
+            replica_id, routed_s = entry
+            if not 0 <= replica_id < len(self.replicas):
+                raise StateIntegrityError(
+                    f"flight for request {key} references unknown "
+                    f"replica {replica_id}")
+            chaos.flights[int(key)] = (self.replicas[replica_id],
+                                       float(routed_s))
+        chaos.attempts = {int(key): count for key, count
+                          in require(chaos_payload, "attempts", dict,
+                                     "$.fleet.chaos").items()}
+        chaos.retry_queue.from_state(
+            require(chaos_payload, "retry_heap", list, "$.fleet.chaos"),
+            lambda request_id: resolve(request_id, "retry heap"))
+        chaos.held_since = {int(key): float(since) for key, since
+                            in require(chaos_payload, "held_since", dict,
+                                       "$.fleet.chaos").items()}
+        chaos.completed = set(require(chaos_payload, "completed", list,
+                                      "$.fleet.chaos"))
+        chaos.shed = [
+            ShedRequest(
+                request=ServeRequest.from_state(
+                    require(entry, "request", dict, "$.fleet.chaos.shed")),
+                time_s=require_finite(entry, "time_s",
+                                      "$.fleet.chaos.shed"),
+                reason=require(entry, "reason", str, "$.fleet.chaos.shed"),
+                attempts=require(entry, "attempts", int,
+                                 "$.fleet.chaos.shed"))
+            for entry in require(chaos_payload, "shed", list,
+                                 "$.fleet.chaos")]
+        chaos.wasted_tokens = require(chaos_payload, "wasted_tokens",
+                                      int, "$.fleet.chaos")
+        chaos.retries = require(chaos_payload, "retries", int,
+                                "$.fleet.chaos")
+        chaos.spilled = require(chaos_payload, "spilled", int,
+                                "$.fleet.chaos")
+        self.last_chaos = chaos
+        return chaos
+
+    def _event_run_from_state(self, run_state: dict) -> _RunState:
+        """Rebuild an event-engine run from its columnar snapshot."""
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require, require_finite
+
+        table = RequestTable.from_state(
+            require(run_state, "requests_table", dict, "$.fleet.run"))
+        if not len(table):
+            raise StateIntegrityError("armed run carries an empty "
+                                      "request table")
+
+        def resolve(request_id: object, where: str) -> ServeRequest:
+            try:
+                row = table.index_of(request_id)
+            except (KeyError, TypeError) as error:
+                raise StateIntegrityError(
+                    f"{where} references unknown request "
+                    f"{request_id!r}") from error
+            return table.request(row)
+
+        chaos = self._chaos_from_state(run_state.get("chaos"), resolve)
+        run = self._arm_event_run(table, chaos)
+        head = require(run_state, "pending_head", int, "$.fleet.run")
+        if not 0 <= head <= len(table):
+            raise StateIntegrityError(
+                f"pending head {head} out of range for {len(table)} "
+                f"requests")
+        run.pending_head = head
+        run.finished = OutcomeLog.from_state(
+            require(run_state, "finished", dict, "$.fleet.run"))
+        run.start = require_finite(run_state, "start_s", "$.fleet.run")
+        run.now = require_finite(run_state, "now_s", "$.fleet.run")
+        run.peak = require(run_state, "peak", int, "$.fleet.run")
+        run.held = [resolve(request_id, "held list") for request_id
+                    in require(run_state, "held", list, "$.fleet.run")]
+        return run
+
 
 def fixed_fleet(spec: ReplicaSpec, count: int,
                 router: Router | None = None,
@@ -777,10 +1062,11 @@ def fixed_fleet(spec: ReplicaSpec, count: int,
                 faults: FaultSchedule | FaultInjector | None = None,
                 retry_policy: RetryPolicy | None = None,
                 degradation: DegradationPolicy | None = None,
+                engine: str = "stepped",
                 ) -> FleetSimulator:
     """A homogeneous fixed-size fleet (the capacity-planning unit)."""
     if count < 1:
         raise ValueError("count must be >= 1")
     return FleetSimulator([spec] * count, router=router, tick_s=tick_s,
                           faults=faults, retry_policy=retry_policy,
-                          degradation=degradation)
+                          degradation=degradation, engine=engine)

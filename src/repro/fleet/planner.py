@@ -95,6 +95,7 @@ def evaluate_fleet(spec: ReplicaSpec, count: int,
                    faults: FaultSchedule | None = None,
                    retry_policy: RetryPolicy | None = None,
                    degradation: DegradationPolicy | None = None,
+                   engine: str = "stepped",
                    ) -> tuple[CapacityPoint, FleetReport]:
     """Run one fixed fleet against the trace and grade it vs the SLO.
 
@@ -105,7 +106,7 @@ def evaluate_fleet(spec: ReplicaSpec, count: int,
     fleet = fixed_fleet(spec, count, router=router
                         or LeastOutstandingRouter(), tick_s=tick_s,
                         faults=faults, retry_policy=retry_policy,
-                        degradation=degradation)
+                        degradation=degradation, engine=engine)
     report = fleet.run(requests)
     p_ttft = report.ttft_percentile(percentile)
     point = CapacityPoint(
@@ -123,6 +124,7 @@ def capacity_plan(spec: ReplicaSpec, requests: list[ServeRequest],
                   faults: FaultSchedule | None = None,
                   retry_policy: RetryPolicy | None = None,
                   degradation: DegradationPolicy | None = None,
+                  engine: str = "stepped",
                   ) -> CapacityPlan:
     """Grow a fixed fleet until the TTFT percentile clears the SLO.
 
@@ -142,7 +144,8 @@ def capacity_plan(spec: ReplicaSpec, requests: list[ServeRequest],
                                        percentile, max_replicas,
                                        tick_s=tick_s, faults=faults,
                                        retry_policy=retry_policy,
-                                       degradation=degradation))
+                                       degradation=degradation,
+                                       engine=engine))
     needed = next((p.replicas for p in points if p.meets_slo), None)
     return CapacityPlan(kind=spec.kind, slo_ttft_s=slo_ttft_s,
                         percentile=percentile, points=tuple(points),
@@ -155,7 +158,8 @@ def iter_capacity_points(spec: ReplicaSpec, requests: list[ServeRequest],
                          tick_s: float = DEFAULT_TICK_S,
                          faults: FaultSchedule | None = None,
                          retry_policy: RetryPolicy | None = None,
-                         degradation: DegradationPolicy | None = None):
+                         degradation: DegradationPolicy | None = None,
+                         engine: str = "stepped"):
     """Yield :func:`capacity_plan` points one fleet size at a time.
 
     Streams the left-to-right capacity curve, stopping after the first
@@ -167,7 +171,7 @@ def iter_capacity_points(spec: ReplicaSpec, requests: list[ServeRequest],
         point, _ = evaluate_fleet(spec, count, requests, slo_ttft_s,
                                   percentile, tick_s=tick_s, faults=faults,
                                   retry_policy=retry_policy,
-                                  degradation=degradation)
+                                  degradation=degradation, engine=engine)
         yield point
         if point.meets_slo:
             break
@@ -176,8 +180,10 @@ def iter_capacity_points(spec: ReplicaSpec, requests: list[ServeRequest],
 def capacity_sweep(specs: list[ReplicaSpec], requests: list[ServeRequest],
                    slo_ttft_s: float, percentile: float = 99.0,
                    max_replicas: int = 8,
-                   tick_s: float = DEFAULT_TICK_S) -> dict[str, CapacityPlan]:
+                   tick_s: float = DEFAULT_TICK_S,
+                   engine: str = "stepped") -> dict[str, CapacityPlan]:
     """Capacity plans for several replica kinds over one shared trace."""
     return {spec.kind: capacity_plan(spec, requests, slo_ttft_s, percentile,
-                                     max_replicas, tick_s=tick_s)
+                                     max_replicas, tick_s=tick_s,
+                                     engine=engine)
             for spec in specs}

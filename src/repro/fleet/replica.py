@@ -19,11 +19,16 @@ from ..cost.pricing import GCP_SPOT_US_EAST1, PAPER_MEMORY_GB, PriceCatalog
 from ..engine.placement import CpuPlacement, Deployment
 from ..llm.config import LLAMA2_7B, ModelConfig
 from ..llm.datatypes import BFLOAT16, DType
+from ..serving.columnar import ColumnarScheduler
 from ..serving.scheduler import (
     ContinuousBatchingScheduler,
     RequestOutcome,
     ServeRequest,
 )
+
+#: Fleet engine names: the original fixed-tick object core and the
+#: event-driven columnar core (see :mod:`repro.fleet.cluster`).
+ENGINES = ("stepped", "event")
 
 #: Replica lifecycle states.
 BOOTING, LIVE, DRAINING, RETIRED = "booting", "live", "draining", "retired"
@@ -66,9 +71,20 @@ class ReplicaSpec:
         if self.price_hr <= 0:
             raise ValueError("price_hr must be positive")
 
-    def build_scheduler(self) -> ContinuousBatchingScheduler:
-        """A fresh scheduler configured for one instance of this spec."""
-        return ContinuousBatchingScheduler(
+    def build_scheduler(self, engine: str = "stepped",
+                        ) -> ContinuousBatchingScheduler | ColumnarScheduler:
+        """A fresh scheduler configured for one instance of this spec.
+
+        The ``"stepped"`` engine gets the object-per-request
+        :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`;
+        the ``"event"`` engine gets its bit-identical columnar twin.
+        """
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
+        scheduler_cls = (ColumnarScheduler if engine == "event"
+                         else ContinuousBatchingScheduler)
+        return scheduler_cls(
             self.deployment, self.model, self.dtype,
             kv_capacity_tokens=self.kv_capacity_tokens,
             block_size=self.block_size, max_batch=self.max_batch,
@@ -123,11 +139,13 @@ class Replica:
             scale-up), or ``"spill"`` (degradation spill pool).  Purely
             descriptive at run time; checkpoint restore uses it to find
             the right spec when rebuilding the instance.
+        engine: Which scheduler core the instance runs — ``"stepped"``
+            (object-per-request) or ``"event"`` (columnar twin).
     """
 
     def __init__(self, replica_id: int, spec: ReplicaSpec,
                  provisioned_s: float, boot_latency_s: float,
-                 origin: str = "initial") -> None:
+                 origin: str = "initial", engine: str = "stepped") -> None:
         if boot_latency_s < 0:
             raise ValueError("boot_latency_s must be >= 0")
         if origin not in ("initial", "scale", "spill"):
@@ -135,12 +153,13 @@ class Replica:
         self.replica_id = replica_id
         self.spec = spec
         self.origin = origin
+        self.engine = engine
         self.provisioned_s = provisioned_s
         self.boot_latency_s = boot_latency_s
         self.ready_s = provisioned_s + boot_latency_s
         self.retired_s: float | None = None
         self.state = BOOTING if boot_latency_s > 0 else LIVE
-        self.scheduler = spec.build_scheduler()
+        self.scheduler = spec.build_scheduler(engine)
         # An instance cannot serve before it exists.
         self.scheduler.advance_clock_to(self.ready_s if self.state == LIVE
                                         else self.provisioned_s)
@@ -316,8 +335,13 @@ class Replica:
         self.scheduler.submit(request)
         self.requests_routed += 1
 
-    def step(self, until_s: float) -> list[RequestOutcome]:
-        """Advance the replica's scheduler to the shared-clock horizon."""
+    def step(self, until_s: float) -> list[RequestOutcome] | list[int]:
+        """Advance the replica's scheduler to the shared-clock horizon.
+
+        Returns outcome objects under the stepped engine and finished
+        request *ids* under the event engine (read timelines from the
+        columnar scheduler via ``finished_triple``).
+        """
         if self._hang_until_s is not None:
             if until_s < self._hang_until_s:
                 return []  # stalled: no progress until the hang lifts
@@ -325,8 +349,12 @@ class Replica:
             self.scheduler.advance_clock_to(self._hang_until_s)
             self._hang_until_s = None
         finished = self.scheduler.step(until_s)
-        for outcome in finished:
-            self.tokens_out += outcome.request.output_tokens
+        if self.engine == "event":
+            for request_id in finished:
+                self.tokens_out += self.scheduler.output_tokens(request_id)
+        else:
+            for outcome in finished:
+                self.tokens_out += outcome.request.output_tokens
         return finished
 
     # -- accounting -----------------------------------------------------------
@@ -405,7 +433,8 @@ class Replica:
         }
 
     @classmethod
-    def from_state(cls, state: dict, spec: ReplicaSpec) -> "Replica":
+    def from_state(cls, state: dict, spec: ReplicaSpec,
+                   engine: str = "stepped") -> "Replica":
         """Rebuild an instance of ``spec`` from a :meth:`to_state` dict.
 
         Raises:
@@ -423,6 +452,7 @@ class Replica:
             boot_latency_s=require_finite(state, "boot_latency_s",
                                           "$.replica", minimum=0.0),
             origin=require(state, "origin", str, "$.replica"),
+            engine=engine,
         )
         recorded = require(state, "spec", dict, "$.replica")
         mine = replica.spec_fingerprint()

@@ -15,13 +15,37 @@ default to empty so fault-free reports are unchanged.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..cost.pricing import attribute_cost
 from ..faults.injector import AppliedFault
 from ..faults.resilience import ShedRequest
 from ..serving.scheduler import RequestOutcome, _percentile
 from .autoscaler import ScaleEvent
+from .table import ColumnarOutcomes
+
+
+def _percentile_array(values: np.ndarray, percentile: float) -> float:
+    """Vectorized twin of :func:`repro.serving.scheduler._percentile`.
+
+    Same linear interpolation over the same sorted values in the same
+    IEEE-754 doubles — bit-identical to the scalar path, required by
+    the event/stepped report parity contract.
+    """
+    if not values.size:
+        raise ValueError("no values")
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = np.sort(values)
+    rank = percentile / 100.0 * (values.size - 1)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, values.size - 1)
+    fraction = rank - lower
+    return float(ordered[lower] + (ordered[upper] - ordered[lower])
+                 * fraction)
 
 
 @dataclass(frozen=True)
@@ -60,7 +84,10 @@ class FleetReport:
 
     Attributes:
         outcomes: Per-request lifecycle records (completed requests
-            only) in request-id order.
+            only) in request-id order — a tuple of
+            :class:`RequestOutcome` under the stepped engine, a
+            value-equal :class:`~repro.fleet.table.ColumnarOutcomes`
+            view under the event engine.
         start_s: Earliest arrival in the stream.
         end_s: Completion time of the last request.
         replicas: Billing summary per instance ever provisioned.
@@ -100,6 +127,8 @@ class FleetReport:
     @property
     def tokens_out(self) -> int:
         """Goodput: tokens of completed requests."""
+        if isinstance(self.outcomes, ColumnarOutcomes):
+            return int(self.outcomes.output_tokens.sum())
         return sum(o.request.output_tokens for o in self.outcomes)
 
     @property
@@ -137,11 +166,15 @@ class FleetReport:
     def ttft_percentile(self, percentile: float) -> float:
         if not self.outcomes:
             raise ValueError("no completed requests")
+        if isinstance(self.outcomes, ColumnarOutcomes):
+            return _percentile_array(self.outcomes.ttft_values(), percentile)
         return _percentile([o.ttft_s for o in self.outcomes], percentile)
 
     def e2e_percentile(self, percentile: float) -> float:
         if not self.outcomes:
             raise ValueError("no completed requests")
+        if isinstance(self.outcomes, ColumnarOutcomes):
+            return _percentile_array(self.outcomes.e2e_values(), percentile)
         return _percentile([o.e2e_s for o in self.outcomes], percentile)
 
     def slo_attainment(self, slo_ttft_s: float) -> float:
@@ -155,7 +188,11 @@ class FleetReport:
             raise ValueError("slo_ttft_s must be positive")
         if not self.submitted:
             raise ValueError("no requests submitted")
-        met = sum(1 for o in self.outcomes if o.ttft_s <= slo_ttft_s)
+        if isinstance(self.outcomes, ColumnarOutcomes):
+            met = int(np.count_nonzero(
+                self.outcomes.ttft_values() <= slo_ttft_s))
+        else:
+            met = sum(1 for o in self.outcomes if o.ttft_s <= slo_ttft_s)
         return met / self.submitted
 
     def slo_curve(self, slos_s: list[float]) -> dict[float, float]:

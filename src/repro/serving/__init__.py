@@ -1,5 +1,6 @@
 """Serving substrate: continuous batching over a paged KV cache."""
 
+from .columnar import ColumnarScheduler
 from .scheduler import (
     ContinuousBatchingScheduler,
     RequestOutcome,
@@ -7,8 +8,9 @@ from .scheduler import (
     ServingReport,
     poisson_stream,
 )
+from .stepcost import StepCostTable
 
 __all__ = [
-    "ContinuousBatchingScheduler", "RequestOutcome", "ServeRequest",
-    "ServingReport", "poisson_stream",
+    "ColumnarScheduler", "ContinuousBatchingScheduler", "RequestOutcome",
+    "ServeRequest", "ServingReport", "StepCostTable", "poisson_stream",
 ]

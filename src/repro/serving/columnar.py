@@ -1,0 +1,624 @@
+"""Columnar continuous-batching scheduler (the event core's replica engine).
+
+A bit-exact twin of
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` that
+stores request state in parallel columns keyed by submission slot
+instead of per-request ``ServeRequest``/``RequestOutcome`` objects:
+
+* arrival / prompt / output / priority / first-token / finish /
+  preemption-count live in append-only ``array`` columns,
+* the running batch is a set of parallel Python lists (ids, prompts,
+  generated counts, held KV blocks),
+* the paged KV cache collapses to block *counts* (a free counter plus
+  per-sequence held counts) — block identities never influence the
+  object scheduler's behavior, only availability does.
+
+Every float operation (prefill/decode charging, clock advancement,
+preemption cascade order, admission lookahead scan) transcribes the
+object scheduler exactly, and step durations come from the shared
+:class:`~repro.serving.stepcost.StepCostTable`, so per-request
+timelines are **bit-identical** — pinned by the
+``fleet.event_core_parity`` audit family and the serving-level parity
+tests.  The payoff is constant factors: no object allocation per
+request, no exception-driven KV probing, and O(in-flight) live dict
+state, which is what lets the fleet's event engine push ≥1M requests
+through a single run.
+
+API differences from the object scheduler (both deliberate):
+
+* :meth:`step` returns finished request *ids*, not outcome objects —
+  the fleet event core reads the timeline columns directly via
+  :meth:`finished_triple` and materializes objects only on demand.
+* :meth:`to_state` uses a columnar-native schema and the config
+  fingerprint carries ``"engine": "columnar"``, so snapshots never
+  restore across engines.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from bisect import insort
+
+from ..engine.placement import Deployment
+from ..llm.config import ModelConfig
+from ..llm.datatypes import DType
+from .scheduler import RequestOutcome, ServeRequest, ServingReport
+from .stepcost import StepCostTable
+
+
+class ColumnarScheduler:
+    """vLLM-style continuous batching over columnar request state.
+
+    Constructor arguments match
+    :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`
+    exactly; see that class for the scheduling policy (strict-FCFS
+    admission with optional bounded lookahead, preempt-youngest with
+    full recompute).
+    """
+
+    def __init__(self, deployment: Deployment, model: ModelConfig,
+                 dtype: DType, kv_capacity_tokens: int = 65536,
+                 block_size: int = 16, max_batch: int = 64,
+                 admission_lookahead: int = 0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if admission_lookahead < 0:
+            raise ValueError("admission_lookahead must be >= 0")
+        self.deployment = deployment
+        self.model = model
+        self.dtype = dtype
+        self.max_batch = max_batch
+        self.block_size = block_size
+        self.admission_lookahead = admission_lookahead
+        self.num_blocks = max(1, kv_capacity_tokens // block_size)
+        self._costs = StepCostTable.shared(deployment, model, dtype)
+        self._time_scale = 1.0
+        self._reset()
+
+    def _reset(self) -> None:
+        # Append-only per-request columns, indexed by submission slot.
+        self._col_id = array("q")
+        self._col_arrival = array("d")
+        self._col_prompt = array("l")
+        self._col_output = array("l")
+        self._col_priority = array("l")
+        self._col_first = array("d")
+        self._col_finish = array("d")
+        self._col_preempt = array("l")
+        self._slot: dict[int, int] = {}   # live request id -> slot
+        self._dead: set[int] = set()      # forgotten/released slots
+        # Waiting queue of (arrival_s, request_id); sorted except that
+        # preempted requests re-enter at the head, as in the object twin.
+        self._waiting: list[tuple[float, int]] = []
+        # Running batch as parallel lists.
+        self._run_ids: list[int] = []
+        self._run_prompt: list[int] = []
+        self._run_output: list[int] = []
+        self._run_gen: list[int] = []
+        self._run_blocks: list[int] = []
+        self._run_slot: list[int] = []
+        self._free_blocks = self.num_blocks
+        self._ctx_total = 0               # sum(prompt + generated) over batch
+        self._clock = 0.0
+        self._preemptions = 0
+        self._occ_sum = 0
+        self._occ_count = 0
+        self._first_arrival: float | None = None
+
+    # -- introspection (object-scheduler-compatible surface) ------------------
+
+    @property
+    def clock_s(self) -> float:
+        """The replica's local wall clock."""
+        return self._clock
+
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted or queued but not yet finished."""
+        return len(self._waiting) + len(self._run_ids)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for admission."""
+        return len(self._waiting)
+
+    @property
+    def kv_free_fraction(self) -> float:
+        """Fraction of the KV block pool currently free."""
+        return self._free_blocks / self.num_blocks
+
+    @property
+    def idle(self) -> bool:
+        """No admitted or queued work."""
+        return not self._waiting and not self._run_ids
+
+    @property
+    def preemptions(self) -> int:
+        """Preempt-and-recompute events so far."""
+        return self._preemptions
+
+    def advance_clock_to(self, now_s: float) -> None:
+        """Move the local clock forward to ``now_s`` (never backward)."""
+        if math.isfinite(now_s):
+            self._clock = max(self._clock, now_s)
+
+    @property
+    def time_scale(self) -> float:
+        """Wall-time multiplier on every step (1.0 = nominal speed)."""
+        return self._time_scale
+
+    @time_scale.setter
+    def time_scale(self, scale: float) -> None:
+        if not math.isfinite(scale) or scale <= 0:
+            raise ValueError("time_scale must be finite and positive")
+        self._time_scale = scale
+
+    def _scaled(self, step_s: float) -> float:
+        # Guarded so the nominal path performs no float op at all.
+        if self._time_scale != 1.0:
+            return step_s * self._time_scale
+        return step_s
+
+    # -- request materialization ----------------------------------------------
+
+    def _request_at(self, slot: int) -> ServeRequest:
+        return ServeRequest(request_id=self._col_id[slot],
+                            arrival_s=self._col_arrival[slot],
+                            prompt_tokens=self._col_prompt[slot],
+                            output_tokens=self._col_output[slot],
+                            priority=self._col_priority[slot])
+
+    def request(self, request_id: int) -> ServeRequest:
+        """Materialize the live request with this id (value-equal copy)."""
+        return self._request_at(self._slot[request_id])
+
+    def output_tokens(self, request_id: int) -> int:
+        """Output-token target of a live request (fleet accounting hook)."""
+        return self._col_output[self._slot[request_id]]
+
+    def finished_triple(self, request_id: int) -> tuple[float, float, int]:
+        """``(first_token_s, finish_s, preemptions)`` of a live record."""
+        slot = self._slot[request_id]
+        return (self._col_first[slot], self._col_finish[slot],
+                self._col_preempt[slot])
+
+    def release(self, request_id: int) -> None:
+        """Drop the live record of a *finished* request.
+
+        The fleet event core copies the timeline triple into its own
+        columns as finishes surface, then releases the id here so the
+        scheduler's live dict stays O(in-flight) over a 1M-request run.
+        The append-only columns retain the slot (cheap: a few plain
+        scalars), it just no longer appears in :meth:`report`.
+        """
+        self._forget(request_id)
+
+    # -- admission ------------------------------------------------------------
+
+    def _check_fits(self, request: ServeRequest) -> None:
+        needed = request.prompt_tokens + request.output_tokens
+        if needed > self.num_blocks * self.block_size:
+            raise ValueError(
+                f"request {request.request_id} needs {needed} KV tokens, "
+                f"pool holds {self.num_blocks * self.block_size}")
+
+    def submit(self, request: ServeRequest) -> None:
+        """Enqueue one request for service (fleet/step entry point).
+
+        Raises:
+            ValueError: If the request cannot ever fit the KV pool or
+                reuses an id still in flight.
+        """
+        self._check_fits(request)
+        if request.request_id in self._slot:
+            raise ValueError(f"request id {request.request_id} already "
+                             "submitted to this replica")
+        slot = len(self._col_id)
+        self._col_id.append(request.request_id)
+        self._col_arrival.append(request.arrival_s)
+        self._col_prompt.append(request.prompt_tokens)
+        self._col_output.append(request.output_tokens)
+        self._col_priority.append(request.priority)
+        self._col_first.append(0.0)
+        self._col_finish.append(0.0)
+        self._col_preempt.append(0)
+        self._slot[request.request_id] = slot
+        insort(self._waiting, (request.arrival_s, request.request_id))
+        if (self._first_arrival is None
+                or request.arrival_s < self._first_arrival):
+            self._first_arrival = request.arrival_s
+
+    def _forget(self, request_id: int) -> None:
+        """Drop all live bookkeeping for a request."""
+        slot = self._slot.pop(request_id, None)
+        if slot is not None:
+            self._dead.add(slot)
+
+    def cancel(self, request_id: int) -> tuple[ServeRequest, int] | None:
+        """Withdraw an unfinished request (fleet timeout/retry hook)."""
+        for index, (_, rid) in enumerate(self._waiting):
+            if rid == request_id:
+                request = self.request(request_id)
+                self._waiting.pop(index)
+                self._forget(request_id)
+                return request, 0
+        for index, rid in enumerate(self._run_ids):
+            if rid == request_id:
+                request = self.request(request_id)
+                generated = self._run_gen[index]
+                self._free_blocks += self._run_blocks[index]
+                self._ctx_total -= self._run_prompt[index] + generated
+                self._remove_running(index)
+                self._forget(request_id)
+                return request, generated
+        return None
+
+    def evacuate(self) -> list[tuple[ServeRequest, int]]:
+        """Abort all in-flight work (replica crash hook)."""
+        evacuated = [(self.request(rid), 0) for _, rid in self._waiting]
+        for index, rid in enumerate(self._run_ids):
+            self._free_blocks += self._run_blocks[index]
+            evacuated.append((self.request(rid), self._run_gen[index]))
+        self._waiting.clear()
+        del self._run_ids[:]
+        del self._run_prompt[:]
+        del self._run_output[:]
+        del self._run_gen[:]
+        del self._run_blocks[:]
+        del self._run_slot[:]
+        self._ctx_total = 0
+        for request, _ in evacuated:
+            self._forget(request.request_id)
+        return evacuated
+
+    def _remove_running(self, index: int) -> None:
+        del self._run_ids[index]
+        del self._run_prompt[index]
+        del self._run_output[index]
+        del self._run_gen[index]
+        del self._run_blocks[index]
+        del self._run_slot[index]
+
+    def estimated_ttft_s(self, request: ServeRequest, now: float) -> float:
+        """Deterministic TTFT estimate if ``request`` were routed here now."""
+        prefill_s = self._costs.prefill_s
+        prompts = self._col_prompt
+        slots = self._slot
+        backlog = max(0.0, self._clock - now)
+        backlog += self._scaled(sum(prefill_s(prompts[slots[rid]])
+                                    for _, rid in self._waiting))
+        return backlog + self._scaled(prefill_s(request.prompt_tokens))
+
+    def _admit(self) -> None:
+        """Admit arrived requests while memory and batch slots allow."""
+        waiting = self._waiting
+        block_size = self.block_size
+        while (waiting and len(self._run_ids) < self.max_batch
+               and waiting[0][0] <= self._clock):
+            _, rid = waiting[0]
+            admitted_index = 0
+            slot = self._slot[rid]
+            prompt = self._col_prompt[slot]
+            needed = -(-prompt // block_size)
+            if needed > self._free_blocks:
+                # Head-of-line blocking: strict FCFS stops here.  With
+                # lookahead, scan a bounded window of arrived requests
+                # for one that fits right now.
+                admitted_index = -1
+                for index in range(1, 1 + min(self.admission_lookahead,
+                                              len(waiting) - 1)):
+                    c_arrival, c_rid = waiting[index]
+                    if c_arrival > self._clock:
+                        break
+                    c_slot = self._slot[c_rid]
+                    c_prompt = self._col_prompt[c_slot]
+                    c_needed = -(-c_prompt // block_size)
+                    if c_needed > self._free_blocks:
+                        continue
+                    rid, slot = c_rid, c_slot
+                    prompt, needed = c_prompt, c_needed
+                    admitted_index = index
+                    break
+                if admitted_index < 0:
+                    break
+            self._free_blocks -= needed
+            waiting.pop(admitted_index)
+            self._clock += self._scaled(self._costs.prefill_s(prompt))
+            self._col_first[slot] = self._clock
+            self._run_ids.append(rid)
+            self._run_prompt.append(prompt)
+            self._run_output.append(self._col_output[slot])
+            self._run_gen.append(0)
+            self._run_blocks.append(needed)
+            self._run_slot.append(slot)
+            self._ctx_total += prompt
+
+    # -- decode ----------------------------------------------------------------
+
+    def _decode_once(self) -> list[int]:
+        """One decode step for the whole batch; returns finished ids."""
+        run_ids = self._run_ids
+        run_gen = self._run_gen
+        run_prompt = self._run_prompt
+        run_blocks = self._run_blocks
+        batch = len(run_ids)
+        mean_context = int(self._ctx_total / batch)
+        self._occ_sum += batch
+        self._occ_count += 1
+        self._clock += self._scaled(
+            self._costs.decode_step_s(batch, max(1, mean_context)))
+
+        block_size = self.block_size
+        preempted: set[int] = set()
+        finished: list[tuple[int, int]] = []  # (index, request_id)
+
+        def preempt_youngest() -> int:
+            victim_id = run_ids.pop()
+            victim_prompt = run_prompt.pop()
+            self._run_output.pop()
+            victim_gen = run_gen.pop()
+            self._free_blocks += run_blocks.pop()
+            victim_slot = self._run_slot.pop()
+            self._col_preempt[victim_slot] += 1
+            self._ctx_total -= victim_prompt + victim_gen
+            self._waiting.insert(0, (self._col_arrival[victim_slot],
+                                     victim_id))
+            preempted.add(victim_id)
+            return victim_id
+
+        # In-loop removals only pop from the tail, so an entry that
+        # survives keeps its index — the snapshot index stays valid.
+        for index, rid in enumerate(list(run_ids)):
+            if rid in preempted:
+                continue
+            generated = run_gen[index]
+            prompt = run_prompt[index]
+            appended = False
+            while not appended:
+                if (prompt + generated) % block_size == 0:
+                    # The next token crosses a block boundary.
+                    if self._free_blocks == 0:
+                        # Preempt the youngest sequence; vLLM recomputes
+                        # it from scratch on re-admission.
+                        victim_id = preempt_youngest()
+                        self._preemptions += 1
+                        if victim_id == rid:
+                            break
+                        continue
+                    self._free_blocks -= 1
+                    run_blocks[index] += 1
+                generated += 1
+                run_gen[index] = generated
+                self._ctx_total += 1
+                appended = True
+            if not appended:
+                continue
+            if generated >= self._run_output[index]:
+                finished.append((index, rid))
+
+        if not finished:
+            return []
+        results: list[int] = []
+        for index, rid in finished:
+            if index >= len(run_ids) or run_ids[index] != rid:
+                # The object twin would crash here too (double-free on a
+                # preempted-after-finish entry); it cannot arise because
+                # a finished entry holds its blocks until this cleanup.
+                raise RuntimeError("finished entry vanished mid-step")
+            slot = self._run_slot[index]
+            self._col_finish[slot] = self._clock
+            self._free_blocks += run_blocks[index]
+            self._ctx_total -= run_prompt[index] + run_gen[index]
+            results.append(rid)
+        for index, _ in reversed(finished):
+            self._remove_running(index)
+        return results
+
+    def step(self, until_s: float | None = None) -> list[int]:
+        """Advance the serving loop up to a time horizon.
+
+        Identical semantics to the object scheduler's ``step`` — the
+        clock may overshoot ``until_s`` by one non-preemptible step —
+        but returns the *ids* of requests that finished during this
+        call (read their timelines via :meth:`finished_triple`).
+        """
+        finished: list[int] = []
+        while self._waiting or self._run_ids:
+            if until_s is not None and self._clock >= until_s:
+                break
+            if (not self._run_ids and until_s is not None
+                    and self._waiting[0][0] > until_s):
+                break  # only future work remains in this horizon
+            self._admit()
+            if not self._run_ids:
+                # Idle until the next arrival.
+                arrival = self._waiting[0][0]
+                if arrival > self._clock:
+                    self._clock = arrival
+                continue
+            finished.extend(self._decode_once())
+        return finished
+
+    def report(self) -> ServingReport:
+        """Aggregate metrics of everything served so far.
+
+        Materializes transient :class:`RequestOutcome` objects from the
+        columns (value-equal to the object scheduler's records).
+        """
+        outcomes = tuple(
+            RequestOutcome(request=self._request_at(slot),
+                           first_token_s=self._col_first[slot],
+                           finish_s=self._col_finish[slot],
+                           preemptions=self._col_preempt[slot])
+            for slot in range(len(self._col_id))
+            if slot not in self._dead)
+        if not outcomes:
+            raise ValueError("no requests")
+        mean_occupancy = (self._occ_sum / self._occ_count
+                          if self._occ_count else 0.0)
+        start = self._first_arrival or 0.0
+        return ServingReport(outcomes=outcomes,
+                             makespan_s=self._clock - start,
+                             total_preemptions=self._preemptions,
+                             mean_batch_occupancy=mean_occupancy,
+                             start_s=start)
+
+    def run(self, requests: list[ServeRequest]) -> ServingReport:
+        """Serve a request stream to completion (single-replica mode)."""
+        if not requests:
+            raise ValueError("no requests")
+        for request in requests:
+            self._check_fits(request)
+        self._reset()
+        for request in requests:
+            if request.request_id in self._slot:
+                raise ValueError(f"request id {request.request_id} already "
+                                 "submitted to this replica")
+            self.submit(request)
+        self.step(None)
+        return self.report()
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def config_fingerprint(self) -> dict:
+        """Configuration identity, for restore checks.
+
+        Carries ``"engine": "columnar"`` on top of the object
+        scheduler's keys so a snapshot taken under one engine refuses
+        to restore under the other (their runtime schemas differ).
+        """
+        return {
+            "engine": "columnar",
+            "model": self.model.name,
+            "dtype": self.dtype.name,
+            "max_batch": self.max_batch,
+            "block_size": self.block_size,
+            "admission_lookahead": self.admission_lookahead,
+            "num_blocks": self.num_blocks,
+        }
+
+    def to_state(self) -> dict:
+        """Plain-dict snapshot of the columnar state machine."""
+        return {
+            "config": self.config_fingerprint(),
+            "clock_s": self._clock,
+            "preemptions": self._preemptions,
+            "occ_sum": self._occ_sum,
+            "occ_count": self._occ_count,
+            "first_arrival_s": self._first_arrival,
+            "time_scale": self._time_scale,
+            "free_blocks": self._free_blocks,
+            "columns": {
+                "id": list(self._col_id),
+                "arrival": list(self._col_arrival),
+                "prompt": list(self._col_prompt),
+                "output": list(self._col_output),
+                "priority": list(self._col_priority),
+                "first": list(self._col_first),
+                "finish": list(self._col_finish),
+                "preempt": list(self._col_preempt),
+            },
+            "dead": sorted(self._dead),
+            "waiting": [[arrival, rid] for arrival, rid in self._waiting],
+            "running": [{"request_id": self._run_ids[i],
+                         "generated": self._run_gen[i],
+                         "blocks": self._run_blocks[i],
+                         "slot": self._run_slot[i]}
+                        for i in range(len(self._run_ids))],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Install a :meth:`to_state` snapshot into this scheduler.
+
+        Raises:
+            repro.state.errors.StateIntegrityError: If the snapshot's
+                config fingerprint does not match this scheduler or its
+                internal invariants do not hold.
+        """
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require
+
+        config = require(state, "config", dict, "$.scheduler")
+        mine = self.config_fingerprint()
+        if config != mine:
+            diverged = sorted(key for key in set(config) | set(mine)
+                              if config.get(key) != mine.get(key))
+            raise StateIntegrityError(
+                f"scheduler snapshot was taken on a different "
+                f"configuration (mismatched: {diverged})")
+
+        columns = require(state, "columns", dict, "$.scheduler")
+        cols = {name: require(columns, name, list, "$.scheduler.columns")
+                for name in ("id", "arrival", "prompt", "output", "priority",
+                             "first", "finish", "preempt")}
+        length = len(cols["id"])
+        if any(len(values) != length for values in cols.values()):
+            raise StateIntegrityError("ragged columnar snapshot")
+        dead = {int(slot) for slot in require(state, "dead", list,
+                                              "$.scheduler")}
+        if any(slot < 0 or slot >= length for slot in dead):
+            raise StateIntegrityError("dead slot out of range")
+        slot_map: dict[int, int] = {}
+        for slot in range(length):
+            if slot in dead:
+                continue
+            rid = int(cols["id"][slot])
+            if rid in slot_map:
+                raise StateIntegrityError(
+                    f"request {rid} is live in two slots")
+            slot_map[rid] = slot
+
+        waiting: list[tuple[float, int]] = []
+        for pair in require(state, "waiting", list, "$.scheduler"):
+            arrival, rid = float(pair[0]), int(pair[1])
+            if rid not in slot_map:
+                raise StateIntegrityError(
+                    f"waiting request {rid} has no live column slot")
+            waiting.append((arrival, rid))
+        run_ids: list[int] = []
+        run_gen: list[int] = []
+        run_blocks: list[int] = []
+        run_slot: list[int] = []
+        for entry in require(state, "running", list, "$.scheduler"):
+            rid = require(entry, "request_id", int, "$.scheduler.running")
+            if rid not in slot_map:
+                raise StateIntegrityError(
+                    f"running request {rid} has no live column slot")
+            run_ids.append(rid)
+            run_gen.append(require(entry, "generated", int,
+                                   "$.scheduler.running"))
+            run_blocks.append(require(entry, "blocks", int,
+                                      "$.scheduler.running"))
+            run_slot.append(require(entry, "slot", int, "$.scheduler.running"))
+        free_blocks = require(state, "free_blocks", int, "$.scheduler")
+        if free_blocks + sum(run_blocks) != self.num_blocks:
+            raise StateIntegrityError(
+                "KV block conservation violated in snapshot")
+
+        self._col_id = array("q", (int(v) for v in cols["id"]))
+        self._col_arrival = array("d", (float(v) for v in cols["arrival"]))
+        self._col_prompt = array("l", (int(v) for v in cols["prompt"]))
+        self._col_output = array("l", (int(v) for v in cols["output"]))
+        self._col_priority = array("l", (int(v) for v in cols["priority"]))
+        self._col_first = array("d", (float(v) for v in cols["first"]))
+        self._col_finish = array("d", (float(v) for v in cols["finish"]))
+        self._col_preempt = array("l", (int(v) for v in cols["preempt"]))
+        self._slot = slot_map
+        self._dead = dead
+        self._waiting = waiting
+        self._run_ids = run_ids
+        self._run_prompt = [self._col_prompt[s] for s in run_slot]
+        self._run_output = [self._col_output[s] for s in run_slot]
+        self._run_gen = run_gen
+        self._run_blocks = run_blocks
+        self._run_slot = run_slot
+        self._free_blocks = free_blocks
+        self._ctx_total = sum(self._run_prompt) + sum(run_gen)
+        self._clock = require(state, "clock_s", float, "$.scheduler")
+        self._preemptions = require(state, "preemptions", int, "$.scheduler")
+        self._occ_sum = require(state, "occ_sum", int, "$.scheduler")
+        self._occ_count = require(state, "occ_count", int, "$.scheduler")
+        first = state.get("first_arrival_s")
+        self._first_arrival = None if first is None else float(first)
+        self._time_scale = require(state, "time_scale", float, "$.scheduler")

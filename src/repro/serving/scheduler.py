@@ -37,11 +37,10 @@ from dataclasses import dataclass
 
 
 from ..engine.placement import Deployment
-from ..engine.roofline import WorkingSets, cost_model_for
 from ..llm.config import ModelConfig
 from ..llm.datatypes import DType
-from ..llm.graph import decode_step_ops, prefill_ops
 from ..llm.kvcache import PagedKVCache
+from .stepcost import StepCostTable
 
 
 @dataclass(frozen=True)
@@ -249,9 +248,7 @@ class ContinuousBatchingScheduler:
         self.cache = PagedKVCache(
             num_blocks=max(1, kv_capacity_tokens // block_size),
             block_size=block_size)
-        self._cost_model = cost_model_for(deployment)
-        self._step_cache: dict[tuple[int, int], float] = {}
-        self._prefill_cache: dict[int, float] = {}
+        self._costs = StepCostTable.shared(deployment, model, dtype)
         self._time_scale = 1.0
         self._reset()
 
@@ -266,30 +263,14 @@ class ContinuousBatchingScheduler:
         self._first_arrival: float | None = None
 
     # -- cost helpers ---------------------------------------------------------
-
-    def _sets(self, batch: int, context: int) -> WorkingSets:
-        weights = self.model.weight_bytes(self.dtype.bytes)
-        kv = batch * context * self.model.kv_bytes_per_token(self.dtype.bytes)
-        return WorkingSets(weights=weights, kv=kv, activations=64e6)
+    # Both delegate to the shared StepCostTable so the columnar twin
+    # charges bit-identical durations (see repro.serving.stepcost).
 
     def _decode_step_s(self, batch: int, context: int) -> float:
-        context_bucket = max(16, (context // 64) * 64)
-        key = (batch, context_bucket)
-        if key not in self._step_cache:
-            ops = decode_step_ops(self.model, self.dtype, batch,
-                                  context_bucket)
-            step = self._cost_model.step_cost(
-                ops, self._sets(batch, context_bucket), self.dtype)
-            self._step_cache[key] = step.total_s
-        return self._step_cache[key]
+        return self._costs.decode_step_s(batch, context)
 
     def _prefill_s(self, prompt_tokens: int) -> float:
-        if prompt_tokens not in self._prefill_cache:
-            ops = prefill_ops(self.model, self.dtype, 1, prompt_tokens)
-            step = self._cost_model.step_cost(
-                ops, self._sets(1, prompt_tokens), self.dtype)
-            self._prefill_cache[prompt_tokens] = step.total_s
-        return self._prefill_cache[prompt_tokens]
+        return self._costs.prefill_s(prompt_tokens)
 
     # -- steppable state machine ----------------------------------------------
 

@@ -45,6 +45,7 @@ from . import golden as _golden  # noqa: E402,F401
 from . import fleet as _fleet  # noqa: E402,F401
 from . import chaos as _chaos  # noqa: E402,F401
 from . import state as _state  # noqa: E402,F401
+from . import event as _event  # noqa: E402,F401
 
 __all__ = [
     "AuditContext",

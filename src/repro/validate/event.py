@@ -1,0 +1,177 @@
+"""Event-engine audit checks: columnar core vs stepped twin.
+
+The event-driven columnar fleet core (``engine="event"``) exists for
+throughput — simulating millions of requests per run — but its
+acceptance criterion is *parity*: the stepped engine remains the
+reference semantics, and the event core must reproduce it
+bit-identically, not approximately.  These checks pin that contract
+the same way ``serving.legacy_loop_parity`` pinned the steppable
+scheduler refactor:
+
+* ``fleet.event_core_parity`` (differential) — the same request
+  stream, once as :class:`~repro.serving.scheduler.ServeRequest`
+  objects through the stepped engine and once as a columnar
+  :class:`~repro.fleet.table.RequestTable` through the event engine,
+  across fault-free, faulted, autoscaled and spill-router
+  configurations.  Report dicts and raw per-request outcome floats
+  must be exactly equal — float equality, no tolerance.
+* ``fleet.event_core_resume_parity`` (state) — freeze an event-engine
+  run mid-flight, push the snapshot through strict JSON, revive it in
+  a fresh event simulator and finish: bit-identical to never having
+  stopped, and equal to the stepped baseline on the same stream.  The
+  engine-mismatch guard (restoring an event snapshot into a stepped
+  simulator) must refuse with a clear error.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..faults import DegradationPolicy, RetryPolicy, mtbf_schedule
+from ..fleet import (
+    AutoscalerConfig,
+    FleetSimulator,
+    ReactiveAutoscaler,
+    fixed_fleet,
+    poisson_arrivals,
+    poisson_table,
+    replica_spec,
+)
+from ..fleet.router import CostSloRouter
+from ..state.errors import StateIntegrityError
+from .context import AuditContext
+from .registry import CheckFailure, check
+
+
+def _tdx_spec():
+    return replica_spec("tdx", max_batch=16, kv_capacity_tokens=65536)
+
+
+def _fleet_stream():
+    """Object stream and its columnar twin (same seed, same draws)."""
+    requests = poisson_arrivals(40, rate_per_s=4.0, mean_prompt=128,
+                                mean_output=32, seed=11)
+    table = poisson_table(40, rate_per_s=4.0, mean_prompt=128,
+                          mean_output=32, seed=11)
+    return requests, table
+
+
+def _configs() -> list[tuple[str, "callable"]]:
+    """Factories covering every structurally distinct fleet regime."""
+    spec = _tdx_spec()
+
+    def fault_free(engine):
+        return fixed_fleet(spec, 2, engine=engine)
+
+    def faulted(engine):
+        return fixed_fleet(
+            spec, 2,
+            faults=mtbf_schedule([0, 1], mtbf_s=6.0, horizon_s=30.0, seed=3),
+            retry_policy=RetryPolicy(timeout_s=30.0, max_attempts=4, seed=3),
+            engine=engine)
+
+    def autoscaled(engine):
+        scaler = ReactiveAutoscaler(AutoscalerConfig(
+            max_replicas=4, scale_up_load=3.0, scale_down_load=0.5,
+            cooldown_s=2.0, boot_latency_s=5.0))
+        return FleetSimulator([spec], autoscaler=scaler, scale_spec=spec,
+                              engine=engine)
+
+    def spill_router(engine):
+        return FleetSimulator(
+            [spec, spec], router=CostSloRouter(slo_ttft_s=2.0),
+            faults=mtbf_schedule([0, 1], mtbf_s=6.0, horizon_s=30.0, seed=3),
+            retry_policy=RetryPolicy(timeout_s=30.0, max_attempts=4, seed=3),
+            degradation=DegradationPolicy(mode="spill", max_hold_s=4.0,
+                                          spill_boot_s=1.0, max_spill=2),
+            scale_spec=spec, engine=engine)
+
+    return [("fixed/fault-free", fault_free), ("fixed/faulted", faulted),
+            ("autoscaled", autoscaled), ("spill-router/faulted",
+                                         spill_router)]
+
+
+def _compare(label: str, stepped, event) -> int:
+    """Exact report + per-request timeline equality; returns #requests."""
+    a, b = stepped.to_dict(), event.to_dict()
+    if a != b:
+        diverged = [key for key in a if a[key] != b.get(key)]
+        raise CheckFailure(
+            f"{label}: event report diverged from stepped in "
+            f"{diverged[:4]}")
+    if len(stepped.outcomes) != len(event.outcomes):
+        raise CheckFailure(f"{label}: outcome counts diverge")
+    for x, y in zip(stepped.outcomes, event.outcomes):
+        # Bit-identical means raw float equality, not tolerance.
+        if (x.request.request_id, x.first_token_s, x.finish_s,
+                x.preemptions) != (y.request.request_id, y.first_token_s,
+                                   y.finish_s, y.preemptions):
+            raise CheckFailure(
+                f"{label}: request {x.request.request_id} timeline "
+                f"diverged between engines")
+    return len(stepped.outcomes)
+
+
+@check("fleet.event_core_parity", family="differential",
+       layers=("fleet", "serving"))
+def event_core_parity(ctx: AuditContext) -> str:
+    """The event-driven columnar core reproduces the stepped engine
+    bit-identically across all fleet regimes."""
+    requests, table = _fleet_stream()
+    for i, request in enumerate(requests):
+        twin = table.request(i)
+        if (request.request_id, request.arrival_s, request.prompt_tokens,
+                request.output_tokens) != (twin.request_id, twin.arrival_s,
+                                           twin.prompt_tokens,
+                                           twin.output_tokens):
+            raise CheckFailure(
+                f"columnar table row {i} diverged from the object stream")
+    checked = 0
+    for label, factory in _configs():
+        stepped = factory("stepped").run(requests)
+        event = factory("event").run(table)
+        checked += _compare(label, stepped, event)
+    return f"{checked} request timelines bit-identical across 4 regimes"
+
+
+@check("fleet.event_core_resume_parity", family="state",
+       layers=("fleet", "state", "serving"))
+def event_core_resume_parity(ctx: AuditContext) -> str:
+    """Snapshot/restore round-trips the columnar run state exactly."""
+    requests, table = _fleet_stream()
+    resumed_reports = 0
+    for label, factory in _configs():
+        baseline = factory("event").run(table)
+        running = factory("event")
+        running.begin_run(table)
+        for _ in range(23):
+            if not running.run_active:
+                break
+            running.run_tick()
+        payload = json.loads(json.dumps(running.to_state()))
+        fresh = factory("event")
+        fresh.from_state(payload)
+        while fresh.run_active:
+            fresh.run_tick()
+        _compare(f"{label} (resumed)", baseline, fresh.finish_run())
+        # Taking the snapshot must not perturb the running simulator.
+        while running.run_active:
+            running.run_tick()
+        _compare(f"{label} (observed)", baseline, running.finish_run())
+        # And the restored run still matches the stepped reference.
+        _compare(f"{label} (vs stepped)", factory("stepped").run(requests),
+                 baseline)
+        resumed_reports += 1
+    factory = _configs()[0][1]
+    mismatch = factory("stepped")
+    snapshot = factory("event")
+    snapshot.begin_run(table)
+    snapshot.run_tick()
+    try:
+        mismatch.from_state(json.loads(json.dumps(snapshot.to_state())))
+    except StateIntegrityError:
+        pass
+    else:
+        raise CheckFailure(
+            "stepped simulator accepted an event-engine snapshot")
+    return f"{resumed_reports} regimes resume bit-identically"

@@ -1,0 +1,63 @@
+"""Regression tests for the op-graph memo cache.
+
+The original ``cached_decode_step_ops`` keyed the memo on
+``context_len``, so a stride-1 context sweep — exactly what a decoding
+batch produces — missed on every step (BENCH_sim.json recorded a 7.7%
+hit rate).  The cache now stores one context-independent skeleton per
+``(model, dtype, batch, beams)`` and rebuilds only the attention
+operators, which must stay bit-identical to the direct builder.
+"""
+
+import pytest
+
+from repro.llm.config import GPTJ_6B, LLAMA2_7B
+from repro.llm.datatypes import BFLOAT16, INT8
+from repro.llm.graph import cached_decode_step_ops, decode_step_ops
+from repro.memo import registered_caches
+
+
+@pytest.fixture()
+def graph_cache():
+    cache = registered_caches()["op_graph"]
+    cache.clear()
+    yield cache
+    cache.clear()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("context", [1, 2, 7, 64, 129, 4096])
+    def test_matches_direct_builder(self, graph_cache, context):
+        cached = cached_decode_step_ops(LLAMA2_7B, BFLOAT16, 4, context)
+        direct = tuple(decode_step_ops(LLAMA2_7B, BFLOAT16, 4, context))
+        assert cached == direct
+
+    def test_matches_with_beams_and_dtype(self, graph_cache):
+        cached = cached_decode_step_ops(GPTJ_6B, INT8, 2, 333, beam_size=3)
+        direct = tuple(decode_step_ops(GPTJ_6B, INT8, 2, 333, beam_size=3))
+        assert cached == direct
+
+    def test_rejects_bad_shapes(self, graph_cache):
+        with pytest.raises(ValueError):
+            cached_decode_step_ops(LLAMA2_7B, BFLOAT16, 0, 128)
+        with pytest.raises(ValueError):
+            cached_decode_step_ops(LLAMA2_7B, BFLOAT16, 1, 0)
+
+
+class TestHitRate:
+    def test_context_sweep_hits(self, graph_cache):
+        """Distinct contexts share one skeleton: misses stay O(configs)."""
+        for context in range(1, 129):
+            cached_decode_step_ops(LLAMA2_7B, BFLOAT16, 8, context)
+        stats = graph_cache.stats()
+        assert stats.misses == 1
+        assert stats.hit_rate > 0.5
+
+    def test_bench_shaped_workload_hits(self, graph_cache):
+        """The bench decode workload (few batches, many context buckets)
+        must exceed the 50% hit-rate floor from the issue."""
+        for batch in (1, 4, 8, 16):
+            for bucket in range(16, 16 + 64 * 39, 64):
+                cached_decode_step_ops(LLAMA2_7B, BFLOAT16, batch, bucket)
+        stats = graph_cache.stats()
+        assert stats.misses == 4  # one skeleton per batch size
+        assert stats.hit_rate > 0.5
