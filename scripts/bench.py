@@ -115,6 +115,18 @@ def micro_benchmarks() -> dict:
             fleet_spec, 2, faults=chaos_schedule,
             retry_policy=RetryPolicy(timeout_s=15.0, max_attempts=3,
                                      seed=5)).run(fleet_stream), repeats=3)
+
+    # Tenancy smoke: the whale-dominated tenant mix under WFQ with
+    # prefix sharing — the multi-tenant plane's overhead (tagged
+    # admission + per-tenant breakdown) on top of the plain fleet.
+    from repro.tenancy import run_tenant_fleet, whale_mix
+    tenant_population = whale_mix(total_requests=40, rate_per_s=6.0, seed=3,
+                                  prefix_tokens=64)
+    results["fleet_tenant_mix"] = _time(
+        lambda: run_tenant_fleet(tenant_population, kind="tdx", count=2,
+                                 engine="event", admission="wfq",
+                                 kv_isolation="shared-prefix", max_batch=16,
+                                 kv_capacity_tokens=65536), repeats=3)
     return results
 
 

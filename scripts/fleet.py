@@ -15,6 +15,8 @@ Usage::
         --max-replicas 6 --arrivals diurnal --rate 4 --count 150
     PYTHONPATH=src python scripts/fleet.py sweep --slo-ttft 2.0 \\
         --kinds tdx,cgpu --max-replicas 6 [--json plan.json]
+    PYTHONPATH=src python scripts/fleet.py tenants --kind tdx --replicas 2 \\
+        --admission wfq --kv-isolation shared-prefix --count 120 --inflation
 
 ``sweep`` runs the committed capacity-planning trace (the same one the
 ``golden.fleet_capacity`` audit check snapshots) unless ``--arrivals``
@@ -45,6 +47,12 @@ from repro.fleet import (  # noqa: E402
     make_router,
     replica_spec,
     trace_replay,
+)
+from repro.serving import ADMISSION_POLICIES, KV_ISOLATION_MODES  # noqa: E402
+from repro.tenancy import (  # noqa: E402
+    noisy_neighbor_inflation,
+    run_tenant_fleet,
+    whale_mix,
 )
 from repro.validate.fleet import CAPACITY_SLO_TTFT_S, CAPACITY_TRACE  # noqa: E402
 
@@ -94,8 +102,9 @@ def _arrivals(args: argparse.Namespace):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    specs = [replica_spec(kind) for kind in args.kind for _ in
-             range(args.replicas)]
+    specs = [replica_spec(kind,
+                          admission_lookahead=args.admission_lookahead)
+             for kind in args.kind for _ in range(args.replicas)]
     router = make_router(args.router, slo_ttft_s=args.slo_ttft)
     report = FleetSimulator(specs, router=router,
                             engine=args.engine).run(_arrivals(args))
@@ -111,7 +120,9 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
         scale_up_load=args.scale_up_load,
         scale_down_load=args.scale_down_load,
         cooldown_s=args.cooldown, boot_latency_s=args.boot_latency))
-    specs = [replica_spec(args.kind[0])] * args.replicas
+    specs = [replica_spec(args.kind[0],
+                          admission_lookahead=args.admission_lookahead)
+             ] * args.replicas
     router = make_router(args.router, slo_ttft_s=args.slo_ttft)
     fleet = FleetSimulator(specs, router=router, autoscaler=scaler,
                            engine=args.engine)
@@ -181,8 +192,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 requests = trace_replay(list(CAPACITY_TRACE))
             plans = {}
             for kind in kinds:
-                spec = replica_spec(kind, max_batch=16,
-                                    kv_capacity_tokens=65536)
+                spec = replica_spec(
+                    kind, max_batch=16, kv_capacity_tokens=65536,
+                    admission_lookahead=args.admission_lookahead)
                 points = []
                 for point in iter_capacity_points(
                         spec, requests, args.slo_ttft, args.percentile,
@@ -224,6 +236,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tenants(args: argparse.Namespace) -> int:
+    population = whale_mix(total_requests=args.count, rate_per_s=args.rate,
+                           seed=args.seed, prefix_tokens=args.prefix_tokens)
+    report = run_tenant_fleet(
+        population, kind=args.kind[0], count=args.replicas,
+        engine=args.engine, admission=args.admission,
+        kv_isolation=args.kv_isolation, max_batch=args.max_batch,
+        kv_capacity_tokens=args.kv_capacity,
+        admission_lookahead=args.admission_lookahead)
+    fleet = report.fleet
+    print(f"tenants            {len(report.tenants)} "
+          f"({args.admission}, {args.kv_isolation})")
+    print(f"requests           {len(fleet.outcomes)} completed, "
+          f"{len(fleet.shed)} shed")
+    print(f"fleet cost         ${fleet.cost_usd:.4f} "
+          f"({report.total_bill_cents} tenant-invoice cents)")
+    spread = report.ttft_p99_spread()
+    print(f"p99-TTFT spread    "
+          f"{'n/a' if spread is None else f'{spread:.2f}x'}  "
+          f"prefix hits/misses {report.prefix_hits}/{report.prefix_misses}")
+    _print_rows("tenants", [u.to_dict() for u in report.tenants])
+    if args.inflation:
+        inflation = noisy_neighbor_inflation(
+            population, kind=args.kind[0], count=args.replicas,
+            engine=args.engine, admission=args.admission,
+            kv_isolation=args.kv_isolation, max_batch=args.max_batch,
+            kv_capacity_tokens=args.kv_capacity,
+            admission_lookahead=args.admission_lookahead)
+        _print_rows("noisy-neighbor p99-TTFT inflation vs solo", [
+            {"tenant_id": tenant_id,
+             "inflation": "n/a" if value is None else f"{value:.2f}x"}
+            for tenant_id, value in sorted(inflation.items())])
+    if args.json:
+        args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -250,6 +299,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="fleet core: stepped reference or the "
                             "event-driven columnar engine (bit-identical "
                             "reports, orders of magnitude faster)")
+        p.add_argument("--admission-lookahead", type=int, default=0,
+                       help="scheduler head-of-line lookahead window "
+                            "(0 = strict head-of-line blocking)")
 
     run_p = sub.add_parser("run", help="simulate a fixed fleet")
     run_p.add_argument("--kind", action="append", default=None,
@@ -288,6 +340,34 @@ def main(argv: list[str] | None = None) -> int:
                               "per point attempt")
     add_common(sweep_p, None)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    ten_p = sub.add_parser(
+        "tenants", help="simulate a multi-tenant fleet (whale mix)")
+    ten_p.add_argument("--kind", action="append", default=None,
+                       help="replica kind")
+    ten_p.add_argument("--replicas", type=int, default=2)
+    ten_p.add_argument("--count", type=int, default=120,
+                       help="total requests across the tenant mix")
+    ten_p.add_argument("--rate", type=float, default=6.0,
+                       help="aggregate arrival rate (req/s)")
+    ten_p.add_argument("--seed", type=int, default=0)
+    ten_p.add_argument("--admission", choices=ADMISSION_POLICIES,
+                       default="wfq")
+    ten_p.add_argument("--kv-isolation", choices=KV_ISOLATION_MODES,
+                       default="shared")
+    ten_p.add_argument("--prefix-tokens", type=int, default=64,
+                       help="shared prompt prefix for the whale and mid "
+                            "tenants (shared-prefix isolation)")
+    ten_p.add_argument("--max-batch", type=int, default=8)
+    ten_p.add_argument("--kv-capacity", type=int, default=16384,
+                       help="KV pool per replica (tokens)")
+    ten_p.add_argument("--admission-lookahead", type=int, default=0)
+    ten_p.add_argument("--inflation", action="store_true",
+                       help="also run each tenant solo and report "
+                            "noisy-neighbor p99-TTFT inflation")
+    ten_p.add_argument("--engine", choices=ENGINES, default="stepped")
+    ten_p.add_argument("--json", type=Path, default=None)
+    ten_p.set_defaults(func=cmd_tenants)
 
     args = parser.parse_args(argv)
     if getattr(args, "kind", None) is None and hasattr(args, "kind"):

@@ -642,8 +642,10 @@ class FleetSimulator:
         potentially act in ways that are not time-peekable): an armed
         autoscaler (decides on queue depth every tick), held work
         (rerouted every tick), a draining replica (retires the tick its
-        queue empties), or a slowed replica (expiry interacts with
-        in-step work).
+        queue empties), a slowed replica (expiry interacts with in-step
+        work), or a non-FCFS admission policy (WFQ admission order
+        depends on exactly which requests have arrived at each step, so
+        composed steps are not time-peekable).
         """
         run = self._run
         if run is None or run.finished is None:
@@ -654,6 +656,8 @@ class FleetSimulator:
             if replica.state == DRAINING:
                 return
             if replica.active and replica._slow_until_s is not None:
+                return
+            if replica.scheduler.admission != "fcfs":
                 return
         wake = self._next_wake_s(run)
         tick = self.tick_s
@@ -708,7 +712,9 @@ class FleetSimulator:
                 retired_s=r.retired_s,
                 billed_hours=r.billed_hours(end), cost_usd=r.cost_usd(end),
                 requests_served=r.requests_routed, tokens_out=r.tokens_out,
-                crashes=r.crashes)
+                crashes=r.crashes,
+                prefix_hits=r.scheduler.prefix_hits,
+                prefix_misses=r.scheduler.prefix_misses)
             for r in self.replicas)
         if run.finished is not None:
             assert run.table is not None

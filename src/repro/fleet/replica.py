@@ -19,6 +19,7 @@ from ..cost.pricing import GCP_SPOT_US_EAST1, PAPER_MEMORY_GB, PriceCatalog
 from ..engine.placement import CpuPlacement, Deployment
 from ..llm.config import LLAMA2_7B, ModelConfig
 from ..llm.datatypes import BFLOAT16, DType
+from ..serving.admission import TenancyConfig
 from ..serving.columnar import ColumnarScheduler
 from ..serving.scheduler import (
     ContinuousBatchingScheduler,
@@ -55,6 +56,8 @@ class ReplicaSpec:
         block_size: Paged-KV block granularity.
         max_batch: Concurrent-sequence cap per instance.
         admission_lookahead: Scheduler head-of-line lookahead window.
+        tenancy: Optional multi-tenant policy (admission + KV
+            isolation) armed on every scheduler this spec builds.
     """
 
     kind: str
@@ -66,6 +69,7 @@ class ReplicaSpec:
     block_size: int = 16
     max_batch: int = 32
     admission_lookahead: int = 0
+    tenancy: TenancyConfig | None = None
 
     def __post_init__(self) -> None:
         if self.price_hr <= 0:
@@ -88,7 +92,8 @@ class ReplicaSpec:
             self.deployment, self.model, self.dtype,
             kv_capacity_tokens=self.kv_capacity_tokens,
             block_size=self.block_size, max_batch=self.max_batch,
-            admission_lookahead=self.admission_lookahead)
+            admission_lookahead=self.admission_lookahead,
+            tenancy=self.tenancy)
 
 
 def replica_spec(kind: str, catalog: PriceCatalog = GCP_SPOT_US_EAST1,
@@ -398,7 +403,7 @@ class Replica:
     def spec_fingerprint(self) -> dict:
         """Identity of the spec this instance runs, for restore checks."""
         spec = self.spec
-        return {
+        fingerprint = {
             "kind": spec.kind,
             "price_hr": spec.price_hr,
             "model": spec.model.name,
@@ -408,6 +413,9 @@ class Replica:
             "max_batch": spec.max_batch,
             "admission_lookahead": spec.admission_lookahead,
         }
+        if spec.tenancy is not None:
+            fingerprint["tenancy"] = spec.tenancy.fingerprint()
+        return fingerprint
 
     def to_state(self) -> dict:
         """Plain-dict snapshot of lifecycle, billing, and serving state."""

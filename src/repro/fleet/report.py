@@ -62,6 +62,8 @@ class ReplicaUsage:
     requests_served: int
     tokens_out: int
     crashes: int = 0
+    prefix_hits: int = 0
+    prefix_misses: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -75,6 +77,8 @@ class ReplicaUsage:
             "requests_served": self.requests_served,
             "tokens_out": self.tokens_out,
             "crashes": self.crashes,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
         }
 
 

@@ -52,10 +52,10 @@ class RequestTable(Sequence):
     """
 
     __slots__ = ("request_id", "arrival_s", "prompt_tokens",
-                 "output_tokens", "priority", "_index")
+                 "output_tokens", "priority", "tenant_id", "_index")
 
     def __init__(self, request_id, arrival_s, prompt_tokens, output_tokens,
-                 priority=None) -> None:
+                 priority=None, tenant_id=None) -> None:
         self.request_id = np.asarray(request_id, dtype=np.int64)
         self.arrival_s = np.asarray(arrival_s, dtype=np.float64)
         self.prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
@@ -63,10 +63,13 @@ class RequestTable(Sequence):
         if priority is None:
             priority = np.zeros(len(self.request_id), dtype=np.int64)
         self.priority = np.asarray(priority, dtype=np.int64)
+        if tenant_id is None:
+            tenant_id = np.zeros(len(self.request_id), dtype=np.int64)
+        self.tenant_id = np.asarray(tenant_id, dtype=np.int64)
         self._index: dict[int, int] | None = None
         n = len(self.request_id)
         for name in ("arrival_s", "prompt_tokens", "output_tokens",
-                     "priority"):
+                     "priority", "tenant_id"):
             if len(getattr(self, name)) != n:
                 raise ValueError(f"ragged request table: {name} has "
                                  f"{len(getattr(self, name))} rows, ids {n}")
@@ -79,6 +82,8 @@ class RequestTable(Sequence):
             raise ValueError("prompt_tokens must be finite and >= 1")
         if np.any(self.output_tokens < 1):
             raise ValueError("output_tokens must be finite and >= 1")
+        if np.any(self.tenant_id < 0):
+            raise ValueError("tenant_id must be >= 0")
         if n and len(np.unique(self.request_id)) != n:
             raise ValueError("request ids must be unique")
 
@@ -92,7 +97,8 @@ class RequestTable(Sequence):
             arrival_s=float(self.arrival_s[index]),
             prompt_tokens=int(self.prompt_tokens[index]),
             output_tokens=int(self.output_tokens[index]),
-            priority=int(self.priority[index]))
+            priority=int(self.priority[index]),
+            tenant_id=int(self.tenant_id[index]))
 
     def __getitem__(self, index: int) -> ServeRequest:
         if isinstance(index, slice):
@@ -129,7 +135,8 @@ class RequestTable(Sequence):
             arrival_s=[r.arrival_s for r in requests],
             prompt_tokens=[r.prompt_tokens for r in requests],
             output_tokens=[r.output_tokens for r in requests],
-            priority=[r.priority for r in requests])
+            priority=[r.priority for r in requests],
+            tenant_id=[r.tenant_id for r in requests])
 
     # -- checkpoint/restore ---------------------------------------------------
 
@@ -140,6 +147,7 @@ class RequestTable(Sequence):
             "prompt_tokens": self.prompt_tokens.tolist(),
             "output_tokens": self.output_tokens.tolist(),
             "priority": self.priority.tolist(),
+            "tenant_id": self.tenant_id.tolist(),
         }
 
     @classmethod
@@ -154,7 +162,9 @@ class RequestTable(Sequence):
                                       "$.requests"),
                 output_tokens=require(state, "output_tokens", list,
                                       "$.requests"),
-                priority=require(state, "priority", list, "$.requests"))
+                priority=require(state, "priority", list, "$.requests"),
+                # Lenient: pre-tenancy snapshots have no tenant column.
+                tenant_id=state.get("tenant_id"))
         except ValueError as error:
             raise StateValueError(f"$.requests: {error}") from error
 
@@ -250,15 +260,20 @@ class ColumnarOutcomes(Sequence):
     """
 
     __slots__ = ("request_id", "arrival_s", "prompt_tokens", "output_tokens",
-                 "priority", "first_token_s", "finish_s", "preemptions")
+                 "priority", "tenant_id", "first_token_s", "finish_s",
+                 "preemptions")
 
     def __init__(self, request_id, arrival_s, prompt_tokens, output_tokens,
-                 priority, first_token_s, finish_s, preemptions) -> None:
+                 priority, first_token_s, finish_s, preemptions,
+                 tenant_id=None) -> None:
         self.request_id = np.asarray(request_id, dtype=np.int64)
         self.arrival_s = np.asarray(arrival_s, dtype=np.float64)
         self.prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
         self.output_tokens = np.asarray(output_tokens, dtype=np.int64)
         self.priority = np.asarray(priority, dtype=np.int64)
+        if tenant_id is None:
+            tenant_id = np.zeros(len(self.request_id), dtype=np.int64)
+        self.tenant_id = np.asarray(tenant_id, dtype=np.int64)
         self.first_token_s = np.asarray(first_token_s, dtype=np.float64)
         self.finish_s = np.asarray(finish_s, dtype=np.float64)
         self.preemptions = np.asarray(preemptions, dtype=np.int64)
@@ -280,7 +295,8 @@ class ColumnarOutcomes(Sequence):
                 arrival_s=float(self.arrival_s[index]),
                 prompt_tokens=int(self.prompt_tokens[index]),
                 output_tokens=int(self.output_tokens[index]),
-                priority=int(self.priority[index])),
+                priority=int(self.priority[index]),
+                tenant_id=int(self.tenant_id[index])),
             first_token_s=float(self.first_token_s[index]),
             finish_s=float(self.finish_s[index]),
             preemptions=int(self.preemptions[index]))
@@ -348,6 +364,7 @@ class OutcomeLog:
             prompt_tokens=table.prompt_tokens[rows],
             output_tokens=table.output_tokens[rows],
             priority=table.priority[rows],
+            tenant_id=table.tenant_id[rows],
             first_token_s=np.asarray(self._first, dtype=np.float64)[order],
             finish_s=np.asarray(self._finish, dtype=np.float64)[order],
             preemptions=np.asarray(self._preempt, dtype=np.int64)[order])

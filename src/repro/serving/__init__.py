@@ -1,5 +1,10 @@
 """Serving substrate: continuous batching over a paged KV cache."""
 
+from .admission import (
+    ADMISSION_POLICIES,
+    KV_ISOLATION_MODES,
+    TenancyConfig,
+)
 from .columnar import ColumnarScheduler
 from .scheduler import (
     ContinuousBatchingScheduler,
@@ -11,6 +16,8 @@ from .scheduler import (
 from .stepcost import StepCostTable
 
 __all__ = [
-    "ColumnarScheduler", "ContinuousBatchingScheduler", "RequestOutcome",
-    "ServeRequest", "ServingReport", "StepCostTable", "poisson_stream",
+    "ADMISSION_POLICIES", "ColumnarScheduler",
+    "ContinuousBatchingScheduler", "KV_ISOLATION_MODES", "RequestOutcome",
+    "ServeRequest", "ServingReport", "StepCostTable", "TenancyConfig",
+    "poisson_stream",
 ]

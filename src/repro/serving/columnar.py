@@ -43,6 +43,7 @@ from bisect import insort
 from ..engine.placement import Deployment
 from ..llm.config import ModelConfig
 from ..llm.datatypes import DType
+from .admission import TenancyConfig
 from .scheduler import RequestOutcome, ServeRequest, ServingReport
 from .stepcost import StepCostTable
 
@@ -54,13 +55,15 @@ class ColumnarScheduler:
     :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`
     exactly; see that class for the scheduling policy (strict-FCFS
     admission with optional bounded lookahead, preempt-youngest with
-    full recompute).
+    full recompute, optional :class:`TenancyConfig` arming WFQ
+    admission and per-tenant KV isolation).
     """
 
     def __init__(self, deployment: Deployment, model: ModelConfig,
                  dtype: DType, kv_capacity_tokens: int = 65536,
                  block_size: int = 16, max_batch: int = 64,
-                 admission_lookahead: int = 0) -> None:
+                 admission_lookahead: int = 0,
+                 tenancy: TenancyConfig | None = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if admission_lookahead < 0:
@@ -71,6 +74,10 @@ class ColumnarScheduler:
         self.max_batch = max_batch
         self.block_size = block_size
         self.admission_lookahead = admission_lookahead
+        self.tenancy = tenancy
+        self.admission = tenancy.admission if tenancy else "fcfs"
+        self.kv_isolation = tenancy.kv_isolation if tenancy else "shared"
+        self._wfq = self.admission == "wfq"
         self.num_blocks = max(1, kv_capacity_tokens // block_size)
         self._costs = StepCostTable.shared(deployment, model, dtype)
         self._time_scale = 1.0
@@ -83,21 +90,29 @@ class ColumnarScheduler:
         self._col_prompt = array("l")
         self._col_output = array("l")
         self._col_priority = array("l")
+        self._col_tenant = array("l")
         self._col_first = array("d")
         self._col_finish = array("d")
         self._col_preempt = array("l")
         self._slot: dict[int, int] = {}   # live request id -> slot
         self._dead: set[int] = set()      # forgotten/released slots
-        # Waiting queue of (arrival_s, request_id); sorted except that
-        # preempted requests re-enter at the head, as in the object twin.
-        self._waiting: list[tuple[float, int]] = []
-        # Running batch as parallel lists.
+        # Waiting queue: (arrival_s, request_id) tuples under FCFS,
+        # (wfq_tag, arrival_s, request_id) under WFQ — either way the
+        # request id is entry[-1] and the arrival entry[-2].  Sorted,
+        # except that FCFS preemptions re-enter at the head, as in the
+        # object twin.
+        self._waiting: list[tuple] = []
+        # Running batch as parallel lists.  ``_run_kvlen`` is the KV
+        # length the sequence was admitted with — the prompt, or just
+        # the suffix under shared-prefix isolation — the basis of the
+        # block-boundary test during decode.
         self._run_ids: list[int] = []
         self._run_prompt: list[int] = []
         self._run_output: list[int] = []
         self._run_gen: list[int] = []
         self._run_blocks: list[int] = []
         self._run_slot: list[int] = []
+        self._run_kvlen: list[int] = []
         self._free_blocks = self.num_blocks
         self._ctx_total = 0               # sum(prompt + generated) over batch
         self._clock = 0.0
@@ -105,6 +120,22 @@ class ColumnarScheduler:
         self._occ_sum = 0
         self._occ_count = 0
         self._first_arrival: float | None = None
+        # Tenancy runtime state (inert when unarmed); mirrors the
+        # object scheduler field-for-field.
+        self._wfq_v = 0.0
+        self._wfq_fin: dict[int, float] = {}
+        self._wfq_tag: dict[int, float] = {}
+        self._prefix_resident: dict[int, int] = {}
+        self._prefix_hits = 0
+        self._prefix_misses = 0
+        self._kv_reserved: dict[int, tuple[int, int]] = {}
+        if self.tenancy is not None and self.kv_isolation == "partition":
+            self._tenant_budget_cap = self.tenancy.partition_budgets(
+                self.num_blocks)
+            self._tenant_budget = dict(self._tenant_budget_cap)
+        else:
+            self._tenant_budget_cap = {}
+            self._tenant_budget = {}
 
     # -- introspection (object-scheduler-compatible surface) ------------------
 
@@ -167,7 +198,8 @@ class ColumnarScheduler:
                             arrival_s=self._col_arrival[slot],
                             prompt_tokens=self._col_prompt[slot],
                             output_tokens=self._col_output[slot],
-                            priority=self._col_priority[slot])
+                            priority=self._col_priority[slot],
+                            tenant_id=self._col_tenant[slot])
 
     def request(self, request_id: int) -> ServeRequest:
         """Materialize the live request with this id (value-equal copy)."""
@@ -202,6 +234,18 @@ class ColumnarScheduler:
             raise ValueError(
                 f"request {request.request_id} needs {needed} KV tokens, "
                 f"pool holds {self.num_blocks * self.block_size}")
+        if self.kv_isolation == "partition":
+            cap = self._tenant_budget_cap.get(request.tenant_id)
+            if cap is None:
+                raise ValueError(
+                    f"tenant {request.tenant_id} has no KV partition on "
+                    f"this replica")
+            worst_case = -(-needed // self.block_size)
+            if worst_case > cap:
+                raise ValueError(
+                    f"request {request.request_id} needs {worst_case} "
+                    f"blocks, tenant {request.tenant_id} partition holds "
+                    f"{cap}")
 
     def submit(self, request: ServeRequest) -> None:
         """Enqueue one request for service (fleet/step entry point).
@@ -220,25 +264,45 @@ class ColumnarScheduler:
         self._col_prompt.append(request.prompt_tokens)
         self._col_output.append(request.output_tokens)
         self._col_priority.append(request.priority)
+        self._col_tenant.append(request.tenant_id)
         self._col_first.append(0.0)
         self._col_finish.append(0.0)
         self._col_preempt.append(0)
         self._slot[request.request_id] = slot
-        insort(self._waiting, (request.arrival_s, request.request_id))
+        if self._wfq:
+            # SCFQ tag, transcribed from the object twin float-for-float.
+            start = max(self._wfq_fin.get(request.tenant_id, 0.0),
+                        self._wfq_v)
+            tag = start + ((request.prompt_tokens + request.output_tokens)
+                           / self.tenancy.weight_of(request.tenant_id))
+            self._wfq_fin[request.tenant_id] = tag
+            self._wfq_tag[request.request_id] = tag
+            insort(self._waiting,
+                   (tag, request.arrival_s, request.request_id))
+        else:
+            insort(self._waiting, (request.arrival_s, request.request_id))
         if (self._first_arrival is None
                 or request.arrival_s < self._first_arrival):
             self._first_arrival = request.arrival_s
 
     def _forget(self, request_id: int) -> None:
         """Drop all live bookkeeping for a request."""
+        self._wfq_tag.pop(request_id, None)
         slot = self._slot.pop(request_id, None)
         if slot is not None:
             self._dead.add(slot)
 
+    def _release_reserve(self, request_id: int) -> None:
+        """Return a partition-mode worst-case reservation, if any."""
+        reserved = self._kv_reserved.pop(request_id, None)
+        if reserved is not None:
+            tenant_id, blocks = reserved
+            self._tenant_budget[tenant_id] += blocks
+
     def cancel(self, request_id: int) -> tuple[ServeRequest, int] | None:
         """Withdraw an unfinished request (fleet timeout/retry hook)."""
-        for index, (_, rid) in enumerate(self._waiting):
-            if rid == request_id:
+        for index, entry in enumerate(self._waiting):
+            if entry[-1] == request_id:
                 request = self.request(request_id)
                 self._waiting.pop(index)
                 self._forget(request_id)
@@ -248,6 +312,7 @@ class ColumnarScheduler:
                 request = self.request(request_id)
                 generated = self._run_gen[index]
                 self._free_blocks += self._run_blocks[index]
+                self._release_reserve(request_id)
                 self._ctx_total -= self._run_prompt[index] + generated
                 self._remove_running(index)
                 self._forget(request_id)
@@ -256,9 +321,11 @@ class ColumnarScheduler:
 
     def evacuate(self) -> list[tuple[ServeRequest, int]]:
         """Abort all in-flight work (replica crash hook)."""
-        evacuated = [(self.request(rid), 0) for _, rid in self._waiting]
+        evacuated = [(self.request(entry[-1]), 0)
+                     for entry in self._waiting]
         for index, rid in enumerate(self._run_ids):
             self._free_blocks += self._run_blocks[index]
+            self._release_reserve(rid)
             evacuated.append((self.request(rid), self._run_gen[index]))
         self._waiting.clear()
         del self._run_ids[:]
@@ -267,9 +334,14 @@ class ColumnarScheduler:
         del self._run_gen[:]
         del self._run_blocks[:]
         del self._run_slot[:]
+        del self._run_kvlen[:]
         self._ctx_total = 0
         for request, _ in evacuated:
             self._forget(request.request_id)
+        # A crashed replica loses its pinned shared prefixes too.
+        for blocks in self._prefix_resident.values():
+            self._free_blocks += blocks
+        self._prefix_resident.clear()
         return evacuated
 
     def _remove_running(self, index: int) -> None:
@@ -279,6 +351,7 @@ class ColumnarScheduler:
         del self._run_gen[index]
         del self._run_blocks[index]
         del self._run_slot[index]
+        del self._run_kvlen[index]
 
     def estimated_ttft_s(self, request: ServeRequest, now: float) -> float:
         """Deterministic TTFT estimate if ``request`` were routed here now."""
@@ -286,12 +359,31 @@ class ColumnarScheduler:
         prompts = self._col_prompt
         slots = self._slot
         backlog = max(0.0, self._clock - now)
-        backlog += self._scaled(sum(prefill_s(prompts[slots[rid]])
-                                    for _, rid in self._waiting))
+        backlog += self._scaled(sum(prefill_s(prompts[slots[entry[-1]]])
+                                    for entry in self._waiting))
         return backlog + self._scaled(prefill_s(request.prompt_tokens))
 
+    @property
+    def prefix_hits(self) -> int:
+        """Admissions that reused a resident shared prefix."""
+        return self._prefix_hits
+
+    @property
+    def prefix_misses(self) -> int:
+        """Admissions that had to pin a tenant's shared prefix."""
+        return self._prefix_misses
+
     def _admit(self) -> None:
-        """Admit arrived requests while memory and batch slots allow."""
+        """Admit arrived requests per policy while memory/slots allow."""
+        if self.tenancy is None:
+            self._admit_default()
+        elif self._wfq:
+            self._admit_wfq()
+        else:
+            self._admit_fcfs_tenant()
+
+    def _admit_default(self) -> None:
+        """Unarmed FCFS fast path — the pre-tenancy loop, untouched."""
         waiting = self._waiting
         block_size = self.block_size
         while (waiting and len(self._run_ids) < self.max_batch
@@ -324,15 +416,152 @@ class ColumnarScheduler:
                     break
             self._free_blocks -= needed
             waiting.pop(admitted_index)
-            self._clock += self._scaled(self._costs.prefill_s(prompt))
-            self._col_first[slot] = self._clock
-            self._run_ids.append(rid)
-            self._run_prompt.append(prompt)
-            self._run_output.append(self._col_output[slot])
-            self._run_gen.append(0)
-            self._run_blocks.append(needed)
-            self._run_slot.append(slot)
-            self._ctx_total += prompt
+            self._start_running(rid, slot, prompt, needed, prompt)
+
+    def _start_running(self, rid: int, slot: int, prompt: int,
+                       blocks: int, kvlen: int) -> None:
+        """Charge prefill and move an admitted request into the batch."""
+        self._clock += self._scaled(self._costs.prefill_s(prompt))
+        self._col_first[slot] = self._clock
+        self._run_ids.append(rid)
+        self._run_prompt.append(prompt)
+        self._run_output.append(self._col_output[slot])
+        self._run_gen.append(0)
+        self._run_blocks.append(blocks)
+        self._run_slot.append(slot)
+        self._run_kvlen.append(kvlen)
+        self._ctx_total += prompt
+
+    def _kv_admit(self, rid: int, slot: int) -> tuple[int, int] | None:
+        """Columnar twin of the object scheduler's ``_kv_allocate``.
+
+        Returns ``(blocks_taken, kvlen)`` on success (the free counter
+        already debited), or ``None`` if the request does not fit right
+        now — the same decisions, in the same order, as the object
+        engine's cache-backed path.
+        """
+        block_size = self.block_size
+        prompt = self._col_prompt[slot]
+        if self.kv_isolation == "shared":
+            needed = -(-prompt // block_size)
+            if needed > self._free_blocks:
+                return None
+            self._free_blocks -= needed
+            return needed, prompt
+        tenant_id = self._col_tenant[slot]
+        if self.kv_isolation == "partition":
+            reserve = -(-(prompt + self._col_output[slot]) // block_size)
+            budget = self._tenant_budget[tenant_id]
+            if reserve > budget:
+                return None
+            needed = -(-prompt // block_size)
+            self._free_blocks -= needed
+            self._tenant_budget[tenant_id] = budget - reserve
+            self._kv_reserved[rid] = (tenant_id, reserve)
+            return needed, prompt
+        # shared-prefix
+        prefix = self.tenancy.prefix_of(tenant_id)
+        usable = min(prefix, prompt - 1)
+        if usable <= 0:
+            needed = -(-prompt // block_size)
+            if needed > self._free_blocks:
+                return None
+            self._free_blocks -= needed
+            return needed, prompt
+        suffix = prompt - usable
+        suffix_blocks = -(-suffix // block_size)
+        if tenant_id in self._prefix_resident:
+            if suffix_blocks > self._free_blocks:
+                return None
+            self._free_blocks -= suffix_blocks
+            self._prefix_hits += 1
+            return suffix_blocks, suffix
+        prefix_blocks = -(-prefix // block_size)
+        if prefix_blocks + suffix_blocks > self._free_blocks:
+            return None
+        self._free_blocks -= prefix_blocks + suffix_blocks
+        self._prefix_resident[tenant_id] = prefix_blocks
+        self._prefix_misses += 1
+        return suffix_blocks, suffix
+
+    def _admit_fcfs_tenant(self) -> None:
+        """FCFS admission with tenancy KV isolation armed."""
+        waiting = self._waiting
+        while (waiting and len(self._run_ids) < self.max_batch
+               and waiting[0][0] <= self._clock):
+            rid = waiting[0][-1]
+            admitted_index = 0
+            slot = self._slot[rid]
+            taken = self._kv_admit(rid, slot)
+            if taken is None:
+                admitted_index = -1
+                for index in range(1, 1 + min(self.admission_lookahead,
+                                              len(waiting) - 1)):
+                    entry = waiting[index]
+                    if entry[-2] > self._clock:
+                        break
+                    c_rid = entry[-1]
+                    c_slot = self._slot[c_rid]
+                    taken = self._kv_admit(c_rid, c_slot)
+                    if taken is None:
+                        continue
+                    rid, slot = c_rid, c_slot
+                    admitted_index = index
+                    break
+                if admitted_index < 0:
+                    break
+            waiting.pop(admitted_index)
+            blocks, kvlen = taken
+            self._start_running(rid, slot, self._col_prompt[slot],
+                                blocks, kvlen)
+
+    def _admit_wfq(self) -> None:
+        """WFQ admission: serve arrived requests in virtual-finish order.
+
+        Transcribes the object scheduler's ``_admit_wfq`` — scan for
+        the first arrived entry in tag order, bounded lookahead over
+        further *arrived* candidates on its allocation failure.
+        """
+        waiting = self._waiting
+        while waiting and len(self._run_ids) < self.max_batch:
+            head_index = -1
+            for index, entry in enumerate(waiting):
+                if entry[-2] <= self._clock:
+                    head_index = index
+                    break
+            if head_index < 0:
+                break  # nothing has arrived yet
+            rid = waiting[head_index][-1]
+            admitted_index = head_index
+            slot = self._slot[rid]
+            taken = self._kv_admit(rid, slot)
+            if taken is None:
+                admitted_index = -1
+                scanned = 0
+                for index in range(head_index + 1, len(waiting)):
+                    if scanned >= self.admission_lookahead:
+                        break
+                    entry = waiting[index]
+                    if entry[-2] > self._clock:
+                        continue
+                    scanned += 1
+                    c_rid = entry[-1]
+                    c_slot = self._slot[c_rid]
+                    taken = self._kv_admit(c_rid, c_slot)
+                    if taken is None:
+                        continue
+                    rid, slot = c_rid, c_slot
+                    admitted_index = index
+                    break
+                if admitted_index < 0:
+                    break
+            waiting.pop(admitted_index)
+            blocks, kvlen = taken
+            self._start_running(rid, slot, self._col_prompt[slot],
+                                blocks, kvlen)
+            tag = self._wfq_tag[rid]
+            if tag > self._wfq_v:
+                self._wfq_v = tag
 
     # -- decode ----------------------------------------------------------------
 
@@ -342,6 +571,7 @@ class ColumnarScheduler:
         run_gen = self._run_gen
         run_prompt = self._run_prompt
         run_blocks = self._run_blocks
+        run_kvlen = self._run_kvlen
         batch = len(run_ids)
         mean_context = int(self._ctx_total / batch)
         self._occ_sum += batch
@@ -360,10 +590,19 @@ class ColumnarScheduler:
             victim_gen = run_gen.pop()
             self._free_blocks += run_blocks.pop()
             victim_slot = self._run_slot.pop()
+            run_kvlen.pop()
+            self._release_reserve(victim_id)
             self._col_preempt[victim_slot] += 1
             self._ctx_total -= victim_prompt + victim_gen
-            self._waiting.insert(0, (self._col_arrival[victim_slot],
-                                     victim_id))
+            if self._wfq:
+                # The victim keeps its tag: it re-queues at its
+                # original virtual position, not at the head.
+                insort(self._waiting,
+                       (self._wfq_tag[victim_id],
+                        self._col_arrival[victim_slot], victim_id))
+            else:
+                self._waiting.insert(0, (self._col_arrival[victim_slot],
+                                         victim_id))
             preempted.add(victim_id)
             return victim_id
 
@@ -373,10 +612,10 @@ class ColumnarScheduler:
             if rid in preempted:
                 continue
             generated = run_gen[index]
-            prompt = run_prompt[index]
+            kvlen = run_kvlen[index]
             appended = False
             while not appended:
-                if (prompt + generated) % block_size == 0:
+                if (kvlen + generated) % block_size == 0:
                     # The next token crosses a block boundary.
                     if self._free_blocks == 0:
                         # Preempt the youngest sequence; vLLM recomputes
@@ -409,6 +648,7 @@ class ColumnarScheduler:
             slot = self._run_slot[index]
             self._col_finish[slot] = self._clock
             self._free_blocks += run_blocks[index]
+            self._release_reserve(rid)
             self._ctx_total -= run_prompt[index] + run_gen[index]
             results.append(rid)
         for index, _ in reversed(finished):
@@ -428,17 +668,27 @@ class ColumnarScheduler:
             if until_s is not None and self._clock >= until_s:
                 break
             if (not self._run_ids and until_s is not None
-                    and self._waiting[0][0] > until_s):
+                    and self._next_arrival_s() > until_s):
                 break  # only future work remains in this horizon
             self._admit()
             if not self._run_ids:
                 # Idle until the next arrival.
-                arrival = self._waiting[0][0]
+                arrival = self._next_arrival_s()
                 if arrival > self._clock:
                     self._clock = arrival
                 continue
             finished.extend(self._decode_once())
         return finished
+
+    def _next_arrival_s(self) -> float:
+        """Earliest arrival among waiting requests.
+
+        Under FCFS the queue is arrival-ordered so the head suffices;
+        under WFQ the queue is tag-ordered and must be scanned.
+        """
+        if self._wfq:
+            return min(entry[-2] for entry in self._waiting)
+        return self._waiting[0][0]
 
     def report(self) -> ServingReport:
         """Aggregate metrics of everything served so far.
@@ -471,7 +721,14 @@ class ColumnarScheduler:
         for request in requests:
             self._check_fits(request)
         self._reset()
-        for request in requests:
+        if self._wfq:
+            # WFQ tags chain per tenant in submission order; submit in
+            # arrival order exactly as the object twin's run() does.
+            ordered = sorted(requests,
+                             key=lambda r: (r.arrival_s, r.request_id))
+        else:
+            ordered = requests
+        for request in ordered:
             if request.request_id in self._slot:
                 raise ValueError(f"request id {request.request_id} already "
                                  "submitted to this replica")
@@ -488,7 +745,7 @@ class ColumnarScheduler:
         scheduler's keys so a snapshot taken under one engine refuses
         to restore under the other (their runtime schemas differ).
         """
-        return {
+        fingerprint = {
             "engine": "columnar",
             "model": self.model.name,
             "dtype": self.dtype.name,
@@ -497,10 +754,15 @@ class ColumnarScheduler:
             "admission_lookahead": self.admission_lookahead,
             "num_blocks": self.num_blocks,
         }
+        # Key added only when armed: unarmed fingerprints (and thus
+        # pre-tenancy snapshots) stay byte-compatible.
+        if self.tenancy is not None:
+            fingerprint["tenancy"] = self.tenancy.fingerprint()
+        return fingerprint
 
     def to_state(self) -> dict:
         """Plain-dict snapshot of the columnar state machine."""
-        return {
+        state = {
             "config": self.config_fingerprint(),
             "clock_s": self._clock,
             "preemptions": self._preemptions,
@@ -515,18 +777,40 @@ class ColumnarScheduler:
                 "prompt": list(self._col_prompt),
                 "output": list(self._col_output),
                 "priority": list(self._col_priority),
+                "tenant": list(self._col_tenant),
                 "first": list(self._col_first),
                 "finish": list(self._col_finish),
                 "preempt": list(self._col_preempt),
             },
             "dead": sorted(self._dead),
-            "waiting": [[arrival, rid] for arrival, rid in self._waiting],
+            "waiting": [list(entry) for entry in self._waiting],
             "running": [{"request_id": self._run_ids[i],
                          "generated": self._run_gen[i],
                          "blocks": self._run_blocks[i],
-                         "slot": self._run_slot[i]}
+                         "slot": self._run_slot[i],
+                         "kv_tokens": self._run_kvlen[i]}
                         for i in range(len(self._run_ids))],
         }
+        if self.tenancy is not None:
+            state["tenancy"] = {
+                "wfq_v": self._wfq_v,
+                "wfq_fin": {str(tenant_id): fin
+                            for tenant_id, fin in self._wfq_fin.items()},
+                "wfq_tags": {str(request_id): tag
+                             for request_id, tag in self._wfq_tag.items()},
+                "tenant_budget": {str(tenant_id): budget
+                                  for tenant_id, budget
+                                  in self._tenant_budget.items()},
+                "reserved": {str(request_id): [tenant_id, blocks]
+                             for request_id, (tenant_id, blocks)
+                             in self._kv_reserved.items()},
+                "prefix_resident": {str(tenant_id): blocks
+                                    for tenant_id, blocks
+                                    in self._prefix_resident.items()},
+                "prefix_hits": self._prefix_hits,
+                "prefix_misses": self._prefix_misses,
+            }
+        return state
 
     def from_state(self, state: dict) -> None:
         """Install a :meth:`to_state` snapshot into this scheduler.
@@ -553,6 +837,10 @@ class ColumnarScheduler:
                 for name in ("id", "arrival", "prompt", "output", "priority",
                              "first", "finish", "preempt")}
         length = len(cols["id"])
+        # Lenient: pre-tenancy snapshots have no tenant column.
+        cols["tenant"] = (require(columns, "tenant", list,
+                                  "$.scheduler.columns")
+                          if "tenant" in columns else [0] * length)
         if any(len(values) != length for values in cols.values()):
             raise StateIntegrityError("ragged columnar snapshot")
         dead = {int(slot) for slot in require(state, "dead", list,
@@ -569,17 +857,26 @@ class ColumnarScheduler:
                     f"request {rid} is live in two slots")
             slot_map[rid] = slot
 
-        waiting: list[tuple[float, int]] = []
+        expected_width = 3 if self._wfq else 2
+        waiting: list[tuple] = []
         for pair in require(state, "waiting", list, "$.scheduler"):
-            arrival, rid = float(pair[0]), int(pair[1])
+            if len(pair) != expected_width:
+                raise StateIntegrityError(
+                    f"waiting entry width {len(pair)} does not match the "
+                    f"{self.admission!r} admission policy")
+            rid = int(pair[-1])
             if rid not in slot_map:
                 raise StateIntegrityError(
                     f"waiting request {rid} has no live column slot")
-            waiting.append((arrival, rid))
+            if self._wfq:
+                waiting.append((float(pair[0]), float(pair[1]), rid))
+            else:
+                waiting.append((float(pair[0]), rid))
         run_ids: list[int] = []
         run_gen: list[int] = []
         run_blocks: list[int] = []
         run_slot: list[int] = []
+        run_kvlen: list[int] = []
         for entry in require(state, "running", list, "$.scheduler"):
             rid = require(entry, "request_id", int, "$.scheduler.running")
             if rid not in slot_map:
@@ -590,9 +887,22 @@ class ColumnarScheduler:
                                    "$.scheduler.running"))
             run_blocks.append(require(entry, "blocks", int,
                                       "$.scheduler.running"))
-            run_slot.append(require(entry, "slot", int, "$.scheduler.running"))
+            slot = require(entry, "slot", int, "$.scheduler.running")
+            run_slot.append(slot)
+            # Lenient: pre-tenancy snapshots carry no kv_tokens (the
+            # KV length always equalled the prompt).
+            run_kvlen.append(int(entry.get("kv_tokens",
+                                           cols["prompt"][slot])))
+        tenancy_payload = None
+        pinned_blocks = 0
+        if self.tenancy is not None:
+            tenancy_payload = require(state, "tenancy", dict, "$.scheduler")
+            pinned_blocks = sum(
+                int(blocks) for blocks in
+                require(tenancy_payload, "prefix_resident", dict,
+                        "$.scheduler.tenancy").values())
         free_blocks = require(state, "free_blocks", int, "$.scheduler")
-        if free_blocks + sum(run_blocks) != self.num_blocks:
+        if free_blocks + sum(run_blocks) + pinned_blocks != self.num_blocks:
             raise StateIntegrityError(
                 "KV block conservation violated in snapshot")
 
@@ -601,6 +911,7 @@ class ColumnarScheduler:
         self._col_prompt = array("l", (int(v) for v in cols["prompt"]))
         self._col_output = array("l", (int(v) for v in cols["output"]))
         self._col_priority = array("l", (int(v) for v in cols["priority"]))
+        self._col_tenant = array("l", (int(v) for v in cols["tenant"]))
         self._col_first = array("d", (float(v) for v in cols["first"]))
         self._col_finish = array("d", (float(v) for v in cols["finish"]))
         self._col_preempt = array("l", (int(v) for v in cols["preempt"]))
@@ -613,6 +924,7 @@ class ColumnarScheduler:
         self._run_gen = run_gen
         self._run_blocks = run_blocks
         self._run_slot = run_slot
+        self._run_kvlen = run_kvlen
         self._free_blocks = free_blocks
         self._ctx_total = sum(self._run_prompt) + sum(run_gen)
         self._clock = require(state, "clock_s", float, "$.scheduler")
@@ -622,3 +934,37 @@ class ColumnarScheduler:
         first = state.get("first_arrival_s")
         self._first_arrival = None if first is None else float(first)
         self._time_scale = require(state, "time_scale", float, "$.scheduler")
+        if tenancy_payload is not None:
+            self._restore_tenancy(tenancy_payload)
+
+    def _restore_tenancy(self, payload: dict) -> None:
+        """Install a tenancy runtime payload (post-restore)."""
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require, require_finite
+
+        self._wfq_v = require_finite(payload, "wfq_v", "$.scheduler.tenancy")
+        self._wfq_fin = {int(k): float(v) for k, v in
+                         require(payload, "wfq_fin", dict,
+                                 "$.scheduler.tenancy").items()}
+        self._wfq_tag = {int(k): float(v) for k, v in
+                         require(payload, "wfq_tags", dict,
+                                 "$.scheduler.tenancy").items()}
+        self._tenant_budget = {int(k): int(v) for k, v in
+                               require(payload, "tenant_budget", dict,
+                                       "$.scheduler.tenancy").items()}
+        self._kv_reserved = {int(k): (int(v[0]), int(v[1])) for k, v in
+                             require(payload, "reserved", dict,
+                                     "$.scheduler.tenancy").items()}
+        self._prefix_resident = {int(k): int(v) for k, v in
+                                 require(payload, "prefix_resident", dict,
+                                         "$.scheduler.tenancy").items()}
+        self._prefix_hits = require(payload, "prefix_hits", int,
+                                    "$.scheduler.tenancy")
+        self._prefix_misses = require(payload, "prefix_misses", int,
+                                      "$.scheduler.tenancy")
+        if self._wfq:
+            for entry in self._waiting:
+                if entry[-1] not in self._wfq_tag:
+                    raise StateIntegrityError(
+                        f"waiting request {entry[-1]} has no WFQ tag in "
+                        f"the snapshot")

@@ -27,6 +27,14 @@ no-starvation.  Passing ``admission_lookahead=k`` relaxes this: after a
 head-of-line allocation failure the scheduler scans up to ``k`` further
 already-arrived requests and admits the first that fits (bounded
 out-of-order admission; the head request keeps its queue position).
+
+Multi-tenancy.  Passing a :class:`~repro.serving.admission.TenancyConfig`
+arms per-tenant policy: weighted-fair-queueing admission (SCFQ virtual
+finish tags; see :mod:`repro.serving.admission`) and per-tenant KV
+isolation (hard partition via admission-time worst-case reservation, or
+cross-request shared-prefix pinning with hit/miss accounting).  With no
+config the scheduler executes the exact pre-tenancy instruction
+sequence, so unarmed runs stay bit-identical to earlier releases.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from ..engine.placement import Deployment
 from ..llm.config import ModelConfig
 from ..llm.datatypes import DType
 from ..llm.kvcache import PagedKVCache
+from .admission import TenancyConfig, prefix_seq_id
 from .stepcost import StepCostTable
 
 
@@ -50,6 +59,10 @@ class ServeRequest:
     ``priority`` orders graceful degradation: when a degraded fleet must
     shed load (:mod:`repro.faults`), lower-priority requests go first.
     It does not affect scheduling order on a healthy fleet.
+
+    ``tenant_id`` attributes the request to a tenant for fair-share
+    admission, KV isolation and billing (0 = the anonymous default
+    tenant, preserving pre-tenancy behavior).
     """
 
     request_id: int
@@ -57,6 +70,7 @@ class ServeRequest:
     prompt_tokens: int
     output_tokens: int
     priority: int = 0
+    tenant_id: int = 0
 
     def __post_init__(self) -> None:
         # NaN passes a plain `< 0` comparison, so finiteness is explicit.
@@ -68,6 +82,8 @@ class ServeRequest:
                 raise ValueError(f"{field_name} must be finite and >= 1")
         if not math.isfinite(self.priority):
             raise ValueError("priority must be finite")
+        if not math.isfinite(self.tenant_id) or self.tenant_id < 0:
+            raise ValueError("tenant_id must be finite and >= 0")
 
     def to_state(self) -> dict:
         """Plain-dict snapshot of this request (JSON-serializable)."""
@@ -77,6 +93,7 @@ class ServeRequest:
             "prompt_tokens": self.prompt_tokens,
             "output_tokens": self.output_tokens,
             "priority": self.priority,
+            "tenant_id": self.tenant_id,
         }
 
     @classmethod
@@ -93,6 +110,8 @@ class ServeRequest:
                 output_tokens=require(state, "output_tokens", int,
                                       "$.request"),
                 priority=require(state, "priority", int, "$.request"),
+                # Lenient: pre-tenancy snapshots have no tenant column.
+                tenant_id=int(state.get("tenant_id", 0)),
             )
         except StateError:
             raise
@@ -229,12 +248,15 @@ class ContinuousBatchingScheduler:
         admission_lookahead: How many queued, already-arrived requests
             to scan past a head-of-line KV-allocation failure (0 =
             strict FCFS, the vLLM default; see module docstring).
+        tenancy: Optional multi-tenant policy (WFQ admission and/or KV
+            isolation); ``None`` keeps the pre-tenancy behavior exactly.
     """
 
     def __init__(self, deployment: Deployment, model: ModelConfig,
                  dtype: DType, kv_capacity_tokens: int = 65536,
                  block_size: int = 16, max_batch: int = 64,
-                 admission_lookahead: int = 0) -> None:
+                 admission_lookahead: int = 0,
+                 tenancy: TenancyConfig | None = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if admission_lookahead < 0:
@@ -245,6 +267,10 @@ class ContinuousBatchingScheduler:
         self.max_batch = max_batch
         self.block_size = block_size
         self.admission_lookahead = admission_lookahead
+        self.tenancy = tenancy
+        self.admission = tenancy.admission if tenancy else "fcfs"
+        self.kv_isolation = tenancy.kv_isolation if tenancy else "shared"
+        self._wfq = self.admission == "wfq"
         self.cache = PagedKVCache(
             num_blocks=max(1, kv_capacity_tokens // block_size),
             block_size=block_size)
@@ -253,6 +279,11 @@ class ContinuousBatchingScheduler:
         self._reset()
 
     def _reset(self) -> None:
+        # Unpin any shared prefixes left from a previous run() so the
+        # block pool starts whole (guarded: __init__ calls _reset before
+        # the tenancy attributes exist).
+        for tenant_id in getattr(self, "_prefix_resident", ()):
+            self.cache.free(prefix_seq_id(tenant_id))
         self._waiting: list[ServeRequest] = []
         self._running: list[_Running] = []
         self._outcomes: dict[int, RequestOutcome] = {}
@@ -261,6 +292,21 @@ class ContinuousBatchingScheduler:
         self._preemptions = 0
         self._occupancy: list[int] = []
         self._first_arrival: float | None = None
+        # Tenancy runtime state (inert when unarmed).
+        self._wfq_v = 0.0
+        self._wfq_fin: dict[int, float] = {}
+        self._wfq_tag: dict[int, float] = {}
+        self._prefix_resident: dict[int, int] = {}
+        self._prefix_hits = 0
+        self._prefix_misses = 0
+        self._kv_reserved: dict[int, tuple[int, int]] = {}
+        if self.tenancy is not None and self.kv_isolation == "partition":
+            self._tenant_budget_cap = self.tenancy.partition_budgets(
+                self.cache.num_blocks)
+            self._tenant_budget = dict(self._tenant_budget_cap)
+        else:
+            self._tenant_budget_cap = {}
+            self._tenant_budget = {}
 
     # -- cost helpers ---------------------------------------------------------
     # Both delegate to the shared StepCostTable so the columnar twin
@@ -345,6 +391,23 @@ class ContinuousBatchingScheduler:
             raise ValueError(
                 f"request {request.request_id} needs {needed} KV tokens, "
                 f"pool holds {self.cache.num_blocks * self.block_size}")
+        if self.kv_isolation == "partition":
+            cap = self._tenant_budget_cap.get(request.tenant_id)
+            if cap is None:
+                raise ValueError(
+                    f"tenant {request.tenant_id} has no KV partition on "
+                    f"this replica")
+            worst_case = -(-needed // self.block_size)
+            if worst_case > cap:
+                raise ValueError(
+                    f"request {request.request_id} needs {worst_case} "
+                    f"blocks, tenant {request.tenant_id} partition holds "
+                    f"{cap}")
+
+    def _wfq_key(self, request: ServeRequest) -> tuple[float, float, int]:
+        """Waiting-queue sort key under WFQ: (finish tag, arrival, id)."""
+        return (self._wfq_tag[request.request_id], request.arrival_s,
+                request.request_id)
 
     def submit(self, request: ServeRequest) -> None:
         """Enqueue one request for service (fleet/step entry point).
@@ -359,14 +422,26 @@ class ContinuousBatchingScheduler:
                              "submitted to this replica")
         self._outcomes[request.request_id] = RequestOutcome(request=request)
         self._order.append(request.request_id)
-        insort(self._waiting, request,
-               key=lambda r: (r.arrival_s, r.request_id))
+        if self._wfq:
+            # SCFQ tag: chain on the tenant's previous virtual finish,
+            # floored at the global virtual clock.
+            start = max(self._wfq_fin.get(request.tenant_id, 0.0),
+                        self._wfq_v)
+            tag = start + ((request.prompt_tokens + request.output_tokens)
+                           / self.tenancy.weight_of(request.tenant_id))
+            self._wfq_fin[request.tenant_id] = tag
+            self._wfq_tag[request.request_id] = tag
+            insort(self._waiting, request, key=self._wfq_key)
+        else:
+            insort(self._waiting, request,
+                   key=lambda r: (r.arrival_s, r.request_id))
         if self._first_arrival is None or request.arrival_s < self._first_arrival:
             self._first_arrival = request.arrival_s
 
     def _forget(self, request_id: int) -> None:
         """Drop all bookkeeping for an unfinished request."""
         self._outcomes.pop(request_id, None)
+        self._wfq_tag.pop(request_id, None)
         if request_id in self._order:
             self._order.remove(request_id)
 
@@ -390,7 +465,7 @@ class ContinuousBatchingScheduler:
                 return request, 0
         for entry in self._running:
             if entry.request.request_id == request_id:
-                self.cache.free(request_id)
+                self._release_kv(request_id)
                 self._running.remove(entry)
                 self._forget(request_id)
                 return entry.request, entry.generated
@@ -411,12 +486,16 @@ class ContinuousBatchingScheduler:
         """
         evacuated = [(request, 0) for request in self._waiting]
         for entry in self._running:
-            self.cache.free(entry.request.request_id)
+            self._release_kv(entry.request.request_id)
             evacuated.append((entry.request, entry.generated))
         self._waiting.clear()
         self._running.clear()
         for request, _ in evacuated:
             self._forget(request.request_id)
+        # A crashed replica loses its pinned shared prefixes too.
+        for tenant_id in self._prefix_resident:
+            self.cache.free(prefix_seq_id(tenant_id))
+        self._prefix_resident.clear()
         return evacuated
 
     def estimated_ttft_s(self, request: ServeRequest, now: float) -> float:
@@ -433,15 +512,98 @@ class ContinuousBatchingScheduler:
                                     for r in self._waiting))
         return backlog + self._scaled(self._prefill_s(request.prompt_tokens))
 
+    # -- KV isolation ---------------------------------------------------------
+
+    def _kv_allocate(self, request: ServeRequest) -> None:
+        """Allocate KV memory for an admitted request per isolation mode.
+
+        Raises:
+            MemoryError: If the request does not fit *right now* (the
+                admission loop's signal to stop or look ahead).
+        """
+        if self.kv_isolation == "shared":
+            self.cache.allocate(request.request_id, request.prompt_tokens)
+            return
+        tenant_id = request.tenant_id
+        if self.kv_isolation == "partition":
+            # Reserve the worst case up front: decode growth can then
+            # never fail, so a partitioned replica never preempts and
+            # tenants cannot evict each other.
+            reserve = -(-(request.prompt_tokens + request.output_tokens)
+                        // self.block_size)
+            budget = self._tenant_budget[tenant_id]
+            if reserve > budget:
+                raise MemoryError(
+                    f"tenant {tenant_id} partition has {budget} free "
+                    f"blocks, request needs {reserve}")
+            self.cache.allocate(request.request_id, request.prompt_tokens)
+            self._tenant_budget[tenant_id] = budget - reserve
+            self._kv_reserved[request.request_id] = (tenant_id, reserve)
+            return
+        # shared-prefix: the tenant's common prefix is pinned once under
+        # a pseudo sequence id; requests allocate only their suffix.
+        prefix = self.tenancy.prefix_of(tenant_id)
+        usable = min(prefix, request.prompt_tokens - 1)
+        if usable <= 0:
+            self.cache.allocate(request.request_id, request.prompt_tokens)
+            return
+        suffix = request.prompt_tokens - usable
+        suffix_blocks = -(-suffix // self.block_size)
+        if tenant_id in self._prefix_resident:
+            if suffix_blocks > self.cache.free_blocks:
+                raise MemoryError(
+                    f"need {suffix_blocks} blocks for request "
+                    f"{request.request_id} suffix, only "
+                    f"{self.cache.free_blocks} free")
+            self.cache.allocate(request.request_id, suffix)
+            self._prefix_hits += 1
+            return
+        prefix_blocks = -(-prefix // self.block_size)
+        if prefix_blocks + suffix_blocks > self.cache.free_blocks:
+            raise MemoryError(
+                f"need {prefix_blocks + suffix_blocks} blocks to pin "
+                f"tenant {tenant_id}'s prefix and admit request "
+                f"{request.request_id}, only {self.cache.free_blocks} free")
+        self.cache.allocate(prefix_seq_id(tenant_id), prefix)
+        self.cache.allocate(request.request_id, suffix)
+        self._prefix_resident[tenant_id] = prefix_blocks
+        self._prefix_misses += 1
+
+    def _release_kv(self, request_id: int) -> None:
+        """Free a request's KV blocks and return any partition reserve."""
+        self.cache.free(request_id)
+        reserved = self._kv_reserved.pop(request_id, None)
+        if reserved is not None:
+            tenant_id, blocks = reserved
+            self._tenant_budget[tenant_id] += blocks
+
+    @property
+    def prefix_hits(self) -> int:
+        """Admissions that reused a resident shared prefix."""
+        return self._prefix_hits
+
+    @property
+    def prefix_misses(self) -> int:
+        """Admissions that had to pin a tenant's shared prefix."""
+        return self._prefix_misses
+
+    # -- admission ------------------------------------------------------------
+
     def _admit(self) -> None:
+        """Admit arrived requests per policy while memory/slots allow."""
+        if self._wfq:
+            self._admit_wfq()
+        else:
+            self._admit_fcfs()
+
+    def _admit_fcfs(self) -> None:
         """Admit arrived requests while memory and batch slots allow."""
         while (self._waiting and len(self._running) < self.max_batch
                and self._waiting[0].arrival_s <= self._clock):
             request = self._waiting[0]
             admitted_index = 0
             try:
-                self.cache.allocate(request.request_id,
-                                    request.prompt_tokens)
+                self._kv_allocate(request)
             except MemoryError:
                 # Head-of-line blocking: strict FCFS stops here.  With
                 # lookahead, scan a bounded window of arrived requests
@@ -453,8 +615,7 @@ class ContinuousBatchingScheduler:
                     if candidate.arrival_s > self._clock:
                         break
                     try:
-                        self.cache.allocate(candidate.request_id,
-                                            candidate.prompt_tokens)
+                        self._kv_allocate(candidate)
                     except MemoryError:
                         continue
                     request = candidate
@@ -464,6 +625,58 @@ class ContinuousBatchingScheduler:
                     break
             self._waiting.pop(admitted_index)
             self._clock += self._scaled(self._prefill_s(request.prompt_tokens))
+            outcome = self._outcomes[request.request_id]
+            outcome.first_token_s = self._clock
+            self._running.append(_Running(request=request, outcome=outcome))
+
+    def _admit_wfq(self) -> None:
+        """WFQ admission: serve arrived requests in virtual-finish order.
+
+        The queue is tag-ordered, not arrival-ordered, so the head may
+        not have arrived yet while a later entry has; the scan skips
+        unarrived entries (they cost no lookahead budget) and treats the
+        first arrived entry as the head of line.  On its allocation
+        failure, ``admission_lookahead`` further *arrived* candidates
+        are tried, exactly mirroring the FCFS window.
+        """
+        while self._waiting and len(self._running) < self.max_batch:
+            head_index = -1
+            for index, candidate in enumerate(self._waiting):
+                if candidate.arrival_s <= self._clock:
+                    head_index = index
+                    break
+            if head_index < 0:
+                break  # nothing has arrived yet
+            request = self._waiting[head_index]
+            admitted_index = head_index
+            try:
+                self._kv_allocate(request)
+            except MemoryError:
+                admitted_index = -1
+                scanned = 0
+                for index in range(head_index + 1, len(self._waiting)):
+                    if scanned >= self.admission_lookahead:
+                        break
+                    candidate = self._waiting[index]
+                    if candidate.arrival_s > self._clock:
+                        continue
+                    scanned += 1
+                    try:
+                        self._kv_allocate(candidate)
+                    except MemoryError:
+                        continue
+                    request = candidate
+                    admitted_index = index
+                    break
+                if admitted_index < 0:
+                    break
+            self._waiting.pop(admitted_index)
+            self._clock += self._scaled(self._prefill_s(request.prompt_tokens))
+            # Advance the virtual clock to the admitted tag so freshly
+            # tagged tenants start no earlier than the service frontier.
+            tag = self._wfq_tag[request.request_id]
+            if tag > self._wfq_v:
+                self._wfq_v = tag
             outcome = self._outcomes[request.request_id]
             outcome.first_token_s = self._clock
             self._running.append(_Running(request=request, outcome=outcome))
@@ -482,11 +695,16 @@ class ContinuousBatchingScheduler:
 
         def preempt_youngest() -> _Running:
             victim = running[-1]
-            self.cache.free(victim.request.request_id)
+            self._release_kv(victim.request.request_id)
             victim.outcome.preemptions += 1
             victim.generated = 0
             running.remove(victim)
-            self._waiting.insert(0, victim.request)
+            if self._wfq:
+                # The victim keeps its tag: it re-queues at its original
+                # virtual position, not at the head.
+                insort(self._waiting, victim.request, key=self._wfq_key)
+            else:
+                self._waiting.insert(0, victim.request)
             preempted_ids.add(victim.request.request_id)
             return victim
 
@@ -513,7 +731,7 @@ class ContinuousBatchingScheduler:
         results = []
         for entry in finished:
             entry.outcome.finish_s = self._clock
-            self.cache.free(entry.request.request_id)
+            self._release_kv(entry.request.request_id)
             running.remove(entry)
             results.append(entry.outcome)
         return results
@@ -537,15 +755,25 @@ class ContinuousBatchingScheduler:
             if until_s is not None and self._clock >= until_s:
                 break
             if (not self._running and until_s is not None
-                    and self._waiting[0].arrival_s > until_s):
+                    and self._next_arrival_s() > until_s):
                 break  # only future work remains in this horizon
             self._admit()
             if not self._running:
                 # Idle until the next arrival.
-                self._clock = max(self._clock, self._waiting[0].arrival_s)
+                self._clock = max(self._clock, self._next_arrival_s())
                 continue
             finished.extend(self._decode_once())
         return finished
+
+    def _next_arrival_s(self) -> float:
+        """Earliest arrival among waiting requests.
+
+        Under FCFS the queue is arrival-ordered so the head suffices;
+        under WFQ the queue is tag-ordered and must be scanned.
+        """
+        if self._wfq:
+            return min(r.arrival_s for r in self._waiting)
+        return self._waiting[0].arrival_s
 
     def report(self) -> ServingReport:
         """Aggregate metrics of everything served so far.
@@ -575,7 +803,7 @@ class ContinuousBatchingScheduler:
         scheduler built from the *same* configuration; the fingerprint
         lets :meth:`from_state` refuse a mismatched host early.
         """
-        return {
+        fingerprint = {
             "model": self.model.name,
             "dtype": self.dtype.name,
             "max_batch": self.max_batch,
@@ -583,6 +811,64 @@ class ContinuousBatchingScheduler:
             "admission_lookahead": self.admission_lookahead,
             "num_blocks": self.cache.num_blocks,
         }
+        # Key added only when armed: unarmed fingerprints (and thus
+        # pre-tenancy snapshots) stay byte-compatible.
+        if self.tenancy is not None:
+            fingerprint["tenancy"] = self.tenancy.fingerprint()
+        return fingerprint
+
+    def _tenancy_state(self) -> dict:
+        """Snapshot of the tenancy runtime (WFQ clocks, budgets, pins)."""
+        return {
+            "wfq_v": self._wfq_v,
+            "wfq_fin": {str(tenant_id): fin
+                        for tenant_id, fin in self._wfq_fin.items()},
+            "wfq_tags": {str(request_id): tag
+                         for request_id, tag in self._wfq_tag.items()},
+            "tenant_budget": {str(tenant_id): budget
+                              for tenant_id, budget
+                              in self._tenant_budget.items()},
+            "reserved": {str(request_id): [tenant_id, blocks]
+                         for request_id, (tenant_id, blocks)
+                         in self._kv_reserved.items()},
+            "prefix_resident": {str(tenant_id): blocks
+                                for tenant_id, blocks
+                                in self._prefix_resident.items()},
+            "prefix_hits": self._prefix_hits,
+            "prefix_misses": self._prefix_misses,
+        }
+
+    def _restore_tenancy(self, payload: dict) -> None:
+        """Install a :meth:`_tenancy_state` payload (post-restore)."""
+        from ..state.errors import StateIntegrityError
+        from ..state.schema import require, require_finite
+
+        self._wfq_v = require_finite(payload, "wfq_v", "$.scheduler.tenancy")
+        self._wfq_fin = {int(k): float(v) for k, v in
+                         require(payload, "wfq_fin", dict,
+                                 "$.scheduler.tenancy").items()}
+        self._wfq_tag = {int(k): float(v) for k, v in
+                         require(payload, "wfq_tags", dict,
+                                 "$.scheduler.tenancy").items()}
+        self._tenant_budget = {int(k): int(v) for k, v in
+                               require(payload, "tenant_budget", dict,
+                                       "$.scheduler.tenancy").items()}
+        self._kv_reserved = {int(k): (int(v[0]), int(v[1])) for k, v in
+                             require(payload, "reserved", dict,
+                                     "$.scheduler.tenancy").items()}
+        self._prefix_resident = {int(k): int(v) for k, v in
+                                 require(payload, "prefix_resident", dict,
+                                         "$.scheduler.tenancy").items()}
+        self._prefix_hits = require(payload, "prefix_hits", int,
+                                    "$.scheduler.tenancy")
+        self._prefix_misses = require(payload, "prefix_misses", int,
+                                      "$.scheduler.tenancy")
+        if self._wfq:
+            for request in self._waiting:
+                if request.request_id not in self._wfq_tag:
+                    raise StateIntegrityError(
+                        f"waiting request {request.request_id} has no "
+                        f"WFQ tag in the snapshot")
 
     def to_state(self) -> dict:
         """Plain-dict snapshot of the serving state machine.
@@ -592,8 +878,17 @@ class ContinuousBatchingScheduler:
         also lets restore re-establish the ``_Running.outcome is
         _outcomes[id]`` aliasing that finish times are written through.
         Derived memo caches (``_step_cache``/``_prefill_cache``) are
-        rebuilt lazily and deliberately not captured.
+        rebuilt lazily and deliberately not captured.  When tenancy is
+        armed the payload additionally carries the WFQ virtual clocks,
+        per-tenant budgets and shared-prefix residency (absent when
+        unarmed, keeping pre-tenancy snapshots byte-compatible).
         """
+        if self.tenancy is not None:
+            return {**self._base_state(),
+                    "tenancy": self._tenancy_state()}
+        return self._base_state()
+
+    def _base_state(self) -> dict:
         return {
             "config": self.config_fingerprint(),
             "clock_s": self._clock,
@@ -676,6 +971,9 @@ class ContinuousBatchingScheduler:
         first = state.get("first_arrival_s")
         self._first_arrival = None if first is None else float(first)
         self._time_scale = require(state, "time_scale", float, "$.scheduler")
+        if self.tenancy is not None:
+            self._restore_tenancy(require(state, "tenancy", dict,
+                                          "$.scheduler"))
 
     # -- serving loop -----------------------------------------------------------
 
@@ -696,12 +994,20 @@ class ContinuousBatchingScheduler:
             self._check_fits(request)
 
         self._reset()
-        self._waiting = sorted(requests,
-                               key=lambda r: (r.arrival_s, r.request_id))
-        self._outcomes = {r.request_id: RequestOutcome(request=r)
-                          for r in requests}
-        self._order = [r.request_id for r in requests]
-        self._first_arrival = min(r.arrival_s for r in requests)
+        if self._wfq:
+            # WFQ tags chain per tenant in submission order, so the
+            # stream is submitted individually in arrival order (the
+            # order the fleet would deliver it).
+            for request in sorted(requests,
+                                  key=lambda r: (r.arrival_s, r.request_id)):
+                self.submit(request)
+        else:
+            self._waiting = sorted(requests,
+                                   key=lambda r: (r.arrival_s, r.request_id))
+            self._outcomes = {r.request_id: RequestOutcome(request=r)
+                              for r in requests}
+            self._order = [r.request_id for r in requests]
+            self._first_arrival = min(r.arrival_s for r in requests)
         self.step(None)
         return self.report()
 

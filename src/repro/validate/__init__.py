@@ -18,7 +18,12 @@ A registry of named checks (``@check``) spanning four families:
 * **state** — checkpoint/restore parity over :mod:`repro.state`:
   mid-run snapshot → restore → completion bit-identical to an
   uninterrupted run, snapshot idempotence, schema-version negotiation,
-  and byte-identical write-ahead-journal resume.
+  and byte-identical write-ahead-journal resume,
+* **tenancy** — the multi-tenant serving plane over
+  :mod:`repro.tenancy`: WFQ/FCFS engine parity across every KV
+  isolation mode, exact per-tenant billing partition, per-tenant
+  request conservation under faults, weighted-fairness ordering,
+  shed-priority parity, and WFQ-armed snapshot resume.
 
 Run via ``scripts/audit.py`` or through the pytest adapter in
 ``tests/validate/``, which makes every check a tier-1 test.
@@ -46,6 +51,7 @@ from . import fleet as _fleet  # noqa: E402,F401
 from . import chaos as _chaos  # noqa: E402,F401
 from . import state as _state  # noqa: E402,F401
 from . import event as _event  # noqa: E402,F401
+from . import tenancy as _tenancy  # noqa: E402,F401
 
 __all__ = [
     "AuditContext",

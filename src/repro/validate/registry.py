@@ -20,8 +20,13 @@ from typing import Callable
 #: bounds, deterministic replay, and zero-fault bit-identity.  ``state``
 #: checks prove checkpoint/restore parity: mid-run snapshot -> restore
 #: -> completion is bit-identical to never having stopped, and the
-#: write-ahead sweep journal resumes byte-identically.
-FAMILIES = ("differential", "metamorphic", "golden", "chaos", "state")
+#: write-ahead sweep journal resumes byte-identically.  ``tenancy``
+#: checks prove the multi-tenant serving plane: WFQ/FCFS engine
+#: parity, exact billing partition, per-tenant request conservation,
+#: weighted-fairness ordering, shed-priority parity, and WFQ-armed
+#: snapshot resume.
+FAMILIES = ("differential", "metamorphic", "golden", "chaos", "state",
+            "tenancy")
 
 #: ``blocker`` checks gate every run; ``warn`` checks gate only
 #: ``--strict`` runs (statistical or known-loose invariants).

@@ -1,0 +1,50 @@
+"""Exact-partition billing: conservation, proportionality, edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tenancy import partition_bill_cents
+
+
+class TestPartition:
+    def test_sums_to_total_cents(self):
+        cents = partition_bill_cents(1.237, {0: 100, 1: 50, 2: 7})
+        assert sum(cents.values()) == 124
+
+    def test_proportional(self):
+        cents = partition_bill_cents(10.0, {0: 750, 1: 250})
+        assert cents == {0: 750, 1: 250}
+
+    def test_zero_token_tenant_billed_zero(self):
+        cents = partition_bill_cents(5.0, {0: 100, 1: 0})
+        assert cents[1] == 0
+        assert cents[0] == 500
+
+    def test_idle_fleet_split_evenly(self):
+        cents = partition_bill_cents(0.05, {0: 0, 1: 0, 2: 0})
+        assert sum(cents.values()) == 5
+        assert max(cents.values()) - min(cents.values()) <= 1
+
+    def test_remainder_ties_to_lower_id(self):
+        # Three equal tenants, 2 leftover cents: tenants 0 and 1 get them.
+        cents = partition_bill_cents(0.05, {0: 1, 1: 1, 2: 1})
+        assert cents == {0: 2, 1: 2, 2: 1}
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            partition_bill_cents(-1.0, {0: 1})
+        with pytest.raises(ValueError):
+            partition_bill_cents(1.0, {})
+        with pytest.raises(ValueError):
+            partition_bill_cents(1.0, {0: -5})
+
+    @given(total=st.floats(min_value=0.0, max_value=1e5,
+                           allow_nan=False, allow_infinity=False),
+           tokens=st.dictionaries(st.integers(0, 20),
+                                  st.integers(0, 10 ** 9),
+                                  min_size=1, max_size=10))
+    def test_always_partitions_exactly(self, total, tokens):
+        cents = partition_bill_cents(total, tokens)
+        assert sum(cents.values()) == round(total * 100)
+        assert set(cents) == set(tokens)
+        assert all(value >= 0 for value in cents.values())

@@ -30,9 +30,9 @@ def test_check(spec, audit_ctx):
 
 
 def test_registry_spans_required_surface():
-    """The ISSUE floor: >= 25 checks covering all five families."""
+    """The ISSUE floor: >= 25 checks covering every family."""
     specs = all_checks().values()
     assert len(specs) >= 25
     families = {spec.family for spec in specs}
     assert families == {"differential", "metamorphic", "golden", "chaos",
-                        "state"}
+                        "state", "tenancy"}
