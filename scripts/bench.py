@@ -127,6 +127,20 @@ def micro_benchmarks() -> dict:
                                  engine="event", admission="wfq",
                                  kv_isolation="shared-prefix", max_batch=16,
                                  kv_capacity_tokens=65536), repeats=3)
+
+    # Boot smoke: the same fleet with the phased confidential cold
+    # start armed — every replica walks provision → attest → key
+    # release → decrypt → load before serving, and crash recoveries
+    # re-enter at attestation.  Measures the boot-lifecycle overhead
+    # (phase arithmetic + longer simulated horizon) on the chaos fleet.
+    from repro.tee.boot import boot_profile
+    boot_spec = replica_spec("tdx", max_batch=16, kv_capacity_tokens=65536,
+                             boot=boot_profile("tdx"))
+    results["fleet_2x_tdx_40req_phased_boot"] = _time(
+        lambda: fixed_fleet(
+            boot_spec, 2, faults=chaos_schedule,
+            retry_policy=RetryPolicy(timeout_s=15.0, max_attempts=3,
+                                     seed=5)).run(fleet_stream), repeats=3)
     return results
 
 

@@ -115,7 +115,11 @@ def _schedule_from_args(args: argparse.Namespace,
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    spec = replica_spec(args.kind, max_batch=16, kv_capacity_tokens=65536)
+    from repro.tee.boot import boot_profile
+
+    spec = replica_spec(args.kind, max_batch=16, kv_capacity_tokens=65536,
+                        boot=(boot_profile(args.kind) if args.phased_boot
+                              else None))
     schedule = _schedule_from_args(args, args.replicas)
     degradation = None
     if args.degrade:
@@ -268,6 +272,10 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--spill-kind", default="cgpu")
     run.add_argument("--timeline", action="store_true",
                      help="print the applied-fault timeline")
+    run.add_argument("--phased-boot", action="store_true",
+                     help="arm the kind's phased confidential boot profile "
+                          "(crash recovery and attestation failures pay "
+                          "the re-attestation remainder)")
     _add_workload_args(run, requests=40, rate=4.0, replicas=2)
     run.set_defaults(func=cmd_run)
 

@@ -17,10 +17,14 @@ Usage::
         --kinds tdx,cgpu --max-replicas 6 [--json plan.json]
     PYTHONPATH=src python scripts/fleet.py tenants --kind tdx --replicas 2 \\
         --admission wfq --kv-isolation shared-prefix --count 120 --inflation
+    PYTHONPATH=src python scripts/fleet.py boot --tax [--resume RUN_DIR]
 
 ``sweep`` runs the committed capacity-planning trace (the same one the
 ``golden.fleet_capacity`` audit check snapshots) unless ``--arrivals``
-overrides it.
+overrides it.  ``--phased-boot`` arms the per-kind phased confidential
+boot profiles (:mod:`repro.tee.boot`) instead of instant boots; ``boot``
+prints the per-phase breakdown and (with ``--tax``) the attestation-tax
+table the ``golden.attest_tax`` audit snapshot pins.
 """
 
 from __future__ import annotations
@@ -49,6 +53,12 @@ from repro.fleet import (  # noqa: E402
     trace_replay,
 )
 from repro.serving import ADMISSION_POLICIES, KV_ISOLATION_MODES  # noqa: E402
+from repro.tee.boot import (  # noqa: E402
+    TAX_TEE_KINDS,
+    attest_tax_sweep,
+    boot_breakdown,
+    boot_profile,
+)
 from repro.tenancy import (  # noqa: E402
     noisy_neighbor_inflation,
     run_tenant_fleet,
@@ -101,9 +111,15 @@ def _arrivals(args: argparse.Namespace):
                          mean_output=args.mean_output, seed=args.seed)
 
 
+def _boot(args: argparse.Namespace, kind: str):
+    """Phased confidential boot profile, when ``--phased-boot`` is set."""
+    return boot_profile(kind) if args.phased_boot else None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     specs = [replica_spec(kind,
-                          admission_lookahead=args.admission_lookahead)
+                          admission_lookahead=args.admission_lookahead,
+                          boot=_boot(args, kind))
              for kind in args.kind for _ in range(args.replicas)]
     router = make_router(args.router, slo_ttft_s=args.slo_ttft)
     report = FleetSimulator(specs, router=router,
@@ -121,7 +137,8 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
         scale_down_load=args.scale_down_load,
         cooldown_s=args.cooldown, boot_latency_s=args.boot_latency))
     specs = [replica_spec(args.kind[0],
-                          admission_lookahead=args.admission_lookahead)
+                          admission_lookahead=args.admission_lookahead,
+                          boot=_boot(args, args.kind[0]))
              ] * args.replicas
     router = make_router(args.router, slo_ttft_s=args.slo_ttft)
     fleet = FleetSimulator(specs, router=router, autoscaler=scaler,
@@ -161,9 +178,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     quarantined: dict[int, dict] = {}
     try:
         if args.resume:
-            if args.arrivals is not None or args.percentile != 99.0:
-                print("--resume pins the committed capacity trace at p99; "
-                      "drop --arrivals/--percentile", file=sys.stderr)
+            if args.arrivals is not None or args.percentile != 99.0 \
+                    or args.phased_boot:
+                print("--resume pins the committed capacity trace at p99 "
+                      "with instant boots; drop --arrivals/--percentile/"
+                      "--phased-boot", file=sys.stderr)
                 return 2
             from repro.state import SweepRunner, capacity_grid
             spec = capacity_grid(kinds=tuple(kinds),
@@ -194,7 +213,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             for kind in kinds:
                 spec = replica_spec(
                     kind, max_batch=16, kv_capacity_tokens=65536,
-                    admission_lookahead=args.admission_lookahead)
+                    admission_lookahead=args.admission_lookahead,
+                    boot=_boot(args, kind))
                 points = []
                 for point in iter_capacity_points(
                         spec, requests, args.slo_ttft, args.percentile,
@@ -273,6 +293,33 @@ def cmd_tenants(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_boot(args: argparse.Namespace) -> int:
+    kinds = tuple(args.kinds.split(","))
+    rows = boot_breakdown(kinds)
+    _print_rows("phased boot breakdown (seconds per phase)", rows)
+    if not args.tax:
+        return 0
+    if args.resume:
+        from repro.state import SweepRunner, attest_grid
+        spec = attest_grid(slo_ttft_s=args.slo_ttft, engine=args.engine,
+                           point_timeout_s=args.point_timeout)
+        runner = SweepRunner.create(args.resume, spec)
+        print(f"\nrun dir {args.resume}: {len(runner.completed())}/"
+              f"{len(spec.points)} points journaled, "
+              f"{len(runner.pending())} to go")
+        by_index = runner.run()
+        tax_rows = [by_index[index] for index in sorted(by_index)]
+    else:
+        tax_rows = attest_tax_sweep(slo_ttft_s=args.slo_ttft,
+                                    engine=args.engine)
+    _print_rows("attestation tax (phased vs legacy instant boots)",
+                tax_rows)
+    if args.json:
+        args.json.write_text(json.dumps(
+            {"breakdown": rows, "tax": tax_rows}, indent=2) + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -302,6 +349,10 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--admission-lookahead", type=int, default=0,
                        help="scheduler head-of-line lookahead window "
                             "(0 = strict head-of-line blocking)")
+        p.add_argument("--phased-boot", action="store_true",
+                       help="arm the per-kind phased confidential boot "
+                            "profile (provision/attest/key-release/"
+                            "decrypt/load) instead of instant boots")
 
     run_p = sub.add_parser("run", help="simulate a fixed fleet")
     run_p.add_argument("--kind", action="append", default=None,
@@ -368,6 +419,27 @@ def main(argv: list[str] | None = None) -> int:
     ten_p.add_argument("--engine", choices=ENGINES, default="stepped")
     ten_p.add_argument("--json", type=Path, default=None)
     ten_p.set_defaults(func=cmd_tenants)
+
+    boot_p = sub.add_parser(
+        "boot", help="phased confidential boot breakdown / attestation tax")
+    boot_p.add_argument("--kinds", default=",".join(TAX_TEE_KINDS),
+                        help="comma-separated TEE kinds for the breakdown")
+    boot_p.add_argument("--tax", action="store_true",
+                        help="also re-run the capacity and chaos headlines "
+                             "with phased vs instant boots")
+    boot_p.add_argument("--slo-ttft", type=float, default=CAPACITY_SLO_TTFT_S)
+    boot_p.add_argument("--engine", choices=ENGINES, default="stepped")
+    boot_p.add_argument("--resume", type=Path, default=None,
+                        metavar="RUN_DIR",
+                        help="with --tax: write-ahead journal the table "
+                             "into RUN_DIR; rerun to continue after a "
+                             "crash/SIGKILL")
+    boot_p.add_argument("--point-timeout", type=float, default=None,
+                        metavar="WALL_S",
+                        help="with --resume: watchdog wall-clock budget "
+                             "per point attempt")
+    boot_p.add_argument("--json", type=Path, default=None)
+    boot_p.set_defaults(func=cmd_boot)
 
     args = parser.parse_args(argv)
     if getattr(args, "kind", None) is None and hasattr(args, "kind"):

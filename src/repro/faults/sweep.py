@@ -18,6 +18,7 @@ from ..fleet.arrivals import poisson_arrivals
 from ..fleet.cluster import FleetSimulator, fixed_fleet
 from ..fleet.replica import replica_spec
 from ..fleet.report import FleetReport
+from ..tee.boot import BootProfile
 from .resilience import RetryPolicy
 from .schedule import FaultSchedule, mtbf_schedule
 
@@ -35,14 +36,18 @@ def chaos_fleet(kind: str, replicas: int = 2,
                 horizon_s: float = 40.0, seed: int = 0,
                 timeout_s: float = 20.0,
                 max_attempts: int = 4,
-                engine: str = "stepped") -> FleetSimulator:
+                engine: str = "stepped",
+                boot: BootProfile | None = None) -> FleetSimulator:
     """A fixed fleet armed with an MTBF fault schedule and retries.
 
     ``mtbf_s=None`` arms the chaos machinery with an empty schedule —
     the configuration the zero-fault differential twin pins against a
-    fault-free run.
+    fault-free run.  ``boot`` arms a phased confidential boot profile
+    (:mod:`repro.tee.boot`): crash recoveries and attestation failures
+    then pay the re-attestation remainder instead of rebooting free.
     """
-    spec = replica_spec(kind, max_batch=16, kv_capacity_tokens=65536)
+    spec = replica_spec(kind, max_batch=16, kv_capacity_tokens=65536,
+                        boot=boot)
     if mtbf_s is None:
         schedule = FaultSchedule.empty()
     else:

@@ -305,12 +305,19 @@ class FleetSimulator:
             return f"no-op: replica already {replica.state}"
         assert self.attestation is not None
         self.attestation.revoke(replica.replica_id)
-        evacuated = replica.begin_attestation(now + event.duration_s)
+        # Phased-boot replicas restart the boot sequence from the
+        # ATTESTING phase (quote, key release, decrypt, load — the
+        # already-provisioned instance is kept); legacy replicas pay
+        # the event's flat outage window.  Mid-boot and live failures
+        # alike: the enclave's contents are no longer trusted.
+        reattest_s = replica.reattest_s
+        outage_s = event.duration_s if reattest_s is None else reattest_s
+        evacuated = replica.begin_attestation(now + outage_s)
         for request, generated in evacuated:
             state.flights.pop(request.request_id, None)
             state.requeue_or_shed(request, now, generated)
         return (f"attestation revoked: evacuated {len(evacuated)} requests, "
-                f"re-attest at {now + event.duration_s:g}s")
+                f"re-attest at {now + outage_s:g}s")
 
     def _chaos_tick(self, now: float, state: _ChaosState) -> None:
         """Pre-routing chaos phase: expiries, reboots, due faults."""

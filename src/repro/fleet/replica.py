@@ -12,6 +12,7 @@ time is paid for, exactly like a real cloud instance.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..core.experiment import cpu_deployment, gpu_deployment
@@ -26,6 +27,8 @@ from ..serving.scheduler import (
     RequestOutcome,
     ServeRequest,
 )
+from ..tee.boot import ATTESTING as BOOT_REATTEST_PHASE
+from ..tee.boot import BootProfile, BootSequence
 
 #: Fleet engine names: the original fixed-tick object core and the
 #: event-driven columnar core (see :mod:`repro.fleet.cluster`).
@@ -58,6 +61,14 @@ class ReplicaSpec:
         admission_lookahead: Scheduler head-of-line lookahead window.
         tenancy: Optional multi-tenant policy (admission + KV
             isolation) armed on every scheduler this spec builds.
+        boot: Optional phased cold-start profile
+            (:class:`~repro.tee.boot.BootProfile`).  When set, every
+            instance of this spec boots through the confidential
+            lifecycle (provision -> attest -> key release -> decrypt
+            -> load) and its boot latency is the *derived* sum of the
+            phases — any constant the provisioner passes is superseded.
+            ``None`` keeps the legacy single-constant boot path,
+            bit-identically.
     """
 
     kind: str
@@ -70,10 +81,17 @@ class ReplicaSpec:
     max_batch: int = 32
     admission_lookahead: int = 0
     tenancy: TenancyConfig | None = None
+    boot: BootProfile | None = None
 
     def __post_init__(self) -> None:
         if self.price_hr <= 0:
             raise ValueError("price_hr must be positive")
+
+    def boot_sequence(self) -> BootSequence | None:
+        """The phased boot frozen against the served model, if armed."""
+        if self.boot is None:
+            return None
+        return self.boot.sequence(self.model, self.dtype)
 
     def build_scheduler(self, engine: str = "stepped",
                         ) -> ContinuousBatchingScheduler | ColumnarScheduler:
@@ -139,6 +157,8 @@ class Replica:
         spec: Configuration this instance runs.
         provisioned_s: When the instance was requested.
         boot_latency_s: Time from provisioning to serving readiness.
+            When the spec carries a phased boot profile this constant
+            is superseded by the derived sum of the boot phases.
         origin: Which spec pool provisioned this instance —
             ``"initial"`` (fleet construction), ``"scale"`` (autoscaler
             scale-up), or ``"spill"`` (degradation spill pool).  Purely
@@ -151,8 +171,12 @@ class Replica:
     def __init__(self, replica_id: int, spec: ReplicaSpec,
                  provisioned_s: float, boot_latency_s: float,
                  origin: str = "initial", engine: str = "stepped") -> None:
-        if boot_latency_s < 0:
-            raise ValueError("boot_latency_s must be >= 0")
+        # NaN passes a plain `< 0` comparison, so finiteness is explicit
+        # (same guard the ServeRequest/Workload validators grew).
+        if not math.isfinite(boot_latency_s) or boot_latency_s < 0:
+            raise ValueError("boot_latency_s must be finite and >= 0")
+        if not math.isfinite(provisioned_s):
+            raise ValueError("provisioned_s must be finite")
         if origin not in ("initial", "scale", "spill"):
             raise ValueError(f"unknown replica origin {origin!r}")
         self.replica_id = replica_id
@@ -160,6 +184,11 @@ class Replica:
         self.origin = origin
         self.engine = engine
         self.provisioned_s = provisioned_s
+        #: Phased confidential boot (None on legacy constant-boot specs).
+        self.boot = spec.boot_sequence()
+        if self.boot is not None:
+            # The constant becomes the derived sum of the boot phases.
+            boot_latency_s = self.boot.total_s
         self.boot_latency_s = boot_latency_s
         self.ready_s = provisioned_s + boot_latency_s
         self.retired_s: float | None = None
@@ -191,6 +220,35 @@ class Replica:
             # A replica starts serving at readiness, not at clock 0: it
             # cannot have served anything while booting.
             self.scheduler.advance_clock_to(self.ready_s)
+
+    def boot_phase(self, now: float) -> str | None:
+        """Which confidential boot phase is underway at ``now``.
+
+        Only meaningful on phased-boot replicas: returns ``None`` on
+        legacy constant-boot instances and whenever the instance is not
+        booting or re-attesting.  The phase is derived backwards from
+        ``ready_s`` (see :meth:`repro.tee.boot.BootSequence.phase_at`),
+        so a boot stretched by a ``boot_failure`` penalty or restarted
+        from ``ATTESTING`` still maps every instant to exactly one
+        phase — and the answer survives snapshot/restore for free,
+        because ``ready_s`` does.
+        """
+        if self.boot is None or self.state not in (BOOTING, ATTESTING):
+            return None
+        return self.boot.phase_at(now, self.ready_s)
+
+    @property
+    def reattest_s(self) -> float | None:
+        """Boot time a restart from the ATTESTING phase pays, if phased.
+
+        The provisioning phase is never repaid: an attestation failure
+        (mid-boot or live) re-enters the sequence at ``ATTESTING`` and
+        pays attestation, key release, model decrypt and weight load
+        again — the enclave's contents are no longer trusted.
+        """
+        if self.boot is None:
+            return None
+        return self.boot.remaining_from(BOOT_REATTEST_PHASE)
 
     def drain(self) -> None:
         """Stop accepting new work; finish what is queued, then retire."""
@@ -261,7 +319,10 @@ class Replica:
         The billing window stayed open through the repair (the rental
         never ended); the instance re-enters the boot path (plus any
         queued boot-failure penalty) and, for TEE replicas, must
-        re-attest before going live.
+        re-attest before going live.  A phased-boot instance re-enters
+        the sequence at ``ATTESTING`` — the VM/TD is already
+        provisioned, but attestation, key release, model decrypt and
+        weight load all run again.
         """
         if self.state != FAILED or self._restart_at_s is None \
                 or now < self._restart_at_s:
@@ -269,7 +330,8 @@ class Replica:
         restart_at = self._restart_at_s
         self._restart_at_s = None
         self.retired_s = None
-        self.ready_s = restart_at + self._boot_penalty_s
+        reboot_s = self.reattest_s
+        self.ready_s = restart_at + (reboot_s or 0.0) + self._boot_penalty_s
         self._boot_penalty_s = 0.0
         self.state = BOOTING
         return True
@@ -309,6 +371,10 @@ class Replica:
 
         In-flight work is evacuated (the enclave's state is no longer
         trusted); billing continues — the instance is still rented.
+        On phased-boot replicas the fleet passes a ``ready_at_s`` of
+        ``now + reattest_s``: the boot sequence restarts from the
+        ``ATTESTING`` phase whether the failure struck mid-boot or
+        mid-serving (:attr:`reattest_s`).
         """
         evacuated = self.scheduler.evacuate()
         self.state = ATTESTING
@@ -415,6 +481,10 @@ class Replica:
         }
         if spec.tenancy is not None:
             fingerprint["tenancy"] = spec.tenancy.fingerprint()
+        # Only-when-armed, like tenancy: pre-boot snapshots stay
+        # byte-compatible and legacy fleets never see the key.
+        if spec.boot is not None:
+            fingerprint["boot"] = spec.boot.fingerprint()
         return fingerprint
 
     def to_state(self) -> dict:

@@ -53,6 +53,7 @@ _LAZY_EXPORTS = {
     "resolve_point_runner": "points",
     "chaos_grid": "points",
     "capacity_grid": "points",
+    "attest_grid": "points",
 }
 
 __all__ = [

@@ -143,6 +143,24 @@ def run_fleet_capacity_point(params: dict, context: PointContext) -> dict:
     return point.to_dict()
 
 
+@point_runner("attest_tax")
+def run_attest_tax_point(params: dict, context: PointContext) -> dict:
+    """One ``(kind, scenario)`` cell of the attestation-tax table.
+
+    The row matches :func:`repro.tee.boot.attest_tax_row` exactly —
+    legacy instant-boot vs phased confidential-boot twins of the same
+    headline fleet, same stream, with the $/Mtok and p99-TTFT deltas.
+    """
+    from ..tee.boot import attest_tax_row
+
+    del context  # each cell pairs two short runs; no mid-point saves
+    return attest_tax_row(
+        require(params, "kind", str, "$.params"),
+        require(params, "scenario", str, "$.params"),
+        require_finite(params, "slo_ttft_s", "$.params", minimum=1e-12),
+        engine=require(params, "engine", str, "$.params"))
+
+
 def chaos_grid(kinds: tuple[str, ...] | None = None,
                mtbf_grid_s: tuple[float | None, ...] | None = None,
                num_requests: int = 36, rate_rps: float = 1.5,
@@ -205,4 +223,30 @@ def capacity_grid(kinds: tuple[str, ...] = ("tdx", "cgpu"),
                         "slo_ttft_s": slo_ttft_s, "trace": trace},
                 group=kind))
     return SweepSpec(points=tuple(points), prune_field="meets_slo",
+                     point_timeout_s=point_timeout_s)
+
+
+def attest_grid(kinds: tuple[str, ...] | None = None,
+                scenarios: tuple[str, ...] = ("capacity", "chaos"),
+                slo_ttft_s: float = 2.0, engine: str = "stepped",
+                point_timeout_s: float | None = None) -> SweepSpec:
+    """The attestation-tax table as a resumable SweepSpec.
+
+    Defaults mirror :func:`repro.tee.boot.attest_tax_sweep`, so running
+    this spec to completion journals exactly the rows the
+    ``golden.attest_tax`` audit snapshot pins.
+    """
+    from ..tee.boot import TAX_FLEET_KINDS
+
+    kinds = TAX_FLEET_KINDS if kinds is None else kinds
+    points = []
+    for scenario in scenarios:
+        for kind in kinds:
+            points.append(GridPoint(
+                index=len(points), key=f"{kind}/{scenario}",
+                runner="attest_tax",
+                params={"kind": kind, "scenario": scenario,
+                        "slo_ttft_s": slo_ttft_s, "engine": engine},
+                group=kind))
+    return SweepSpec(points=tuple(points),
                      point_timeout_s=point_timeout_s)

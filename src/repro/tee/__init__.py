@@ -1,6 +1,14 @@
 """TEE substrate: backends, security matrix, configuration tooling."""
 
 from .attestation import AttestationService, Quote, RelyingParty, measure
+from .boot import (
+    BOOT_PHASES,
+    DEFAULT_PROFILES,
+    BootProfile,
+    BootSequence,
+    boot_profile,
+    constant_profile,
+)
 from .backends import (
     BAREMETAL,
     CGPU,
@@ -51,6 +59,8 @@ from .security import (
 
 __all__ = [
     "AttestationService", "Quote", "RelyingParty", "measure",
+    "BOOT_PHASES", "DEFAULT_PROFILES", "BootProfile", "BootSequence",
+    "boot_profile", "constant_profile",
     "BAREMETAL", "CGPU", "CGPU_B100", "GPU", "SGX", "TDX", "VM", "VM_UNBOUND",
     "BaremetalBackend", "CgpuBackend", "GpuBackend", "SgxBackend",
     "TdxBackend", "VmBackend",

@@ -23,7 +23,12 @@ A registry of named checks (``@check``) spanning four families:
   :mod:`repro.tenancy`: WFQ/FCFS engine parity across every KV
   isolation mode, exact per-tenant billing partition, per-tenant
   request conservation under faults, weighted-fairness ordering,
-  shed-priority parity, and WFQ-armed snapshot resume.
+  shed-priority parity, and WFQ-armed snapshot resume,
+* **attest** — the phased confidential boot lifecycle over
+  :mod:`repro.tee.boot`: boot-phase conservation, legacy-constant
+  parity, stepped/event engine parity with phased boots and
+  re-attestation faults, mid-boot snapshot-resume parity, and the
+  golden attestation-tax table.
 
 Run via ``scripts/audit.py`` or through the pytest adapter in
 ``tests/validate/``, which makes every check a tier-1 test.
@@ -52,6 +57,7 @@ from . import chaos as _chaos  # noqa: E402,F401
 from . import state as _state  # noqa: E402,F401
 from . import event as _event  # noqa: E402,F401
 from . import tenancy as _tenancy  # noqa: E402,F401
+from . import attest as _attest  # noqa: E402,F401
 
 __all__ = [
     "AuditContext",

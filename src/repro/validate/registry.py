@@ -24,9 +24,11 @@ from typing import Callable
 #: checks prove the multi-tenant serving plane: WFQ/FCFS engine
 #: parity, exact billing partition, per-tenant request conservation,
 #: weighted-fairness ordering, shed-priority parity, and WFQ-armed
-#: snapshot resume.
+#: snapshot resume.  ``attest`` checks prove the phased confidential
+#: boot lifecycle: phase conservation, legacy-constant parity, engine
+#: parity with phased boots, and mid-boot snapshot-resume parity.
 FAMILIES = ("differential", "metamorphic", "golden", "chaos", "state",
-            "tenancy")
+            "tenancy", "attest")
 
 #: ``blocker`` checks gate every run; ``warn`` checks gate only
 #: ``--strict`` runs (statistical or known-loose invariants).

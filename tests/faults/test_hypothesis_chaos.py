@@ -76,7 +76,12 @@ def test_conservation_under_random_schedules(schedule, arrival_seed,
     assert report.wasted_tokens >= 0
     assert report.cost_usd >= 0
     for usage in report.replicas:
-        window_s = max(0.0, report.end_s - usage.provisioned_s)
+        # The rental window closes at *release*, which can postdate the
+        # last request finish (``end_s``): a fault tick may land after
+        # the work drained and retire the instance then.
+        window_end = report.end_s if usage.retired_s is None \
+            else max(report.end_s, usage.retired_s)
+        window_s = max(0.0, window_end - usage.provisioned_s)
         assert usage.billed_hours * 3600.0 <= window_s + 1e-9
 
 

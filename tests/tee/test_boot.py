@@ -1,0 +1,180 @@
+"""Phased confidential boot model: profiles, sequences, defaults."""
+
+import math
+
+import pytest
+
+from repro.llm.config import LLAMA2_7B, LLAMA2_70B
+from repro.llm.datatypes import BFLOAT16, INT8
+from repro.tee.boot import (
+    ATTESTING,
+    BOOT_PHASES,
+    DEFAULT_PROFILES,
+    KEY_RELEASE,
+    MODEL_DECRYPT,
+    PHASE_LIVE,
+    PROVISIONING,
+    TAX_FLEET_KINDS,
+    TAX_ROW_FIELDS,
+    TAX_TEE_KINDS,
+    WEIGHT_LOAD,
+    BootProfile,
+    BootSequence,
+    boot_breakdown,
+    boot_profile,
+    constant_profile,
+)
+
+
+class TestBootProfile:
+    def test_phase_order(self):
+        assert BOOT_PHASES == (PROVISIONING, ATTESTING, KEY_RELEASE,
+                               MODEL_DECRYPT, WEIGHT_LOAD)
+
+    def test_defaults_cover_all_backend_kinds(self):
+        assert set(DEFAULT_PROFILES) == {"baremetal", "vm", "gpu", "tdx",
+                                         "sgx", "cgpu"}
+
+    def test_tee_kinds_pay_attestation_and_decrypt(self):
+        for kind in TAX_TEE_KINDS:
+            profile = DEFAULT_PROFILES[kind]
+            assert profile.quote_s > 0
+            assert profile.kms_round_trips > 0
+            assert profile.decrypt_gbps is not None
+
+    def test_non_tee_kinds_skip_confidential_phases(self):
+        for kind in ("baremetal", "vm", "gpu"):
+            durations = DEFAULT_PROFILES[kind].phase_durations(1e9)
+            assert durations[1] == durations[2] == durations[3] == 0.0
+
+    def test_durations_scale_with_model_bytes(self):
+        profile = DEFAULT_PROFILES["tdx"]
+        small = profile.sequence(LLAMA2_7B, BFLOAT16)
+        large = profile.sequence(LLAMA2_70B, BFLOAT16)
+        assert large.duration_of(MODEL_DECRYPT) > small.duration_of(
+            MODEL_DECRYPT)
+        assert large.duration_of(WEIGHT_LOAD) > small.duration_of(
+            WEIGHT_LOAD)
+        # Fixed phases do not scale.
+        assert large.duration_of(ATTESTING) == small.duration_of(ATTESTING)
+
+    def test_dtype_changes_byte_proportional_phases(self):
+        profile = DEFAULT_PROFILES["sgx"]
+        bf16 = profile.sequence(LLAMA2_7B, BFLOAT16)
+        int8 = profile.sequence(LLAMA2_7B, INT8)
+        assert int8.duration_of(WEIGHT_LOAD) < bf16.duration_of(WEIGHT_LOAD)
+
+    def test_overrides(self):
+        profile = boot_profile("tdx", quote_s=9.0)
+        assert profile.quote_s == 9.0
+        assert profile.provision_s == DEFAULT_PROFILES["tdx"].provision_s
+
+    def test_unknown_kind_and_terms_rejected(self):
+        with pytest.raises(ValueError, match="no default boot profile"):
+            boot_profile("sev-snp")
+        with pytest.raises(ValueError, match="unknown boot profile terms"):
+            boot_profile("tdx", dcap_s=1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_non_finite_terms_rejected(self, bad):
+        with pytest.raises(ValueError):
+            BootProfile("tdx", provision_s=bad)
+        with pytest.raises(ValueError):
+            BootProfile("tdx", quote_s=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -2.0])
+    def test_bad_throughputs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            BootProfile("tdx", decrypt_gbps=bad)
+        with pytest.raises(ValueError):
+            BootProfile("tdx", load_gbps=bad)
+
+    def test_plaintext_model_skips_key_release(self):
+        # No decrypt throughput -> no key to release, even with KMS terms.
+        profile = BootProfile("vm", kms_round_trip_s=0.5, kms_round_trips=3,
+                              load_gbps=5.0)
+        durations = profile.phase_durations(1e9)
+        assert durations[2] == 0.0 and durations[3] == 0.0
+
+    def test_fingerprint_round_trips(self):
+        profile = DEFAULT_PROFILES["cgpu"]
+        assert BootProfile(**profile.fingerprint()) == profile
+
+
+class TestBootSequence:
+    def _seq(self):
+        return DEFAULT_PROFILES["tdx"].sequence(LLAMA2_7B, BFLOAT16)
+
+    def test_total_is_sum_of_phases(self):
+        seq = self._seq()
+        assert seq.total_s == sum(seq.durations)
+        assert seq.total_s > 0
+
+    def test_phase_at_walkthrough(self):
+        seq = self._seq()
+        ready = 50.0
+        start = ready - seq.total_s
+        for phase, begin, end in seq.schedule(ready):
+            if end > begin:
+                assert seq.phase_at((begin + end) / 2, ready) == phase
+        assert seq.phase_at(ready, ready) == PHASE_LIVE
+        assert seq.phase_at(ready + 1.0, ready) == PHASE_LIVE
+        # Penalty-stretched boots park the extra time in provisioning.
+        assert seq.phase_at(start - 10.0, ready) == PROVISIONING
+
+    def test_reattest_excludes_provisioning(self):
+        seq = self._seq()
+        assert seq.remaining_from(ATTESTING) == pytest.approx(
+            seq.total_s - seq.duration_of(PROVISIONING))
+        assert seq.remaining_from(PROVISIONING) == seq.total_s
+
+    def test_unknown_phase_rejected(self):
+        seq = self._seq()
+        with pytest.raises(ValueError, match="unknown boot phase"):
+            seq.remaining_from("warming_up")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="phase durations"):
+            BootSequence("tdx", (1.0, 2.0))
+
+    def test_non_finite_durations_rejected(self):
+        with pytest.raises(ValueError):
+            BootSequence("tdx", (1.0, float("nan"), 0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            BootSequence("tdx", (1.0, -0.5, 0.0, 0.0, 0.0))
+
+    def test_to_state_is_json_plain(self):
+        state = self._seq().to_state()
+        assert state["kind"] == "tdx"
+        assert len(state["durations"]) == len(BOOT_PHASES)
+
+
+class TestConstantProfile:
+    def test_all_time_in_provisioning(self):
+        seq = constant_profile("tdx", 12.5).sequence(LLAMA2_7B, BFLOAT16)
+        assert seq.total_s == 12.5
+        assert seq.duration_of(PROVISIONING) == 12.5
+        assert seq.remaining_from(ATTESTING) == 0.0
+
+    def test_rejects_bad_totals(self):
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ValueError):
+                constant_profile("tdx", bad)
+
+
+class TestAttestTax:
+    def test_breakdown_rows(self):
+        rows = boot_breakdown()
+        assert [row["kind"] for row in rows] == list(TAX_TEE_KINDS)
+        for row in rows:
+            phase_sum = sum(row[phase] for phase in BOOT_PHASES)
+            assert row["total_s"] == pytest.approx(phase_sum)
+            assert 0 < row["reattest_s"] < row["total_s"]
+            assert math.isfinite(row["total_s"])
+
+    def test_row_fields_order_is_canonical(self):
+        # The golden snapshot and CLI table both key off this tuple.
+        assert TAX_ROW_FIELDS[0] == "kind"
+        assert set(TAX_FLEET_KINDS) <= set(TAX_TEE_KINDS)
+        assert "tax_usd_per_mtok" in TAX_ROW_FIELDS
+        assert "tax_p99_ttft_s" in TAX_ROW_FIELDS

@@ -35,4 +35,4 @@ def test_registry_spans_required_surface():
     assert len(specs) >= 25
     families = {spec.family for spec in specs}
     assert families == {"differential", "metamorphic", "golden", "chaos",
-                        "state", "tenancy"}
+                        "state", "tenancy", "attest"}

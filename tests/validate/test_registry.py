@@ -43,7 +43,7 @@ class TestRegistry:
         for spec in specs:
             by_family.setdefault(spec.family, []).append(spec)
         assert set(by_family) == {"differential", "metamorphic", "golden",
-                                  "chaos", "state", "tenancy"}
+                                  "chaos", "state", "tenancy", "attest"}
         # Every family is substantive, not a token single check.
         assert all(len(group) >= 5 for group in by_family.values())
 
